@@ -1,0 +1,16 @@
+"""Benchmark suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one table or figure of the paper and writes
+its rows/series to ``benchmarks/results/<name>.txt`` (also printed; use
+``-s`` to see them live).
+"""
+
+import sys
+from pathlib import Path
+
+# make `_harness` importable regardless of rootdir configuration
+sys.path.insert(0, str(Path(__file__).parent))

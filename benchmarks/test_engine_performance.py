@@ -1,0 +1,99 @@
+"""Engine performance benchmarks (the simulator's own speed).
+
+Unlike the figure harnesses (one timed round each), these run multiple
+rounds and track the throughput that makes campaign-scale reproduction
+practical: path construction, fluid solves, packet-simulator stepping,
+and a full application run.  Regressions here directly multiply every
+campaign's wall-clock.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import theta_top
+from repro.apps import MILC
+from repro.core.biases import AD0
+from repro.core.experiment import run_app_once
+from repro.mpi.env import RoutingEnv
+from repro.network.fluid import FlowSet, FluidParams, solve_fluid
+from repro.network.packet_sim import InjectionSpec, PacketSimulator
+from repro.topology.paths import minimal_paths, valiant_paths
+from repro.util import derive_rng
+
+
+@pytest.fixture(scope="module")
+def perm_flows():
+    top = theta_top()
+    rng = np.random.default_rng(0)
+    n = 4096
+    src = rng.integers(0, top.n_nodes, n)
+    dst = (src + 1 + rng.integers(0, top.n_nodes - 1, n)) % top.n_nodes
+    return top, FlowSet(src, dst, np.full(n, 1e5), np.zeros(n, dtype=np.int64))
+
+
+def test_perf_minimal_paths(benchmark, perm_flows):
+    top, fl = perm_flows
+    rng = np.random.default_rng(1)
+    out = benchmark(lambda: minimal_paths(top, fl.src, fl.dst, k=4, rng=rng))
+    assert out.n_subpaths == 4 * fl.n
+
+
+def test_perf_valiant_paths(benchmark, perm_flows):
+    top, fl = perm_flows
+    rng = np.random.default_rng(1)
+    out = benchmark(lambda: valiant_paths(top, fl.src, fl.dst, k=4, rng=rng))
+    assert out.n_subpaths == 4 * fl.n
+
+
+def test_perf_fluid_solve_4k_flows(benchmark, perm_flows):
+    top, fl = perm_flows
+
+    def solve():
+        return solve_fluid(top, fl, [AD0], rng=np.random.default_rng(2))
+
+    res = benchmark(solve)
+    assert res.phase_time > 0
+
+
+def test_perf_fluid_solve_fast_params(benchmark, perm_flows):
+    top, fl = perm_flows
+    params = FluidParams(k_min=2, k_nonmin=2, n_iter=4)
+
+    def solve():
+        return solve_fluid(top, fl, [AD0], rng=np.random.default_rng(2), params=params)
+
+    res = benchmark(solve)
+    assert res.phase_time > 0
+
+
+def test_perf_packet_sim_steps(benchmark):
+    from repro.topology.systems import toy
+
+    top = toy()
+
+    def run():
+        sim = PacketSimulator(top, rng=np.random.default_rng(3))
+        for s in range(16):
+            sim.add_message(InjectionSpec(src=s, dst=16 + s, nbytes=8192, mode=AD0))
+        return sim.run()
+
+    steps = benchmark(run)
+    assert steps > 0
+
+
+def test_perf_full_milc_run(benchmark):
+    top = theta_top()
+
+    def run():
+        rt, _, _ = run_app_once(
+            top,
+            MILC(),
+            np.arange(256),
+            RoutingEnv(),
+            rng=derive_rng(4, "perf"),
+            collect_counters=False,
+        )
+        return rt
+
+    rt = benchmark(run)
+    assert rt > 0

@@ -1,0 +1,43 @@
+"""Fig. 1 — CCDF of Theta core-hours by job size.
+
+Paper: "approximately 40% of all core-hours on Theta are from jobs
+allocated with between 128 and 512 nodes"; the CCDF starts at 1.0 for
+128-node jobs and decays towards the full-machine sizes.
+"""
+
+import numpy as np
+
+from _harness import fmt_table, n_samples, report, theta_top
+from repro.scheduler.workload import WorkloadModel
+from repro.util import derive_rng
+
+
+def run_fig01():
+    top = theta_top()
+    wm = WorkloadModel(top)
+    log = wm.generate_log(n_samples(4000), derive_rng(1, "fig01"))
+    sizes, ccdf = log.corehours_ccdf()
+    share = log.core_hour_fraction_between(128, 512)
+    rows = [
+        [int(s), f"{c:.3f}"]
+        for s, c in zip(sizes, ccdf)
+        if s in (128, 256, 384, 512, 1024, 2048, 4096) or c == ccdf[-1]
+    ]
+    text = fmt_table(["nodes", "corehours CCDF"], rows)
+    text += f"\n\ncore-hour share of 128-512 node jobs: {share:.1%} (paper: ~40%)"
+    return log, share, text
+
+
+def test_fig01_job_size_distribution(benchmark):
+    log, share, text = benchmark.pedantic(run_fig01, rounds=1, iterations=1)
+    report("fig01_job_sizes", text)
+
+    sizes, ccdf = log.corehours_ccdf()
+    # CCDF starts at 1 and decreases
+    assert abs(ccdf[0] - 1.0) < 1e-9
+    assert (np.diff(ccdf) <= 1e-12).all()
+    # the paper's headline share
+    assert 0.30 <= share <= 0.55
+    # jobs span the full allocatable range
+    assert sizes.min() == 128
+    assert sizes.max() >= 2048

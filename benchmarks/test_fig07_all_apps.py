@@ -1,0 +1,52 @@
+"""Fig. 7 — normalized runtimes of all six applications, AD0 vs AD3.
+
+Paper: strong minimal bias improves the mean and the variability for
+every application except HACC.
+"""
+
+import numpy as np
+
+from _harness import cached_campaign, fmt_table, n_samples, report
+from repro.apps import PRODUCTION_APPS
+from repro.core.analysis import normalized_by_mode
+from repro.core.experiment import stats_by_mode
+
+
+def run_fig07():
+    out = {}
+    for cls in PRODUCTION_APPS:
+        recs = cached_campaign(cls(), samples=n_samples(16))
+        out[cls.name] = recs
+    return out
+
+
+def _fmt(out):
+    rows = []
+    for app, recs in out.items():
+        z = normalized_by_mode(recs)
+        st = stats_by_mode(recs)
+        imp = 100 * (st["AD0"].mean - st["AD3"].mean) / st["AD0"].mean
+        rows.append(
+            [
+                app,
+                f"{np.mean(z['AD0']):+.2f}",
+                f"{np.mean(z['AD3']):+.2f}",
+                f"{imp:+.1f}%",
+            ]
+        )
+    return fmt_table(["app", "AD0 z-mean", "AD3 z-mean", "AD3 improvement"], rows)
+
+
+def test_fig07_all_apps_normalized(benchmark):
+    out = benchmark.pedantic(run_fig07, rounds=1, iterations=1)
+    report("fig07_all_apps", _fmt(out))
+
+    for app, recs in out.items():
+        z = normalized_by_mode(recs)
+        if app == "HACC":
+            # the paper's exception: AD3 hurts HACC
+            assert np.mean(z["AD3"]) > np.mean(z["AD0"])
+        else:
+            # everyone else improves or is flat (Rayleigh ~0; our Qbox
+            # reproduces the paper's +4.8% only as "about neutral")
+            assert np.mean(z["AD3"]) <= np.mean(z["AD0"]) + 0.25, app

@@ -1,0 +1,48 @@
+"""Fig. 8 — HACC runtime decomposition, AD0 vs AD3.
+
+Paper: HACC's dominant MPI_Wait (the bisection-bound FFT sends) *grows*
+under AD3 — the opposite of MILC — because minimal routing concentrates
+the transpose traffic onto the direct rank-3 cables.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import cached_campaign, fmt_table, n_samples, report
+from repro.apps import HACC
+from repro.core.analysis import breakdown_rows
+
+
+def run_fig08():
+    recs = cached_campaign(HACC(), samples=n_samples(16))
+    return recs, breakdown_rows(recs)
+
+
+def _fmt(bd):
+    rows = []
+    keys = ("Compute", "MPI_Wait", "MPI_Waitall", "MPI_Allreduce", "Other_MPI")
+    for mode in ("AD0", "AD3"):
+        for i, stack in enumerate(bd[mode][:6]):
+            rows.append([mode, i] + [f"{stack.get(k, 0.0):.0f}" for k in keys])
+    return fmt_table(["mode", "run"] + list(keys), rows)
+
+
+def test_fig08_hacc_breakdown(benchmark):
+    recs, bd = benchmark.pedantic(run_fig08, rounds=1, iterations=1)
+    report("fig08_hacc_breakdown", _fmt(bd))
+
+    def mean_of(mode, key):
+        return np.mean([s.get(key, 0.0) for s in bd[mode]])
+
+    # MPI_Wait is the dominant interface (Table I), and it grows under
+    # AD3 (the figure's key message)
+    assert mean_of("AD0", "MPI_Wait") > mean_of("AD0", "MPI_Allreduce")
+    assert mean_of("AD3", "MPI_Wait") > mean_of("AD0", "MPI_Wait")
+
+    # compute is routing-invariant
+    assert mean_of("AD3", "Compute") == pytest.approx(mean_of("AD0", "Compute"), rel=0.05)
+
+    # total runtime grows under AD3 (Table II: -2.7%)
+    total0 = np.mean([sum(s.values()) for s in bd["AD0"]])
+    total3 = np.mean([sum(s.values()) for s in bd["AD3"]])
+    assert total3 > total0

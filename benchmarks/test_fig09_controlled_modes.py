@@ -1,0 +1,51 @@
+"""Fig. 9 — all applications at 256 nodes across all four routing modes.
+
+Paper (controlled reservation, z-scored runtimes pooled per app): AD3
+has the lowest mean and the tightest spread; AD2 is next; AD1 performs
+slightly better than AD0 for this workload set.
+"""
+
+import numpy as np
+
+from _harness import cached_campaign, fmt_table, n_samples, report
+from repro.apps import PRODUCTION_APPS
+from repro.core.analysis import normalized_by_mode
+from repro.core.biases import AD0, AD1, AD2, AD3
+
+
+def run_fig09():
+    records = []
+    for cls in PRODUCTION_APPS:
+        records.extend(
+            cached_campaign(
+                cls(),
+                samples=n_samples(6),
+                modes=(AD0, AD1, AD2, AD3),
+                seed=909,
+            )
+        )
+    return records, normalized_by_mode(records)
+
+
+def _fmt(z):
+    rows = [
+        [m, f"{np.mean(z[m]):+.3f}", f"{np.std(z[m]):.3f}", len(z[m])]
+        for m in ("AD0", "AD1", "AD2", "AD3")
+    ]
+    return fmt_table(["mode", "z-mean", "z-std", "samples"], rows)
+
+
+def test_fig09_mode_sweep(benchmark):
+    records, z = benchmark.pedantic(run_fig09, rounds=1, iterations=1)
+    report("fig09_controlled_modes", _fmt(z))
+
+    means = {m: np.mean(z[m]) for m in z}
+    # every biased mode beats the unbiased default for the mixed
+    # workload — the paper's central Fig. 9 finding.
+    # KNOWN DEVIATION (EXPERIMENTS.md): the paper ranks AD3 strictly
+    # best; in our model the HACC members of the pool penalize AD3
+    # enough that AD1/AD2 edge it out in the pooled z-means, while AD3
+    # still clearly beats AD0.
+    for biased in ("AD1", "AD2", "AD3"):
+        assert means[biased] < means["AD0"], biased
+    assert means["AD3"] < means["AD0"] - 0.05

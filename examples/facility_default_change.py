@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""The facility's decision: what happens if the *default* becomes AD3?
+
+Simulates two comparable production weeks on Theta — one with the AD0
+default, one after switching everything to AD3 — and prints the
+system-wide counter changes (Fig. 13) and the NIC packet-pair latency
+percentile comparison (Fig. 14), i.e. the evidence ALCF/NERSC used to
+keep the change.
+
+Run:  python examples/facility_default_change.py
+"""
+
+from repro import run_default_change_study, theta
+from repro.core.metrics import LATENCY_PERCENTILES
+
+N_INTERVALS = 20  # one-minute LDMS intervals per window
+
+
+def main() -> None:
+    top = theta()
+    print(f"simulating 2 x {N_INTERVALS} production intervals on {top.params.name} ...\n")
+    study = run_default_change_study(top, n_intervals=N_INTERVALS)
+
+    change = study.counter_change()
+    print("system-wide network-tile counters (Fig. 13):")
+    b, a = study.before.series(), study.after.series()
+    print(f"  flits :  {b['flits'].sum():.3e} -> {a['flits'].sum():.3e}  ({change['flits']:+.1%})")
+    print(f"  stalls:  {b['stalls'].sum():.3e} -> {a['stalls'].sum():.3e}  ({change['stalls']:+.1%})")
+    rb = b["stalls"].sum() / b["flits"].sum()
+    ra = a["stalls"].sum() / a["flits"].sum()
+    print(f"  ratio :  {rb:.4f} -> {ra:.4f}  ({change['ratio']:+.1%})")
+
+    print("\nper-NIC mean packet-pair latency percentiles (Fig. 14):")
+    before = study.before.latency_percentiles()
+    after = study.after.latency_percentiles()
+    lat_change = study.latency_change()
+    print(f"  {'pct':>7s}  {'before':>10s}  {'after':>10s}  {'change':>8s}")
+    for p in LATENCY_PERCENTILES:
+        print(
+            f"  P{p:<6g}  {before[p] * 1e6:8.2f}us  {after[p] * 1e6:8.2f}us  "
+            f"{lat_change[p]:+7.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

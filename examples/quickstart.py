@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: is AD0 or AD3 better for a MILC-like job on Theta?
+
+Builds the Theta dragonfly, runs a small paired production campaign
+(same placements, same background congestion, both routing modes), and
+prints the comparison plus the advisor's recommendation — the paper's
+Section IV experiment in miniature.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    AD0,
+    AD3,
+    CampaignConfig,
+    MILC,
+    recommend,
+    run_campaign,
+    stats_by_mode,
+    theta,
+)
+
+SAMPLES = 8
+
+
+def main() -> None:
+    top = theta()
+    print(f"system: {top.describe()}")
+
+    app = MILC()
+    print(f"app:    {app.describe()}\n")
+
+    print(f"running {SAMPLES} paired production samples per mode ...")
+    records = run_campaign(
+        top,
+        CampaignConfig(app=app, n_nodes=256, modes=(AD0, AD3), samples=SAMPLES),
+    )
+
+    stats = stats_by_mode(records)
+    for mode in ("AD0", "AD3"):
+        s = stats[mode]
+        print(
+            f"  {mode}: mean {s.mean:7.1f} s  std {s.std:6.1f}  "
+            f"p95 {s.p95:7.1f}  (n={s.n})"
+        )
+    imp = 100 * (stats["AD0"].mean - stats["AD3"].mean) / stats["AD0"].mean
+    print(f"\nAD3 improvement over AD0: {imp:+.1f}%  (paper: +11.0%)")
+
+    # what would the advisor have said from one AutoPerf profile?
+    rec = recommend(records[0].report)
+    print(f"\nadvisor: {rec}")
+
+
+if __name__ == "__main__":
+    main()

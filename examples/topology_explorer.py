@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Explore a dragonfly's geometry the way the paper reasons about it.
+
+Prints, for Theta, Cori, and a Slingshot system: the structural summary,
+the bisection/injection balance, minimal-path hop-distance and
+diversity statistics, and how compact vs dispersed placements differ in
+rank-3 exposure (Section II-C's placement discussion, quantified).
+
+Run:  python examples/topology_explorer.py
+"""
+
+import numpy as np
+
+from repro.core.reporting import bar_chart
+from repro.scheduler.placement import compact_placement, dispersed_placement
+from repro.topology import (
+    cori,
+    minimal_path_diversity,
+    minimal_router_hops,
+    placement_geometry,
+    slingshot,
+    theta,
+)
+from repro.topology.queries import bisection_cut
+
+
+def explore(top) -> None:
+    print(f"\n=== {top.params.name} ===")
+    print(top.describe())
+
+    half = np.arange(top.n_groups // 2)
+    cut = bisection_cut(top, half)
+    print(f"half-machine optical cut: {cut / 1e12:.2f} TB/s per direction")
+
+    rng = np.random.default_rng(1)
+    src = rng.integers(0, top.n_nodes, 2000)
+    dst = (src + 1 + rng.integers(0, top.n_nodes - 1, 2000)) % top.n_nodes
+    hops = minimal_router_hops(top, src, dst)
+    div = minimal_path_diversity(top, src, dst)
+    print(
+        f"random pairs: mean minimal hops {hops.mean():.2f}, "
+        f"mean minimal diversity {div.mean():.1f} routes"
+    )
+
+    for kind, fn in (("compact", compact_placement), ("dispersed", dispersed_placement)):
+        geo = placement_geometry(top, fn(top, min(256, top.n_nodes // 4), np.random.default_rng(2)))
+        print(
+            f"256-node {kind:9s}: {geo['groups']:2d} groups, "
+            f"{geo['cross_group_fraction']:.0%} pairs cross groups, "
+            f"mean hops {geo['mean_min_hops']:.2f}"
+        )
+
+
+def main() -> None:
+    tops = [theta(), cori(), slingshot()]
+    for top in tops:
+        explore(top)
+
+    print("\nbisection : injection ratio by system:")
+    print(
+        bar_chart(
+            [t.params.name for t in tops],
+            [t.bisection_to_injection_ratio for t in tops],
+            width=30,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

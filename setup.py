@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs `wheel` for PEP-517 editable
+installs; this shim keeps the legacy `--no-use-pep517` path working in
+offline environments.
+"""
+from setuptools import setup
+
+setup()

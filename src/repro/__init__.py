@@ -1,0 +1,80 @@
+"""repro — reproduction of "Performance Evaluation of Adaptive Routing on
+Dragonfly-based Production Systems" (Chunduri et al., IPDPS 2021).
+
+The package simulates Cray Aries dragonfly systems (ALCF Theta, NERSC
+Cori) well enough to study the paper's subject: the four adaptive
+routing bias modes AD0..AD3 and their effect on production application
+performance, system-wide congestion counters, and packet latency.
+
+Quickstart::
+
+    import numpy as np
+    from repro import theta, MILC, CampaignConfig, run_campaign, stats_by_mode
+
+    top = theta()
+    records = run_campaign(top, CampaignConfig(app=MILC(), samples=10))
+    print(stats_by_mode(records))
+
+Layout:
+
+* :mod:`repro.topology` — the Aries dragonfly structure (Theta/Cori),
+* :mod:`repro.network` — fluid and packet-level congestion engines,
+  tile counters,
+* :mod:`repro.mpi` — collective algorithms, phases, routing-mode env,
+  an imperative sim-MPI,
+* :mod:`repro.apps` — MILC, Nek5000, HACC, Qbox, Rayleigh workload
+  models (+ synthetic microbenchmarks),
+* :mod:`repro.scheduler` — placement, production workload mix,
+  background noise,
+* :mod:`repro.monitoring` — AutoPerf, LDMS, NIC latency counters,
+* :mod:`repro.core` — routing biases/policy, experiment harness,
+  ensembles, facility studies, metrics/analysis, the routing advisor.
+"""
+
+from repro.core.biases import AD0, AD1, AD2, AD3, RoutingMode, VENDOR_MODES, mode_by_name
+from repro.core.experiment import (
+    CampaignConfig,
+    RunRecord,
+    run_app_once,
+    run_campaign,
+    stats_by_mode,
+)
+from repro.core.ensembles import EnsembleConfig, run_ensemble
+from repro.core.facility import run_default_change_study
+from repro.core.advisor import recommend
+from repro.apps import MILC, MILCReorder, Nek5000, HACC, Qbox, Rayleigh
+from repro.mpi.env import RoutingEnv
+from repro.topology.systems import theta, cori, mini, toy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AD0",
+    "AD1",
+    "AD2",
+    "AD3",
+    "RoutingMode",
+    "VENDOR_MODES",
+    "mode_by_name",
+    "CampaignConfig",
+    "RunRecord",
+    "run_app_once",
+    "run_campaign",
+    "stats_by_mode",
+    "EnsembleConfig",
+    "run_ensemble",
+    "run_default_change_study",
+    "recommend",
+    "MILC",
+    "MILCReorder",
+    "Nek5000",
+    "HACC",
+    "Qbox",
+    "Rayleigh",
+    "RoutingEnv",
+    "theta",
+    "cori",
+    "mini",
+    "toy",
+    "__version__",
+]

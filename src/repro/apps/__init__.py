@@ -1,0 +1,71 @@
+"""Application workload models.
+
+The five production applications of the paper (plus the reordered MILC
+variant and synthetic microbenchmark apps), reduced — as the paper itself
+does in Table I — to their communication characteristics: per-iteration
+point-to-point flows, collective operations, compute time, and scaling
+mode.  Each model emits :class:`~repro.mpi.patterns.Phase` objects that
+the experiment harness resolves with the fluid engine.
+
+================  =====================  ==========================  ======
+application       point-to-point         collectives                 % MPI
+================  =====================  ==========================  ======
+MILC              heavy (KB, 4D stencil) frequent 8 B allreduce       52
+MILC REORDER      heavy (KB, reordered)  frequent 8 B allreduce       50
+Nek5000           medium (KB)            light (16 B)                 48
+HACC              light (>1 MB FFT)      light allreduce (1 KB)       22
+Qbox              medium (50 KB)         medium alltoallv (128 KB)    66
+Rayleigh          none                   heavy alltoallv (23 MB)      28
+================  =====================  ==========================  ======
+"""
+
+from repro.apps.base import Application, grid_dims, stencil_flows, rank_grid_coords
+from repro.apps.milc import MILC, MILCReorder
+from repro.apps.nek5000 import Nek5000
+from repro.apps.hacc import HACC
+from repro.apps.qbox import Qbox
+from repro.apps.rayleigh import Rayleigh
+from repro.apps.synthetic import (
+    LatencyBound,
+    BisectionBound,
+    InjectionBound,
+    ComputeBound,
+)
+
+#: the paper's production application set, in Table-II order
+PRODUCTION_APPS = (MILC, MILCReorder, Nek5000, HACC, Qbox, Rayleigh)
+
+
+def app_by_name(name: str) -> type[Application]:
+    """Look up an application class by (case-insensitive) name."""
+    table = {cls.name.lower(): cls for cls in PRODUCTION_APPS}
+    table.update(
+        {
+            cls.name.lower(): cls
+            for cls in (LatencyBound, BisectionBound, InjectionBound, ComputeBound)
+        }
+    )
+    key = name.lower().replace(" ", "")
+    if key not in table:
+        raise KeyError(f"unknown application {name!r}; have {sorted(table)}")
+    return table[key]
+
+
+__all__ = [
+    "Application",
+    "grid_dims",
+    "stencil_flows",
+    "rank_grid_coords",
+    "MILC",
+    "MILCReorder",
+    "Nek5000",
+    "HACC",
+    "Qbox",
+    "Rayleigh",
+    "LatencyBound",
+    "BisectionBound",
+    "InjectionBound",
+    "ComputeBound",
+    "PRODUCTION_APPS",
+    "app_by_name",
+]

@@ -1,0 +1,231 @@
+"""Command-line interface for the routing study toolkit.
+
+Usage (``python -m repro <command>``)::
+
+    python -m repro describe --system theta
+    python -m repro compare  --app milc --nodes 256 --samples 8
+    python -m repro sweep    --app milc --samples 6
+    python -m repro advise   --app hacc
+    python -m repro facility --intervals 12
+    python -m repro ensemble --app milc --jobs 8 --nodes 512 --mode AD3
+    python -m repro calibrate                 # score constants vs the paper
+    python -m repro calibrate --param stall_kappa --values 1,3,6
+
+Every command prints paper-style text output; nothing is written to
+disk.  All commands accept ``--seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.apps import app_by_name
+from repro.core.advisor import recommend
+from repro.core.analysis import improvement_table
+from repro.core.biases import AD0, AD3, VENDOR_MODES, mode_by_name
+from repro.core.ensembles import EnsembleConfig, run_ensemble
+from repro.core.experiment import CampaignConfig, run_app_once, run_campaign, stats_by_mode
+from repro.core.facility import run_default_change_study
+from repro.core.metrics import LATENCY_PERCENTILES
+from repro.mpi.env import RoutingEnv
+from repro.topology.systems import cori, slingshot, theta
+from repro.util import derive_rng
+
+SYSTEMS = {"theta": theta, "cori": cori, "slingshot": slingshot}
+
+
+def _system(name: str):
+    if name not in SYSTEMS:
+        raise SystemExit(f"unknown system {name!r}; choose from {sorted(SYSTEMS)}")
+    return SYSTEMS[name]()
+
+
+def cmd_describe(args) -> int:
+    top = _system(args.system)
+    print(top.describe())
+    print(f"  routers: {top.n_routers}  links: {top.n_links}")
+    print(f"  tiles/router: {top.tiles.total} ({top.tiles.network} network, {top.tiles.proc} processor)")
+    print("  routing modes:")
+    for m in VENDOR_MODES:
+        print(f"    {m.describe()}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    top = _system(args.system)
+    app = app_by_name(args.app)()
+    modes = tuple(mode_by_name(m) for m in args.modes.split(","))
+    print(f"{app.describe()} on {top.params.name}, {args.samples} samples per mode ...")
+    records = run_campaign(
+        top,
+        CampaignConfig(
+            app=app, n_nodes=args.nodes, modes=modes, samples=args.samples, seed=args.seed
+        ),
+    )
+    for mode, st in sorted(stats_by_mode(records).items(), key=lambda kv: kv[1].mean):
+        print(f"  {mode:6s} mean {st.mean:8.1f} s  std {st.std:7.1f}  p95 {st.p95:8.1f}  (n={st.n})")
+    for row in improvement_table(records, base_mode=modes[0].name, test_mode=modes[-1].name):
+        print(
+            f"\n{row.test_mode} over {row.base_mode}: "
+            f"{row.time_improvement:+.1f}% time, {row.mpi_improvement:+.1f}% MPI"
+        )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    args.modes = "AD0,AD1,AD2,AD3"
+    return cmd_compare(args)
+
+
+def cmd_advise(args) -> int:
+    top = _system(args.system)
+    app = app_by_name(args.app)()
+    print(f"profiling {app.name} on {top.params.name} ...")
+    _, report, _ = run_app_once(
+        top,
+        app,
+        np.arange(args.nodes),
+        RoutingEnv(),
+        rng=derive_rng(args.seed, "cli-advise", app.name),
+    )
+    print(report.summary())
+    print(f"\n{recommend(report)}")
+    return 0
+
+
+def cmd_facility(args) -> int:
+    top = _system(args.system)
+    print(f"simulating 2 x {args.intervals} production intervals on {top.params.name} ...")
+    study = run_default_change_study(top, n_intervals=args.intervals, seed=args.seed)
+    change = study.counter_change()
+    print(
+        f"flits {change['flits']:+.1%}  stalls {change['stalls']:+.1%}  "
+        f"ratio {change['ratio']:+.1%}"
+    )
+    lat = study.latency_change()
+    print("latency change: " + "  ".join(f"P{p:g}:{lat[p]:+.1f}%" for p in LATENCY_PERCENTILES))
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    from repro.core.calibration import (
+        format_score,
+        probe_observables,
+        score_against_paper,
+        sweep_parameter,
+    )
+
+    top = _system(args.system)
+    if args.param:
+        values = [float(v) for v in args.values.split(",")]
+        print(f"sweeping {args.param} over {values} ...")
+        out = sweep_parameter(top, args.param, values, samples=args.samples, seed=args.seed)
+        for v, obs in out.items():
+            print(
+                f"  {args.param}={v:g}: milc_imp {obs['milc_improvement_pct']:+.1f}%  "
+                f"hacc_imp {obs['hacc_improvement_pct']:+.1f}%  "
+                f"milc_mean {obs['milc_ad0_mean_s']:.0f}s"
+            )
+    else:
+        print("scoring the shipped constants against the paper anchors ...")
+        obs = probe_observables(top, samples=args.samples, seed=args.seed)
+        print(format_score(score_against_paper(obs)))
+    return 0
+
+
+def cmd_ensemble(args) -> int:
+    top = _system(args.system)
+    app = app_by_name(args.app)()
+    mode = mode_by_name(args.mode)
+    res = run_ensemble(
+        top,
+        EnsembleConfig(
+            app=app,
+            n_jobs=args.jobs,
+            n_nodes=args.nodes,
+            mode=mode,
+            placement=args.placement,
+            seed=args.seed,
+        ),
+    )
+    snap = res.bank.snapshot()
+    print(f"{args.jobs} x {args.nodes}-node {app.name} jobs under {mode.name}:")
+    print(f"  job runtimes: {res.job_runtimes.min():.0f} - {res.job_runtimes.max():.0f} s")
+    for cls in ("rank1", "rank2", "rank3", "proc_req"):
+        print(
+            f"  {cls:9s} flits {snap.flits[cls].sum():.3e}  "
+            f"stalls {snap.stalls[cls].sum():.3e}  ratio {snap.class_ratio(cls):.3f}"
+        )
+    print(f"  network stalls/flits: {snap.network_ratio():.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro", description="Dragonfly adaptive-routing study toolkit"
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp):
+        sp.add_argument("--system", default="theta", help="theta | cori | slingshot")
+        sp.add_argument("--seed", type=int, default=2021)
+
+    sp = sub.add_parser("describe", help="print a system's structure and the routing modes")
+    common(sp)
+    sp.set_defaults(func=cmd_describe)
+
+    sp = sub.add_parser("compare", help="paired campaign over chosen modes")
+    common(sp)
+    sp.add_argument("--app", default="milc")
+    sp.add_argument("--nodes", type=int, default=256)
+    sp.add_argument("--samples", type=int, default=8)
+    sp.add_argument("--modes", default="AD0,AD3", help="comma-separated, e.g. AD0,AD3")
+    sp.set_defaults(func=cmd_compare)
+
+    sp = sub.add_parser("sweep", help="campaign over all four vendor modes")
+    common(sp)
+    sp.add_argument("--app", default="milc")
+    sp.add_argument("--nodes", type=int, default=256)
+    sp.add_argument("--samples", type=int, default=6)
+    sp.set_defaults(func=cmd_sweep)
+
+    sp = sub.add_parser("advise", help="profile an app and recommend a bias")
+    common(sp)
+    sp.add_argument("--app", default="milc")
+    sp.add_argument("--nodes", type=int, default=256)
+    sp.set_defaults(func=cmd_advise)
+
+    sp = sub.add_parser("facility", help="before/after default-change study")
+    common(sp)
+    sp.add_argument("--intervals", type=int, default=12)
+    sp.set_defaults(func=cmd_facility)
+
+    sp = sub.add_parser("calibrate", help="score (or sweep) the model constants")
+    common(sp)
+    sp.add_argument("--param", default=None, help="congestion constant to sweep")
+    sp.add_argument("--values", default="", help="comma-separated sweep values")
+    sp.add_argument("--samples", type=int, default=14)
+    sp.set_defaults(func=cmd_calibrate)
+
+    sp = sub.add_parser("ensemble", help="controlled full-reservation ensemble")
+    common(sp)
+    sp.add_argument("--app", default="milc")
+    sp.add_argument("--jobs", type=int, default=8)
+    sp.add_argument("--nodes", type=int, default=512)
+    sp.add_argument("--mode", default="AD3")
+    sp.add_argument("--placement", default="dispersed")
+    sp.set_defaults(func=cmd_ensemble)
+
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""The paper's primary contribution as a library.
+
+This subpackage turns the study of Section III-V into reusable pieces:
+
+* :mod:`~repro.core.biases` — the four Aries adaptive routing modes
+  (AD0..AD3) expressed as shift/add bias parameters, plus custom biases;
+* :mod:`~repro.core.policy` — the biased minimal-vs-non-minimal
+  comparison, in per-packet (packet simulator) and fractional-split
+  (fluid solver) forms;
+* :mod:`~repro.core.experiment` — production / isolated / controlled run
+  harness producing :class:`RunRecord` samples;
+* :mod:`~repro.core.ensembles` — full-machine-reservation ensembles;
+* :mod:`~repro.core.metrics` / :mod:`~repro.core.analysis` — the paper's
+  statistical toolkit (z-scores, CCDFs, stalls-to-flits ratios, +-3-sigma
+  outlier removal, improvement tables);
+* :mod:`~repro.core.advisor` — per-application routing-bias
+  recommendations from AutoPerf profiles (the "best practices" engine);
+* :mod:`~repro.core.facility` — facility-level default-change studies
+  (Figs. 13-14).
+"""
+
+from repro.core.biases import RoutingMode, AD0, AD1, AD2, AD3, VENDOR_MODES, mode_by_name
+from repro.core.policy import (
+    PolicyParams,
+    minimal_preferred,
+    split_fraction,
+    effective_shift,
+)
+
+__all__ = [
+    "RoutingMode",
+    "AD0",
+    "AD1",
+    "AD2",
+    "AD3",
+    "VENDOR_MODES",
+    "mode_by_name",
+    "PolicyParams",
+    "minimal_preferred",
+    "split_fraction",
+    "effective_shift",
+]
+
+from repro.core.metrics import (
+    zscore,
+    zscore_pooled,
+    remove_outliers,
+    ccdf,
+    density,
+    percentile_summary,
+    percent_change,
+    SampleStats,
+    LATENCY_PERCENTILES,
+)
+from repro.core.experiment import (
+    CampaignConfig,
+    RunRecord,
+    run_app_once,
+    run_campaign,
+    runtimes_by_mode,
+    stats_by_mode,
+    resolve_phase,
+    mask_endpoint_background,
+)
+from repro.core.ensembles import EnsembleConfig, EnsembleResult, run_ensemble
+from repro.core.facility import (
+    WindowConfig,
+    WindowResult,
+    DefaultChangeStudy,
+    simulate_production_window,
+    run_default_change_study,
+)
+from repro.core.advisor import Recommendation, classify, recommend
+from repro.core.analysis import (
+    ImprovementRow,
+    improvement_table,
+    normalized_by_mode,
+    group_span_series,
+    breakdown_rows,
+    ratio_samples,
+)
+
+__all__ += [
+    "zscore",
+    "zscore_pooled",
+    "remove_outliers",
+    "ccdf",
+    "density",
+    "percentile_summary",
+    "percent_change",
+    "SampleStats",
+    "LATENCY_PERCENTILES",
+    "CampaignConfig",
+    "RunRecord",
+    "run_app_once",
+    "run_campaign",
+    "runtimes_by_mode",
+    "stats_by_mode",
+    "resolve_phase",
+    "mask_endpoint_background",
+    "EnsembleConfig",
+    "EnsembleResult",
+    "run_ensemble",
+    "WindowConfig",
+    "WindowResult",
+    "DefaultChangeStudy",
+    "simulate_production_window",
+    "run_default_change_study",
+    "Recommendation",
+    "classify",
+    "recommend",
+    "ImprovementRow",
+    "improvement_table",
+    "normalized_by_mode",
+    "group_span_series",
+    "breakdown_rows",
+    "ratio_samples",
+]
+
+from repro.core.awr import AwrConfig, AwrRunResult, run_app_awr, run_app_static
+from repro.core.reporting import (
+    bar_chart,
+    grouped_bar_chart,
+    density_plot,
+    series_plot,
+    histogram,
+)
+
+__all__ += [
+    "AwrConfig",
+    "AwrRunResult",
+    "run_app_awr",
+    "run_app_static",
+    "bar_chart",
+    "grouped_bar_chart",
+    "density_plot",
+    "series_plot",
+    "histogram",
+]
+
+from repro.core.interference import (
+    InterferenceEntry,
+    interference_matrix,
+    format_matrix,
+)
+
+__all__ += ["InterferenceEntry", "interference_matrix", "format_matrix"]
+
+from repro.core.variability import (
+    DispersionStats,
+    variability_report,
+    explain_variability,
+    format_variability,
+)
+
+__all__ += [
+    "DispersionStats",
+    "variability_report",
+    "explain_variability",
+    "format_variability",
+]
+
+from repro.core.calibration import (
+    CalibrationTarget,
+    PAPER_TARGETS,
+    probe_observables,
+    score_against_paper,
+    format_score,
+    sweep_parameter,
+)
+
+__all__ += [
+    "CalibrationTarget",
+    "PAPER_TARGETS",
+    "probe_observables",
+    "score_against_paper",
+    "format_score",
+    "sweep_parameter",
+]

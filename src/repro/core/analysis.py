@@ -1,0 +1,174 @@
+"""Result analysis: the paper's tables and figure data, from RunRecords.
+
+Turns campaign output into the exact artifacts the paper reports:
+
+* :func:`improvement_table` — Table II (mean, std, % improvement in
+  runtime and in MPI time, sample counts);
+* :func:`normalized_by_mode` — the z-scored runtime clouds of
+  Figs. 3/4/7/9;
+* :func:`group_span_series` — runtimes organized by dragonfly groups
+  spanned (Figs. 3/4);
+* :func:`breakdown_rows` — the stacked Compute/top-MPI decomposition of
+  Figs. 5/8;
+* :func:`ratio_samples` — per-run local stalls-to-flits ratios for the
+  scenario PDFs of Fig. 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.experiment import RunRecord, runtimes_by_mode
+from repro.core.metrics import SampleStats, remove_outliers, zscore_pooled
+
+
+@dataclass(frozen=True)
+class ImprovementRow:
+    """One Table-II row."""
+
+    app: str
+    base: SampleStats
+    test: SampleStats
+    base_mode: str
+    test_mode: str
+    time_improvement: float
+    mpi_improvement: float
+    n_runs: int
+
+    def format(self) -> str:
+        return (
+            f"{self.app:14s} {self.base.mean:7.1f} ± {self.base.std:5.1f}  "
+            f"{self.test.mean:7.1f} ± {self.test.std:5.1f}  "
+            f"{self.time_improvement:+6.1f}%  {self.mpi_improvement:+6.1f}%  "
+            f"{self.n_runs:4d}"
+        )
+
+
+def improvement_table(
+    records: list[RunRecord],
+    *,
+    base_mode: str = "AD0",
+    test_mode: str = "AD3",
+) -> list[ImprovementRow]:
+    """Build Table II from a mixed-app record list."""
+    rows: list[ImprovementRow] = []
+    for app in sorted({r.app for r in records}):
+        app_recs = [r for r in records if r.app == app]
+        by_mode = runtimes_by_mode(app_recs)
+        if base_mode not in by_mode or test_mode not in by_mode:
+            continue
+        base = SampleStats.from_values(by_mode[base_mode])
+        test = SampleStats.from_values(by_mode[test_mode])
+        mpi_base = remove_outliers(
+            np.array([r.mpi_time for r in app_recs if r.mode == base_mode])
+        )
+        mpi_test = remove_outliers(
+            np.array([r.mpi_time for r in app_recs if r.mode == test_mode])
+        )
+        mpi_imp = (
+            100.0 * (mpi_base.mean() - mpi_test.mean()) / mpi_base.mean()
+            if mpi_base.size and mpi_base.mean() > 0
+            else float("nan")
+        )
+        rows.append(
+            ImprovementRow(
+                app=app,
+                base=base,
+                test=test,
+                base_mode=base_mode,
+                test_mode=test_mode,
+                time_improvement=test.improvement_over(base),
+                mpi_improvement=mpi_imp,
+                n_runs=base.n + test.n,
+            )
+        )
+    return rows
+
+
+def normalized_by_mode(records: list[RunRecord]) -> dict[str, np.ndarray]:
+    """Z-scored runtimes per mode, normalized jointly per app config.
+
+    Each (app, n_nodes) config is z-scored over the pooled runtimes of
+    all its modes, then samples are grouped by mode — exactly how
+    Figs. 3/7/9 put different apps on one normalized axis.
+    """
+    out: dict[str, list[float]] = {}
+    configs = sorted({(r.app, r.n_nodes) for r in records})
+    for app, n in configs:
+        sel = [r for r in records if r.app == app and r.n_nodes == n]
+        pool = np.array([r.runtime for r in sel])
+        for r in sel:
+            z = zscore_pooled(np.array([r.runtime]), pool)[0]
+            out.setdefault(r.mode, []).append(float(z))
+    return {m: np.array(v) for m, v in out.items()}
+
+
+def group_span_series(
+    records: list[RunRecord],
+) -> dict[int, dict[str, np.ndarray]]:
+    """Normalized runtimes keyed by groups spanned (Figs. 3/4).
+
+    Returns ``{groups: {mode: zscores}}``; normalization is per
+    (app, n_nodes) pool as in :func:`normalized_by_mode`.
+    """
+    out: dict[int, dict[str, list[float]]] = {}
+    configs = sorted({(r.app, r.n_nodes) for r in records})
+    for app, n in configs:
+        sel = [r for r in records if r.app == app and r.n_nodes == n]
+        pool = np.array([r.runtime for r in sel])
+        for r in sel:
+            z = float(zscore_pooled(np.array([r.runtime]), pool)[0])
+            out.setdefault(r.groups, {}).setdefault(r.mode, []).append(z)
+    return {
+        g: {m: np.array(v) for m, v in modes.items()} for g, modes in out.items()
+    }
+
+
+def breakdown_rows(
+    records: list[RunRecord], *, top_n: int = 3
+) -> dict[str, list[dict[str, float]]]:
+    """Per-run stacked Compute/MPI decompositions, grouped by mode.
+
+    The bar stacks of Figs. 5 and 8: one dict per run with ``Compute``,
+    the app's top interfaces, and ``Other_MPI``.
+    """
+    # determine the app-wide top interfaces from the pooled profile
+    op_totals: dict[str, float] = {}
+    for r in records:
+        for op, rec in r.report.ops.items():
+            op_totals[op] = op_totals.get(op, 0.0) + rec.time
+    tops = sorted(op_totals, key=op_totals.get, reverse=True)[:top_n]
+
+    out: dict[str, list[dict[str, float]]] = {}
+    for r in sorted(records, key=lambda r: (r.mode, r.sample_index)):
+        row = {"Compute": r.report.compute_time}
+        other = r.report.mpi_time
+        for op in tops:
+            t = r.report.ops[op].time if op in r.report.ops else 0.0
+            row[op] = t
+            other -= t
+        row["Other_MPI"] = max(other, 0.0)
+        out.setdefault(r.mode, []).append(row)
+    return out
+
+
+def ratio_samples(
+    records: list[RunRecord], cls: str | None = None
+) -> dict[str, np.ndarray]:
+    """Per-run local stalls-to-flits ratios grouped by mode (Fig. 11).
+
+    ``cls`` picks one tile class; ``None`` aggregates the 40 network
+    tiles as the paper's Fig. 11 does.
+    """
+    out: dict[str, list[float]] = {}
+    for r in records:
+        if r.report.counters is None:
+            continue
+        if cls is None:
+            v = r.report.counters.network_ratio()
+        else:
+            v = r.report.counters.class_ratio(cls)
+        out.setdefault(r.mode, []).append(v)
+    return {m: np.array(v) for m, v in out.items()}

@@ -1,0 +1,195 @@
+"""Application-aware routing (AWR) — the runtime the paper argues against.
+
+De Sensi et al. (SC'19) proposed a runtime that polls Aries NIC latency
+counters and adjusts the routing policy when latency degrades.  The
+paper's introduction gives two reasons for preferring *static*
+per-application biases instead:
+
+1. on many-core CPUs (Intel KNL) the per-message counter polling
+   overhead was too high for the processor to absorb, and
+2. individual bias policies often outperformed the adaptive runtime.
+
+This module implements an AWR-style controller over the simulation so
+that the comparison itself is reproducible: the controller divides a run
+into windows, measures mean packet latency per window through the NIC
+counters, and moves along the AD0..AD3 ladder when latency crosses
+hysteresis thresholds.  Polling overhead is charged per message, scaled
+by a core-speed factor (KNL cores pay more).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.core.biases import AD0, VENDOR_MODES, RoutingMode
+from repro.core.experiment import PhaseTiming, resolve_phase
+from repro.mpi.env import RoutingEnv
+from repro.topology.dragonfly import DragonflyTopology
+from repro.util import derive_rng
+
+
+@dataclass(frozen=True)
+class AwrConfig:
+    """Controller parameters (hysteresis thresholds per De Sensi's design).
+
+    Attributes
+    ----------
+    n_windows:
+        Adaptation windows per run (the controller re-decides once per
+        window).
+    degrade_factor:
+        Mean window latency above ``degrade_factor`` x the best window
+        seen so far escalates the minimal bias one step.
+    recover_factor:
+        Latency below ``recover_factor`` x the best window de-escalates
+        one step (the runtime tries to reclaim non-minimal bandwidth).
+    poll_overhead:
+        Seconds charged per polled message on a regular (Haswell-class)
+        core.
+    core_slowdown:
+        Multiplier on the polling overhead for slow many-core CPUs
+        (KNL); the paper found this made the runtime impractical there.
+    """
+
+    n_windows: int = 12
+    degrade_factor: float = 1.15
+    recover_factor: float = 1.05
+    poll_overhead: float = 0.3e-6
+    core_slowdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_windows < 1:
+            raise ValueError("n_windows must be >= 1")
+        if self.degrade_factor <= self.recover_factor:
+            raise ValueError("degrade_factor must exceed recover_factor")
+
+
+@dataclass
+class AwrRunResult:
+    """Outcome of one AWR-controlled run."""
+
+    runtime: float
+    polling_overhead: float
+    window_modes: list[str]
+    window_latencies: list[float]
+
+    @property
+    def mode_changes(self) -> int:
+        return sum(
+            1
+            for a, b in zip(self.window_modes, self.window_modes[1:])
+            if a != b
+        )
+
+
+def run_app_awr(
+    top: DragonflyTopology,
+    app: Application,
+    nodes: np.ndarray,
+    *,
+    background_windows: list[np.ndarray | None],
+    rng: np.random.Generator,
+    config: AwrConfig | None = None,
+) -> AwrRunResult:
+    """Run ``app`` under AWR control.
+
+    ``background_windows`` supplies one ambient utilization field per
+    adaptation window (production noise drifts over a run; a static
+    field may be repeated).  The controller starts at AD0 (the system
+    default the runtime assumes) and walks the AD ladder on the paper's
+    described trigger: polled mean packet latency.
+    """
+    config = config or AwrConfig()
+    nodes = np.asarray(nodes, dtype=np.int64)
+    P = nodes.size
+    n_iter = app.n_iterations(P)
+    iters_per_window = n_iter / config.n_windows
+
+    ladder = list(VENDOR_MODES)
+    level = 0  # start at AD0
+    best_latency = np.inf
+    total = 0.0
+    overhead_total = 0.0
+    window_modes: list[str] = []
+    window_latencies: list[float] = []
+
+    phases = app.phases(nodes, rng)
+    msgs_per_iter = sum(
+        p.p2p.messages_per_rank for p in phases if p.p2p is not None
+    )
+
+    for w, bg in enumerate(background_windows[: config.n_windows]):
+        mode = ladder[level]
+        env = RoutingEnv.uniform(mode)
+        per_iter = 0.0
+        lat_samples: list[float] = []
+        for phase in phases:
+            pt = resolve_phase(
+                top, phase, env, background_util=bg, rng=rng
+            )
+            per_iter += phase.compute_time + pt.comm_time
+            if pt.result.flow_latency_ambient.size:
+                # the NIC counters see congestion-driven latency; sample
+                # the ambient component (the app's own bursts are
+                # constant per window and carry no signal)
+                lat_samples.append(float(pt.result.flow_latency_ambient.mean()))
+        # the runtime reads NIC counters around every message
+        overhead = (
+            msgs_per_iter * config.poll_overhead * config.core_slowdown
+        )
+        per_iter += overhead
+        total += per_iter * iters_per_window
+        overhead_total += overhead * iters_per_window
+
+        latency = float(np.mean(lat_samples)) if lat_samples else 0.0
+        window_modes.append(mode.name)
+        window_latencies.append(latency)
+
+        # hysteresis control on the polled latency
+        best_latency = min(best_latency, latency) if latency else best_latency
+        if latency and best_latency and latency > config.degrade_factor * best_latency:
+            level = min(level + 1, len(ladder) - 1)
+        elif (
+            latency
+            and best_latency
+            and latency < config.recover_factor * best_latency
+            and level > 0
+        ):
+            level = max(level - 1, 0)
+
+    return AwrRunResult(
+        runtime=total * float(rng.lognormal(0.0, 0.008)),
+        polling_overhead=overhead_total * iters_per_window / max(iters_per_window, 1),
+        window_modes=window_modes,
+        window_latencies=window_latencies,
+    )
+
+
+def run_app_static(
+    top: DragonflyTopology,
+    app: Application,
+    nodes: np.ndarray,
+    mode: RoutingMode,
+    *,
+    background_windows: list[np.ndarray | None],
+    rng: np.random.Generator,
+    config: AwrConfig | None = None,
+) -> float:
+    """The static-bias baseline over the same drifting background."""
+    config = config or AwrConfig()
+    nodes = np.asarray(nodes, dtype=np.int64)
+    n_iter = app.n_iterations(nodes.size)
+    iters_per_window = n_iter / config.n_windows
+    env = RoutingEnv.uniform(mode)
+    phases = app.phases(nodes, rng)
+    total = 0.0
+    for bg in background_windows[: config.n_windows]:
+        per_iter = 0.0
+        for phase in phases:
+            pt = resolve_phase(top, phase, env, background_util=bg, rng=rng)
+            per_iter += phase.compute_time + pt.comm_time
+        total += per_iter * iters_per_window
+    return total * float(rng.lognormal(0.0, 0.008))

@@ -1,0 +1,141 @@
+"""Calibration harness: score model constants against the paper targets.
+
+The congestion and policy constants documented in DESIGN.md were tuned
+so the AD0 production baseline lands near the paper's Table II.  This
+module makes that process reproducible and maintainable: it runs a
+compact probe campaign (MILC and HACC, the two apps that anchor the
+result's sign structure), extracts the observables the calibration
+targets, and scores them — so any change to the model can be checked
+against the paper with one call, and constants can be re-derived with
+:func:`sweep_parameter`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps import HACC, MILC
+from repro.core.experiment import CampaignConfig, run_campaign, stats_by_mode
+from repro.network.congestion import CongestionModel
+from repro.network.fluid import FluidParams
+from repro.scheduler.background import BackgroundModel
+from repro.topology.dragonfly import DragonflyTopology
+from repro.util import derive_rng
+
+
+@dataclass(frozen=True)
+class CalibrationTarget:
+    """One paper observable with an acceptance band."""
+
+    name: str
+    paper: float
+    lo: float
+    hi: float
+
+    def check(self, measured: float) -> bool:
+        return self.lo <= measured <= self.hi
+
+
+#: the anchors of the reproduction (Table II and Table I)
+PAPER_TARGETS: tuple[CalibrationTarget, ...] = (
+    CalibrationTarget("milc_ad0_mean_s", 542.6, lo=420.0, hi=700.0),
+    CalibrationTarget("milc_improvement_pct", 11.0, lo=3.0, hi=22.0),
+    CalibrationTarget("milc_mpi_fraction", 0.52, lo=0.35, hi=0.65),
+    CalibrationTarget("hacc_improvement_pct", -2.7, lo=-12.0, hi=-0.1),
+)
+
+
+def probe_observables(
+    top: DragonflyTopology,
+    *,
+    samples: int = 14,
+    seed: int = 4242,
+    params: FluidParams | None = None,
+) -> dict[str, float]:
+    """Run the probe campaigns and extract the calibration observables."""
+    bm = BackgroundModel(top)
+    scenarios = bm.build_pool(
+        6, derive_rng(seed, "calibration-pool"), reserve_nodes=512
+    )
+    out: dict[str, float] = {}
+    for app_cls, tag in ((MILC, "milc"), (HACC, "hacc")):
+        cfg = CampaignConfig(app=app_cls(), samples=samples, seed=seed, params=params)
+        recs = run_campaign(top, cfg, background_model=bm, scenarios=scenarios)
+        st = stats_by_mode(recs)
+        out[f"{tag}_ad0_mean_s"] = st["AD0"].mean
+        # improvement as the *median paired* delta: sample i of both
+        # modes shares placement/background, so pairing cancels the
+        # scenario-level variance that makes the mean-of-means swing
+        by_sample: dict[int, dict[str, float]] = {}
+        for r in recs:
+            by_sample.setdefault(r.sample_index, {})[r.mode] = r.runtime
+        deltas = [
+            100.0 * (d["AD0"] - d["AD3"]) / d["AD0"]
+            for d in by_sample.values()
+            if "AD0" in d and "AD3" in d
+        ]
+        out[f"{tag}_improvement_pct"] = float(np.median(deltas)) if deltas else float("nan")
+        out[f"{tag}_mpi_fraction"] = float(
+            np.mean([r.mpi_fraction for r in recs if r.mode == "AD0"])
+        )
+    return out
+
+
+def score_against_paper(
+    observables: dict[str, float],
+    targets: tuple[CalibrationTarget, ...] = PAPER_TARGETS,
+) -> list[tuple[CalibrationTarget, float, bool]]:
+    """(target, measured, within-band) for each calibration anchor."""
+    out = []
+    for t in targets:
+        measured = observables.get(t.name, float("nan"))
+        out.append((t, measured, np.isfinite(measured) and t.check(measured)))
+    return out
+
+
+def format_score(scored: list[tuple[CalibrationTarget, float, bool]]) -> str:
+    """Human-readable calibration scorecard."""
+    lines = [f"{'observable':24s} {'paper':>8s} {'band':>16s} {'measured':>9s}  ok"]
+    for t, measured, ok in scored:
+        lines.append(
+            f"{t.name:24s} {t.paper:8.1f} [{t.lo:6.1f}, {t.hi:6.1f}] "
+            f"{measured:9.2f}  {'yes' if ok else 'NO'}"
+        )
+    return "\n".join(lines)
+
+
+#: constants exposed to single-parameter sweeps
+_SWEEPABLE = {
+    "stall_kappa",
+    "stall_cap",
+    "buffer_bytes",
+    "queue_delay_cap_factor",
+    "backpressure_beta",
+    "backpressure_inj_coupling",
+}
+
+
+def sweep_parameter(
+    top: DragonflyTopology,
+    name: str,
+    values: list[float],
+    *,
+    samples: int = 6,
+    seed: int = 4242,
+) -> dict[float, dict[str, float]]:
+    """Probe observables across values of one congestion constant.
+
+    Returns ``{value: observables}``; use it to see how sensitive the
+    paper anchors are to a constant before changing it.
+    """
+    if name not in _SWEEPABLE:
+        raise KeyError(f"unknown sweepable constant {name!r}; have {sorted(_SWEEPABLE)}")
+    out: dict[float, dict[str, float]] = {}
+    for value in values:
+        cm = dataclasses.replace(CongestionModel(), **{name: value})
+        params = FluidParams(congestion=cm)
+        out[value] = probe_observables(top, samples=samples, seed=seed, params=params)
+    return out

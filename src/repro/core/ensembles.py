@@ -1,0 +1,173 @@
+"""Controlled full-reservation ensembles (the paper's Section V).
+
+During the paper's controlled experiments the whole machine was reserved
+and filled with ``n_jobs`` simultaneous instances of the same application
+at the same size and routing mode (e.g. eight 512-node MILC jobs on 4K
+Theta nodes, Fig. 10; sixteen 256-node HACC jobs, Fig. 12).  Because the
+jobs are each other's only background, the ensemble is resolved
+**jointly**: every job's phase flows enter one fluid solve, so mutual
+interference — and its dependence on the shared routing mode — emerges
+from the equilibrium.
+
+LDMS-style sampling distributes the accumulated counters over the
+ensemble makespan at the collector's cadence, reproducing the per-router
+scatter data behind the paper's Figs. 10 and 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.core.biases import AD0, RoutingMode
+from repro.core.experiment import PhaseTiming, phase_slices, phase_times_from_result
+from repro.monitoring.ldms import LdmsCollector
+from repro.mpi.env import RoutingEnv
+from repro.network.counters import CounterBank
+from repro.network.fluid import FlowSet, FluidParams, solve_fluid
+from repro.scheduler.placement import FreeNodePool, make_placement
+from repro.topology.dragonfly import DragonflyTopology
+from repro.util import derive_rng
+
+
+@dataclass
+class EnsembleConfig:
+    """A controlled same-app ensemble run."""
+
+    app: Application
+    n_jobs: int = 8
+    n_nodes: int = 512
+    mode: RoutingMode = AD0
+    placement: str = "compact"
+    seed: int = 7
+    ldms_interval: float = 60.0
+    params: FluidParams | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+
+
+@dataclass
+class EnsembleResult:
+    """Joint outcome of one controlled ensemble."""
+
+    config: EnsembleConfig
+    job_nodes: list[np.ndarray]
+    job_runtimes: np.ndarray
+    job_timings: list[list[PhaseTiming]]
+    bank: CounterBank
+    ldms: LdmsCollector
+
+    @property
+    def makespan(self) -> float:
+        return float(self.job_runtimes.max())
+
+    def stalls_to_flits(self, cls: str) -> float:
+        """System-aggregate stalls-to-flits ratio for a tile class."""
+        return self.bank.snapshot().class_ratio(cls)
+
+    def network_ratio_per_router(self) -> np.ndarray:
+        """Per-router network-tile ratio (Fig. 11's sample values)."""
+        snap = self.bank.snapshot()
+        f = sum(snap.flits[c] for c in ("rank1", "rank2", "rank3"))
+        s = sum(snap.stalls[c] for c in ("rank1", "rank2", "rank3"))
+        return np.divide(s, f, out=np.zeros_like(s), where=f > 0)
+
+    def job_local_ratio(self, job: int, top: DragonflyTopology) -> float:
+        """One job's AutoPerf-style local network stalls-to-flits ratio.
+
+        This is what an instrumented job inside the controlled ensemble
+        would have reported — the "controlled" samples of Fig. 11.
+        """
+        return self.bank.local_view(self.job_nodes[job]).network_ratio()
+
+
+def run_ensemble(
+    top: DragonflyTopology,
+    cfg: EnsembleConfig,
+    *,
+    rng: np.random.Generator | None = None,
+) -> EnsembleResult:
+    """Place and jointly resolve all jobs of the ensemble."""
+    app = cfg.app
+    if cfg.n_jobs * cfg.n_nodes > top.n_nodes:
+        raise ValueError(
+            f"{cfg.n_jobs} x {cfg.n_nodes} nodes exceed the machine "
+            f"({top.n_nodes} nodes)"
+        )
+    rng = rng or derive_rng(cfg.seed, "ensemble", app.name, cfg.n_jobs, cfg.n_nodes, cfg.mode.name)
+    env = RoutingEnv.uniform(cfg.mode)
+
+    pool = FreeNodePool(top)
+    job_nodes = [
+        make_placement(cfg.placement, top, cfg.n_nodes, rng, pool=pool)
+        for _ in range(cfg.n_jobs)
+    ]
+    job_phases = [app.phases(nodes, rng) for nodes in job_nodes]
+    n_phases = len(job_phases[0])
+    n_iter = app.n_iterations(cfg.n_nodes)
+
+    bank = CounterBank(top)
+    per_iter = np.zeros(cfg.n_jobs)
+    job_timings: list[list[PhaseTiming]] = [[] for _ in range(cfg.n_jobs)]
+
+    # two traffic classes (p2p, a2a) per job, all mapped to the same mode
+    modes = []
+    for _ in range(cfg.n_jobs):
+        modes.extend(env.modes_list())
+
+    for p in range(n_phases):
+        parts: list[FlowSet] = []
+        job_slices: list[tuple[int, list[tuple[str, int, int]], int]] = []
+        cursor = 0
+        spread = 0.0
+        for j in range(cfg.n_jobs):
+            phase = job_phases[j][p]
+            fl, slices = phase_slices(phase, base_class=2 * j)
+            job_slices.append((j, slices, cursor))
+            parts.append(fl)
+            cursor += fl.n
+            spread = max(spread, phase.spread_time)
+        flows = FlowSet.concat(parts)
+        res = solve_fluid(
+            top,
+            flows,
+            modes,
+            rng=rng,
+            params=cfg.params,
+            min_duration=spread,
+        )
+        res.accumulate_counters(bank, top)
+        for j, slices, offset in job_slices:
+            phase = job_phases[j][p]
+            pt = phase_times_from_result(phase, res, slices, offset=offset)
+            job_timings[j].append(pt)
+            compute = phase.compute_time * float(rng.lognormal(0.0, 0.004))
+            per_iter[j] += compute + pt.comm_time
+
+    noise = rng.lognormal(0.0, 0.008, size=cfg.n_jobs)
+    job_runtimes = per_iter * n_iter * noise
+
+    # scale the per-phase counter increments by the iteration count, then
+    # spread them over the makespan for the LDMS view
+    bank.scale(n_iter)
+
+    ldms_bank = CounterBank(top)
+    ldms = LdmsCollector(ldms_bank, interval=cfg.ldms_interval)
+    makespan = float(job_runtimes.max())
+    n_samples = max(1, int(np.ceil(makespan / cfg.ldms_interval)))
+    for k in range(n_samples):
+        ldms_bank.merge(bank, fraction=1.0 / n_samples)
+        ldms.sample(time=(k + 1) * cfg.ldms_interval)
+
+    return EnsembleResult(
+        config=cfg,
+        job_nodes=job_nodes,
+        job_runtimes=job_runtimes,
+        job_timings=job_timings,
+        bank=bank,
+        ldms=ldms,
+    )

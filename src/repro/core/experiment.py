@@ -1,0 +1,374 @@
+"""Production / isolated / controlled run harness.
+
+This is the reproduction of the paper's Section III methodology: run an
+application at a job size, under a routing-mode setting, against sampled
+production background congestion (or none, for isolated runs), many
+times, with AutoPerf attached.
+
+Pairing: sample ``i`` of every mode shares the same placement, background
+scenario, and intensity draw (same derived RNG streams), so mode
+comparisons are paired exactly as the paper's repeated A/B runs over the
+same four-month production window aimed to be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.core.biases import AD0, AD3, RoutingMode
+from repro.core.metrics import SampleStats, remove_outliers
+from repro.monitoring.autoperf import AutoPerf, AutoPerfReport
+from repro.mpi.env import RoutingEnv
+from repro.mpi.patterns import Phase, TrafficOp
+from repro.network.counters import CounterBank
+from repro.network.fluid import FlowSet, FluidParams, FluidResult, solve_fluid
+from repro.scheduler.background import BackgroundModel, BackgroundScenario
+from repro.scheduler.placement import groups_spanned, make_placement
+from repro.topology.dragonfly import DragonflyTopology
+from repro.util import derive_rng
+
+#: fixed software overhead charged per posted message (MPI_Isend etc.)
+POST_OVERHEAD = 0.4e-6
+
+
+def mask_endpoint_background(
+    top: DragonflyTopology, bg: np.ndarray, nodes: np.ndarray
+) -> np.ndarray:
+    """Zero the ambient utilization on the job's own NIC links.
+
+    The batch scheduler gives a job exclusive nodes, so no background
+    traffic injects or ejects at the job's NICs; the pooled background
+    scenarios are built machine-wide and must be masked per placement.
+    Network (rank-1/2/3) links stay shared, as on the real systems.
+    """
+    bg = np.asarray(bg).copy()
+    nodes = np.asarray(nodes)
+    bg[top.injection_link(nodes)] = 0.0
+    bg[top.ejection_link(nodes)] = 0.0
+    return bg
+
+
+@dataclass
+class PhaseTiming:
+    """Resolved wall-clock pieces of one phase (per iteration)."""
+
+    phase: Phase
+    comm_time: float
+    op_times: dict[str, float]
+    op_calls: dict[str, float]
+    op_bytes: dict[str, float]
+    result: FluidResult
+
+
+def phase_slices(phase: Phase, base_class: int = 0) -> tuple[FlowSet, list[tuple[str, int, int]]]:
+    """Lower a phase to (flows, slices) with traffic classes offset.
+
+    ``base_class`` offsets the TrafficOp class indices, so multiple jobs'
+    phases can be concatenated into one joint solve (each job owning a
+    (p2p, a2a) class pair).  Slice tags are ``"p2p"`` / ``"coll<i>"``.
+    """
+    parts: list[FlowSet] = []
+    slices: list[tuple[str, int, int]] = []
+    cursor = 0
+    if phase.p2p is not None and phase.p2p.flows.n:
+        fl = phase.p2p.flows.with_class(base_class + int(TrafficOp.P2P))
+        parts.append(fl)
+        slices.append(("p2p", cursor, cursor + fl.n))
+        cursor += fl.n
+    for i, coll in enumerate(phase.collectives):
+        if not coll.flows.n:
+            continue
+        fl = coll.flows.with_class(base_class + int(coll.traffic_op))
+        parts.append(fl)
+        slices.append((f"coll{i}", cursor, cursor + fl.n))
+        cursor += fl.n
+    return FlowSet.concat(parts), slices
+
+
+def phase_times_from_result(
+    phase: Phase,
+    res: FluidResult,
+    slices: list[tuple[str, int, int]],
+    *,
+    offset: int = 0,
+) -> PhaseTiming:
+    """Convert a (possibly joint) solve into one phase's MPI-op times.
+
+    ``offset`` shifts the slice windows into the combined result when the
+    solve covered several jobs' flows.
+    """
+    n_ranks = 0
+    if phase.p2p is not None and phase.p2p.flows.n:
+        n_ranks = int(np.unique(phase.p2p.flows.src).size)
+    for coll in phase.collectives:
+        if coll.flows.n:
+            n_ranks = max(n_ranks, int(np.unique(coll.flows.src).size))
+
+    op_times: dict[str, float] = {}
+    op_calls: dict[str, float] = {}
+    op_bytes: dict[str, float] = {}
+
+    def _add(op: str, t: float, calls: float, nbytes: float) -> None:
+        op_times[op] = op_times.get(op, 0.0) + t
+        op_calls[op] = op_calls.get(op, 0.0) + calls
+        op_bytes[op] = op_bytes.get(op, 0.0) + nbytes
+
+    comm_time = 0.0
+    for tag, s0, s1 in slices:
+        start, stop = offset + s0, offset + s1
+        f_time = res.flow_time[start:stop]
+        f_lat = res.flow_latency[start:stop]
+        f_lat_amb = res.flow_latency_ambient[start:stop]
+        f_lat_worst = res.flow_latency_worst[start:stop]
+        if tag == "p2p":
+            spec = phase.p2p
+            t_bw = float(f_time.max()) if f_time.size else 0.0
+            # exposed message latency is queueing behind *other* traffic;
+            # waiting on the phase's own burst is the bandwidth term, of
+            # which overlapped exchanges hide a fraction behind compute
+            if f_lat_amb.size == 0:
+                t_lat = 0.0
+            elif spec.latency_stat == "p90":
+                t_lat = spec.exposed_messages * float(np.percentile(f_lat_amb, 90))
+            else:
+                t_lat = spec.exposed_messages * float(f_lat_amb.mean())
+            t_wait = (1.0 - spec.overlap_fraction) * t_bw + t_lat
+            t_post = spec.messages_per_rank * POST_OVERHEAD
+            # calls and bytes are reported per rank, as AutoPerf does
+            _add(spec.wait_op, t_wait, spec.messages_per_rank, 0.0)
+            _add(
+                spec.post_op,
+                t_post,
+                spec.messages_per_rank,
+                float(spec.flows.nbytes.sum()) / max(n_ranks, 1),
+            )
+            comm_time += t_wait + t_post
+        else:
+            coll = phase.collectives[int(tag[4:])]
+            if f_lat.size == 0:
+                t_rounds = 0.0
+            elif coll.sync == "global":
+                # every round waits for the slowest participant's slowest
+                # packet (the paper's V-D point about collectives); the
+                # partner pattern rotates per round, so the sustained
+                # per-round cost is a high percentile, not the single
+                # unluckiest pair
+                t_rounds = coll.rounds * float(np.percentile(f_lat_worst, 99))
+            else:
+                t_rounds = coll.rounds * float(f_lat.mean())
+            if f_time.size == 0:
+                t_bw = 0.0
+            elif coll.sync == "pairwise":
+                # pairwise rounds pipeline past each other, so stragglers
+                # of different rounds overlap: a high percentile, not the
+                # absolute worst flow, sets the pace
+                t_bw = float(np.percentile(f_time, 90))
+            else:
+                t_bw = float(f_time.max())
+            t_coll = t_rounds + t_bw
+            _add(coll.op, t_coll, coll.calls, coll.calls * coll.msg_bytes)
+            comm_time += t_coll
+
+    return PhaseTiming(
+        phase=phase,
+        comm_time=comm_time,
+        op_times=op_times,
+        op_calls=op_calls,
+        op_bytes=op_bytes,
+        result=res,
+    )
+
+
+def resolve_phase(
+    top: DragonflyTopology,
+    phase: Phase,
+    env: RoutingEnv,
+    *,
+    background_util: np.ndarray | None,
+    rng: np.random.Generator,
+    params: FluidParams | None = None,
+) -> PhaseTiming:
+    """Solve one phase and convert the equilibrium into MPI-op times."""
+    flows, slices = phase_slices(phase)
+    res = solve_fluid(
+        top,
+        flows,
+        env.modes_list(),
+        background_util=background_util,
+        rng=rng,
+        params=params,
+        min_duration=phase.spread_time,
+    )
+    return phase_times_from_result(phase, res, slices)
+
+
+@dataclass
+class RunRecord:
+    """One application run's outcome."""
+
+    app: str
+    mode: str
+    n_nodes: int
+    placement: str
+    groups: int
+    runtime: float
+    report: AutoPerfReport
+    background_intensity: float
+    sample_index: int
+
+    @property
+    def mpi_time(self) -> float:
+        return self.report.mpi_time
+
+    @property
+    def mpi_fraction(self) -> float:
+        return self.report.mpi_fraction
+
+
+def run_app_once(
+    top: DragonflyTopology,
+    app: Application,
+    nodes: np.ndarray,
+    env: RoutingEnv,
+    *,
+    background_util: np.ndarray | None = None,
+    rng: np.random.Generator,
+    params: FluidParams | None = None,
+    collect_counters: bool = True,
+) -> tuple[float, AutoPerfReport, list[PhaseTiming]]:
+    """One run: resolve each phase once, scale by iterations, add noise.
+
+    Returns (runtime seconds, AutoPerf report, per-phase timings).
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    P = nodes.size
+    n_iter = app.n_iterations(P)
+    phases = app.phases(nodes, rng)
+
+    autoperf = AutoPerf(app.name, P)
+    bank = CounterBank(top) if collect_counters else None
+
+    per_iter = 0.0
+    timings: list[PhaseTiming] = []
+    for phase in phases:
+        pt = resolve_phase(
+            top, phase, env, background_util=background_util, rng=rng, params=params
+        )
+        timings.append(pt)
+        # compute-time jitter: OS/core-spec noise, a fraction of a percent
+        compute = phase.compute_time * float(rng.lognormal(0.0, 0.004))
+        per_iter += compute + pt.comm_time
+        for op, t in pt.op_times.items():
+            autoperf.record_op(
+                op,
+                calls=pt.op_calls.get(op, 0.0) * n_iter,
+                nbytes=pt.op_bytes.get(op, 0.0) * n_iter,
+                time=t * n_iter,
+            )
+        if bank is not None:
+            pt.result.accumulate_counters(bank, top)
+
+    # run-level multiplicative noise (I/O, startup, residual OS noise)
+    runtime = per_iter * n_iter * float(rng.lognormal(0.0, 0.008))
+    autoperf.add_total_time(runtime)
+    if bank is not None:
+        autoperf.attach_counters(bank.local_view(nodes))
+    return runtime, autoperf.finalize(), timings
+
+
+@dataclass
+class CampaignConfig:
+    """A production-style measurement campaign.
+
+    One campaign = one application at one job size, sampled ``samples``
+    times per routing mode, with paired noise across modes.
+    """
+
+    app: Application
+    n_nodes: int = 256
+    modes: tuple[RoutingMode, ...] = (AD0, AD3)
+    samples: int = 30
+    placement: str = "production"
+    background: str = "production"  # "production" | "isolated"
+    seed: int = 2021
+    scenario_pool: int = 12
+    uniform_env: bool = True  # set both routing env vars to the mode
+    params: FluidParams | None = None
+
+
+def run_campaign(
+    top: DragonflyTopology,
+    cfg: CampaignConfig,
+    *,
+    background_model: BackgroundModel | None = None,
+    scenarios: list[BackgroundScenario] | None = None,
+) -> list[RunRecord]:
+    """Run the campaign; returns one RunRecord per (mode, sample)."""
+    app = cfg.app
+    if cfg.background == "production":
+        if scenarios is None:
+            bm = background_model or BackgroundModel(top)
+            pool_rng = derive_rng(cfg.seed, "bgpool", app.name, cfg.n_nodes)
+            scenarios = bm.build_pool(cfg.scenario_pool, pool_rng, reserve_nodes=cfg.n_nodes)
+        bm = background_model or BackgroundModel(top)
+    elif cfg.background != "isolated":
+        raise ValueError(f"unknown background kind {cfg.background!r}")
+
+    records: list[RunRecord] = []
+    for i in range(cfg.samples):
+        # shared per-sample draws (paired across modes)
+        sample_rng = derive_rng(cfg.seed, app.name, cfg.n_nodes, cfg.placement, i)
+        nodes = make_placement(cfg.placement, top, cfg.n_nodes, sample_rng)
+        if cfg.background == "production":
+            scenario = scenarios[int(sample_rng.integers(0, len(scenarios)))]
+            intensity = bm.sample_intensity(sample_rng)
+            bg = mask_endpoint_background(top, scenario.at_intensity(intensity), nodes)
+        else:
+            bg, intensity = None, 0.0
+        for mode in cfg.modes:
+            env = (
+                RoutingEnv.uniform(mode)
+                if cfg.uniform_env
+                else RoutingEnv(p2p_mode=mode)
+            )
+            run_rng = derive_rng(cfg.seed, app.name, cfg.n_nodes, i, mode.name)
+            runtime, report, _ = run_app_once(
+                top,
+                app,
+                nodes,
+                env,
+                background_util=bg,
+                rng=run_rng,
+                params=cfg.params,
+            )
+            records.append(
+                RunRecord(
+                    app=app.name,
+                    mode=mode.name,
+                    n_nodes=cfg.n_nodes,
+                    placement=cfg.placement,
+                    groups=groups_spanned(top, nodes),
+                    runtime=runtime,
+                    report=report,
+                    background_intensity=intensity,
+                    sample_index=i,
+                )
+            )
+    return records
+
+
+def runtimes_by_mode(records: list[RunRecord], *, filter_outliers: bool = True) -> dict[str, np.ndarray]:
+    """Group runtimes by mode name, with the paper's outlier filter."""
+    out: dict[str, np.ndarray] = {}
+    for mode in sorted({r.mode for r in records}):
+        v = np.array([r.runtime for r in records if r.mode == mode])
+        out[mode] = remove_outliers(v) if filter_outliers else v
+    return out
+
+
+def stats_by_mode(records: list[RunRecord]) -> dict[str, SampleStats]:
+    """Mean/std/n per mode (Table II's left columns)."""
+    return {m: SampleStats.from_values(v) for m, v in runtimes_by_mode(records).items()}

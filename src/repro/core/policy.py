@@ -1,0 +1,132 @@
+"""The biased minimal-vs-non-minimal routing decision.
+
+Two forms of the same arithmetic:
+
+* :func:`minimal_preferred` — the exact integer comparison a router tile
+  makes per packet (used by the packet simulator, including AD1's per-hop
+  shift schedule);
+* :func:`split_fraction` — a smooth fractional version for the fluid
+  solver, where a flow's packets distribute between the two path sets.
+  The smoothing width models the packet-to-packet jitter of hardware load
+  estimates; as ``temperature -> 0`` it converges to the hard comparison.
+
+Load scale: hardware load estimates are small integers (credit/queue
+occupancy buckets).  The fluid solver measures path load as a sum of link
+utilizations, which it converts to credit units with
+``PolicyParams.load_unit`` before applying the shift/add bias, so the
+``add`` parameter has the same meaning in both engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.biases import RoutingMode
+
+
+@dataclass(frozen=True)
+class PolicyParams:
+    """Calibration constants for the fluid-form decision.
+
+    Attributes
+    ----------
+    load_unit:
+        Credit units per unit of summed path utilization.  With the
+        default of 4.0, ``add=4`` (AD2) handicaps the non-minimal side by
+        one link's worth of full utilization — a weak bias, matching the
+        paper's characterization.
+    temperature:
+        Smoothing width (credit units) of the fractional split.
+    hop_bias:
+        Hop-count component of a candidate path's load estimate, in
+        utilization-sum units per router hop.  Models the UGAL convention
+        that a longer path carries proportionally more downstream queue
+        even at equal per-link load, so biased modes prefer minimal at
+        zero load.
+    adaptive_temp:
+        Softmin temperature (utilization-sum units) of the within-side
+        candidate weighting — how sharply packets avoid the hotter
+        candidates of their chosen side.
+    """
+
+    load_unit: float = 4.0
+    temperature: float = 1.0
+    hop_bias: float = 0.045
+    adaptive_temp: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.load_unit <= 0:
+            raise ValueError("load_unit must be > 0")
+        if self.temperature <= 0:
+            raise ValueError("temperature must be > 0")
+        if self.hop_bias < 0:
+            raise ValueError("hop_bias must be >= 0")
+        if self.adaptive_temp <= 0:
+            raise ValueError("adaptive_temp must be > 0")
+
+
+DEFAULT_POLICY = PolicyParams()
+
+
+def effective_shift(mode: RoutingMode, hops_taken) -> np.ndarray:
+    """Vectorized per-hop shift for a (possibly increasing) mode."""
+    hops_taken = np.asarray(hops_taken)
+    if not mode.increasing:
+        return np.full(hops_taken.shape, mode.shift, dtype=np.int64)
+    sched = np.asarray(mode.hop_shift_schedule, dtype=np.int64)
+    idx = np.minimum(hops_taken, len(sched) - 1)
+    return sched[idx]
+
+
+def minimal_preferred(
+    mode: RoutingMode,
+    load_min,
+    load_nonmin,
+    hops_taken=0,
+) -> np.ndarray:
+    """The hard per-packet comparison: take minimal iff it wins the bias.
+
+    ``load_min`` / ``load_nonmin`` are credit-unit load estimates of the
+    best candidate of each kind; ``hops_taken`` feeds AD1's schedule.
+    All arguments broadcast.
+
+    >>> from repro.core.biases import AD0, AD3
+    >>> bool(minimal_preferred(AD0, 3, 2))
+    False
+    >>> bool(minimal_preferred(AD3, 3, 2))
+    True
+    """
+    load_min = np.asarray(load_min, dtype=np.float64)
+    load_nonmin = np.asarray(load_nonmin, dtype=np.float64)
+    shift = effective_shift(mode, hops_taken)
+    return load_min <= np.ldexp(load_nonmin, shift) + mode.add
+
+
+def split_fraction(
+    mode: RoutingMode,
+    util_min,
+    util_nonmin,
+    params: PolicyParams = DEFAULT_POLICY,
+) -> np.ndarray:
+    """Fraction of a flow's packets that choose the minimal path set.
+
+    ``util_min`` / ``util_nonmin`` are summed-utilization path loads (the
+    fluid solver's metric).  The decision margin, in credit units, is::
+
+        margin = (util_nonmin * 2**mean_shift - util_min) * load_unit + add
+
+    and the split is ``sigmoid(margin / temperature)``: 0.5 at the exact
+    bias threshold, approaching the hard decision for large margins.
+    """
+    util_min = np.asarray(util_min, dtype=np.float64)
+    util_nonmin = np.asarray(util_nonmin, dtype=np.float64)
+    mult = 2.0 ** mode.mean_shift
+    margin = (util_nonmin * mult - util_min) * params.load_unit + mode.add
+    # numerically safe sigmoid
+    out = np.empty(np.broadcast(util_min, util_nonmin).shape, dtype=np.float64)
+    z = margin / params.temperature
+    z = np.clip(z, -60.0, 60.0)
+    out[...] = 1.0 / (1.0 + np.exp(-z))
+    return out

@@ -1,0 +1,161 @@
+"""Terminal rendering of the paper's figure types.
+
+The benchmarks print tables; this module renders the figure *shapes* —
+density curves (Figs. 2/11), grouped scatter summaries (Figs. 3/7/9),
+bar charts (Figs. 6/14), and time series (Fig. 13) — as fixed-width
+text, so a reproduction run can be inspected without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import density
+
+#: glyph ramp for intensity plots
+_RAMP = " .:-=+*#%@"
+
+
+def hbar(value: float, vmax: float, width: int = 40, fill: str = "#") -> str:
+    """A horizontal bar scaled to ``vmax``."""
+    if vmax <= 0:
+        return ""
+    n = int(round(width * max(value, 0.0) / vmax))
+    return fill * min(n, width)
+
+
+def bar_chart(
+    labels: list[str],
+    values: list[float],
+    *,
+    width: int = 40,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Labeled horizontal bar chart (Fig. 6 / Fig. 14 style).
+
+    >>> print(bar_chart(["a", "b"], [1.0, 2.0], width=4))
+    a  ##    1.00
+    b  ####  2.00
+    """
+    vmax = max(values) if values else 1.0
+    label_w = max(len(l) for l in labels) if labels else 0
+    lines = []
+    for label, value in zip(labels, values):
+        bar = hbar(value, vmax, width)
+        lines.append(f"{label.ljust(label_w)}  {bar.ljust(width)}  {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    labels: list[str],
+    series: dict[str, list[float]],
+    *,
+    width: int = 40,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Several series side by side per label (AD0 vs AD3 comparisons)."""
+    vmax = max((max(v) for v in series.values() if v), default=1.0)
+    label_w = max(len(l) for l in labels) if labels else 0
+    name_w = max(len(n) for n in series) if series else 0
+    lines = []
+    for i, label in enumerate(labels):
+        for name, vals in series.items():
+            bar = hbar(vals[i], vmax, width)
+            prefix = label.ljust(label_w) if name == next(iter(series)) else " " * label_w
+            lines.append(
+                f"{prefix}  {name.ljust(name_w)}  {bar.ljust(width)}  {fmt.format(vals[i])}"
+            )
+    return "\n".join(lines)
+
+
+def density_plot(
+    samples: dict[str, np.ndarray],
+    *,
+    width: int = 60,
+    height: int = 10,
+    xlabel: str = "",
+) -> str:
+    """Overlaid probability-density curves (the Figs. 2/11 panels).
+
+    Each series is rendered with its own glyph; the y-axis is the
+    normalized density.
+    """
+    if not samples:
+        return "(no data)"
+    allvals = np.concatenate([np.asarray(v, dtype=float) for v in samples.values()])
+    lo, hi = float(allvals.min()), float(allvals.max())
+    pad = 0.1 * (hi - lo + 1e-12)
+    grid = np.linspace(lo - pad, hi + pad, width)
+
+    glyphs = "#*o+x%"
+    curves = {}
+    dmax = 0.0
+    for name, vals in samples.items():
+        _, d = density(np.asarray(vals, dtype=float), grid=grid)
+        curves[name] = d
+        dmax = max(dmax, float(d.max()))
+    if dmax <= 0:
+        dmax = 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for gi, (name, d) in enumerate(curves.items()):
+        glyph = glyphs[gi % len(glyphs)]
+        rows = np.clip(((d / dmax) * (height - 1)).round().astype(int), 0, height - 1)
+        for x, r in enumerate(rows):
+            if d[x] / dmax > 0.02:
+                canvas[height - 1 - r][x] = glyph
+
+    lines = ["".join(row) for row in canvas]
+    lines.append("-" * width)
+    lines.append(f"{lo:<15.4g}{'':^{max(width - 30, 0)}}{hi:>15.4g}")
+    if xlabel:
+        lines.append(xlabel.center(width))
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(curves)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def series_plot(
+    t: np.ndarray,
+    values: dict[str, np.ndarray],
+    *,
+    width: int = 60,
+    height: int = 8,
+    ylabel: str = "",
+) -> str:
+    """Time-series strip chart (the Fig. 13 LDMS panels)."""
+    if not values:
+        return "(no data)"
+    glyphs = "#*o+"
+    vmax = max(float(np.max(v)) for v in values.values())
+    vmax = vmax if vmax > 0 else 1.0
+    n = len(t)
+    canvas = [[" "] * width for _ in range(height)]
+    for gi, (name, v) in enumerate(values.items()):
+        glyph = glyphs[gi % len(glyphs)]
+        xs = np.clip((np.arange(n) / max(n - 1, 1) * (width - 1)).astype(int), 0, width - 1)
+        ys = np.clip((np.asarray(v) / vmax * (height - 1)).round().astype(int), 0, height - 1)
+        for x, y in zip(xs, ys):
+            canvas[height - 1 - y][x] = glyph
+    lines = ["".join(row) for row in canvas]
+    lines.append("-" * width)
+    legend = "   ".join(f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(values))
+    if ylabel:
+        legend = f"{ylabel}   {legend}"
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def histogram(values: np.ndarray, *, bins: int = 20, width: int = 40) -> str:
+    """A vertical-bar histogram rendered horizontally."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return "(no data)"
+    counts, edges = np.histogram(values, bins=bins)
+    vmax = counts.max() if counts.max() > 0 else 1
+    lines = []
+    for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        lines.append(f"{lo:>10.4g} - {hi:<10.4g} {hbar(c, vmax, width)} {c}")
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Run-to-run variability analysis.
+
+Reduced variability is half of the paper's headline ("not only improved
+mean performance ... but also reduced run-to-run variability").  This
+module summarizes and *explains* a campaign's variability:
+
+* :func:`variability_report` — per-mode dispersion statistics
+  (coefficient of variation, IQR, tail spread);
+* :func:`explain_variability` — how much of the runtime variance each
+  recorded factor accounts for (background intensity, placement span),
+  via simple univariate regressions over the campaign records.  On the
+  real systems this attribution required months of production sampling;
+  here it drops out of the paired records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.experiment import RunRecord, runtimes_by_mode
+
+
+@dataclass(frozen=True)
+class DispersionStats:
+    """Dispersion summary of one mode's runtimes."""
+
+    mode: str
+    n: int
+    mean: float
+    std: float
+    cov: float  # coefficient of variation, std/mean
+    iqr: float
+    tail_spread: float  # p95 - p5
+
+    @classmethod
+    def from_values(cls, mode: str, values: np.ndarray) -> "DispersionStats":
+        v = np.asarray(values, dtype=np.float64)
+        if v.size < 2:
+            return cls(mode, int(v.size), float(v.mean()) if v.size else np.nan, 0.0, 0.0, 0.0, 0.0)
+        p5, p25, p75, p95 = np.percentile(v, [5, 25, 75, 95])
+        mean = float(v.mean())
+        std = float(v.std(ddof=1))
+        return cls(
+            mode=mode,
+            n=int(v.size),
+            mean=mean,
+            std=std,
+            cov=std / mean if mean else np.nan,
+            iqr=float(p75 - p25),
+            tail_spread=float(p95 - p5),
+        )
+
+
+def variability_report(records: list[RunRecord]) -> dict[str, DispersionStats]:
+    """Per-mode dispersion statistics (with the paper's outlier filter)."""
+    return {
+        mode: DispersionStats.from_values(mode, values)
+        for mode, values in runtimes_by_mode(records).items()
+    }
+
+
+def _r_squared(x: np.ndarray, y: np.ndarray) -> float:
+    """Fraction of the variance of ``y`` explained by a linear fit on ``x``."""
+    if x.size < 3 or np.std(x) == 0 or np.std(y) == 0:
+        return 0.0
+    r = float(np.corrcoef(x, y)[0, 1])
+    return r * r
+
+
+def explain_variability(records: list[RunRecord]) -> dict[str, dict[str, float]]:
+    """Attribute each mode's runtime variance to the recorded factors.
+
+    Returns, per mode, the univariate R² of background intensity and of
+    placement span (groups), plus the unexplained residual fraction
+    (bounded below by 0; the factors are not orthogonal, so the parts
+    need not sum to 1).
+    """
+    out: dict[str, dict[str, float]] = {}
+    for mode in sorted({r.mode for r in records}):
+        sel = [r for r in records if r.mode == mode]
+        y = np.array([r.runtime for r in sel])
+        intensity = np.array([r.background_intensity for r in sel])
+        groups = np.array([r.groups for r in sel], dtype=float)
+        r2_i = _r_squared(intensity, y)
+        r2_g = _r_squared(groups, y)
+        out[mode] = {
+            "background_intensity": r2_i,
+            "groups_spanned": r2_g,
+            "residual": max(0.0, 1.0 - max(r2_i, r2_g)),
+        }
+    return out
+
+
+def format_variability(records: list[RunRecord]) -> str:
+    """Human-readable variability + attribution summary."""
+    rep = variability_report(records)
+    attr = explain_variability(records)
+    lines = [
+        f"{'mode':6s} {'n':>4s} {'mean':>9s} {'std':>8s} {'CoV':>7s} "
+        f"{'IQR':>8s} {'p95-p5':>8s}  {'R2(intensity)':>13s} {'R2(groups)':>10s}"
+    ]
+    for mode, d in sorted(rep.items()):
+        a = attr[mode]
+        lines.append(
+            f"{mode:6s} {d.n:4d} {d.mean:9.1f} {d.std:8.1f} {d.cov:7.3f} "
+            f"{d.iqr:8.1f} {d.tail_spread:8.1f}  "
+            f"{a['background_intensity']:13.2f} {a['groups_spanned']:10.2f}"
+        )
+    return "\n".join(lines)

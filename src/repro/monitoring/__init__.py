@@ -1,0 +1,42 @@
+"""Monitoring substrates: AutoPerf, LDMS, and NIC latency counters.
+
+The paper collects metrics with two tools, both modeled here with the
+same report semantics:
+
+* **AutoPerf** (:mod:`~repro.monitoring.autoperf`) — a PMPI intercept
+  library reporting, per MPI interface, the call count, average bytes,
+  and total wall-clock time, plus the Aries router-tile counters of the
+  routers the job's nodes attach to (a *local* view).
+* **LDMS** (:mod:`~repro.monitoring.ldms`) — a node-level service
+  sampling every router's counters on a periodic (1-minute) cadence, the
+  *global* view behind Figs. 10-13.
+* **NIC latency counters** (:mod:`~repro.monitoring.nic`) — the two
+  cumulative Aries NIC counters (summed request-response latency and
+  response count) whose quotient gives mean packet-pair latency, used for
+  the system-wide percentile study of Fig. 14.
+"""
+
+from repro.monitoring.autoperf import AutoPerf, AutoPerfReport, MpiOpRecord
+from repro.monitoring.ldms import LdmsCollector, LdmsSample
+from repro.monitoring.nic import NicLatencyCounters
+from repro.monitoring.export import (
+    autoperf_to_dict,
+    autoperf_to_json,
+    counters_to_csv,
+    ldms_series_to_csv,
+    records_to_csv,
+)
+
+__all__ = [
+    "AutoPerf",
+    "AutoPerfReport",
+    "MpiOpRecord",
+    "LdmsCollector",
+    "LdmsSample",
+    "NicLatencyCounters",
+    "autoperf_to_dict",
+    "autoperf_to_json",
+    "counters_to_csv",
+    "ldms_series_to_csv",
+    "records_to_csv",
+]

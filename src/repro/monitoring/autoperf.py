@@ -1,0 +1,145 @@
+"""AutoPerf model: per-MPI-interface profile plus local router counters.
+
+AutoPerf (Chunduri et al., SC18) wraps MPI with PMPI and reports, per
+interface, the number of calls, the average bytes per call, and the total
+wall-clock time, at <0.05% overhead; it also reads the Aries router tiles
+the job's nodes are attached to.  The experiment harness feeds the same
+information from the fluid solve into an :class:`AutoPerf` collector; the
+resulting :class:`AutoPerfReport` is the input for the paper's Table I
+and the breakdown stacks of Figs. 5/8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.counters import CounterSnapshot, TILE_CLASSES
+from repro.util import fmt_bytes, fmt_time
+
+
+@dataclass
+class MpiOpRecord:
+    """Cumulative stats for one MPI interface."""
+
+    calls: float = 0.0
+    nbytes: float = 0.0
+    time: float = 0.0
+
+    @property
+    def avg_bytes(self) -> float:
+        """Average bytes passed per call (0 for metadata-only calls)."""
+        return self.nbytes / self.calls if self.calls > 0 else 0.0
+
+
+@dataclass
+class AutoPerfReport:
+    """Finalized per-run profile.
+
+    Attributes
+    ----------
+    app, n_nodes:
+        Run identity.
+    ops:
+        Per-interface records.
+    total_time:
+        Wall-clock runtime of the run (seconds).
+    counters:
+        Local-view counter delta (only the job's routers), when collected.
+    """
+
+    app: str
+    n_nodes: int
+    ops: dict[str, MpiOpRecord]
+    total_time: float
+    counters: CounterSnapshot | None = None
+
+    @property
+    def mpi_time(self) -> float:
+        """Total seconds in MPI."""
+        return float(sum(r.time for r in self.ops.values()))
+
+    @property
+    def compute_time(self) -> float:
+        """Non-MPI ("Compute" in Figs. 5/8) seconds."""
+        return max(self.total_time - self.mpi_time, 0.0)
+
+    @property
+    def mpi_fraction(self) -> float:
+        """Fraction of runtime in MPI (Table I's "% of MPI")."""
+        return self.mpi_time / self.total_time if self.total_time > 0 else 0.0
+
+    def top_ops(self, n: int = 3) -> list[str]:
+        """The ``n`` interfaces with the most time (Table I's MPI Call 1-3)."""
+        return sorted(self.ops, key=lambda op: self.ops[op].time, reverse=True)[:n]
+
+    def breakdown(self, top_n: int = 3) -> dict[str, float]:
+        """Stacked-bar decomposition: Compute, top interfaces, Other_MPI."""
+        tops = self.top_ops(top_n)
+        out = {"Compute": self.compute_time}
+        for op in tops:
+            out[op] = self.ops[op].time
+        out["Other_MPI"] = self.mpi_time - sum(self.ops[op].time for op in tops)
+        return out
+
+    def stalls_to_flits(self, cls: str) -> float:
+        """Local-view aggregate stalls-to-flits ratio for a tile class."""
+        if self.counters is None:
+            raise RuntimeError("run was not collected with counters")
+        return self.counters.class_ratio(cls)
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"AutoPerf: {self.app} on {self.n_nodes} nodes — "
+            f"runtime {fmt_time(self.total_time)}, MPI {self.mpi_fraction:.0%}"
+        ]
+        for op in self.top_ops(6):
+            r = self.ops[op]
+            lines.append(
+                f"  {op:16s} calls={r.calls:12.0f} avg={fmt_bytes(r.avg_bytes):>10s} "
+                f"time={fmt_time(r.time)}"
+            )
+        if self.counters is not None:
+            ratios = "  ".join(
+                f"{c}={self.counters.class_ratio(c):.2f}" for c in TILE_CLASSES
+            )
+            lines.append(f"  stalls/flits: {ratios}")
+        return "\n".join(lines)
+
+
+class AutoPerf:
+    """Collector: accumulate interface stats during a (simulated) run."""
+
+    def __init__(self, app: str, n_nodes: int) -> None:
+        self.app = app
+        self.n_nodes = n_nodes
+        self._ops: dict[str, MpiOpRecord] = {}
+        self._counters: CounterSnapshot | None = None
+        self._total_time = 0.0
+
+    def record_op(self, op: str, *, calls: float, nbytes: float, time: float) -> None:
+        """Add calls/bytes/seconds to one interface's record."""
+        rec = self._ops.setdefault(op, MpiOpRecord())
+        rec.calls += calls
+        rec.nbytes += nbytes
+        rec.time += time
+
+    def add_total_time(self, seconds: float) -> None:
+        """Advance the run's wall clock (compute + MPI)."""
+        self._total_time += seconds
+
+    def attach_counters(self, snapshot: CounterSnapshot) -> None:
+        """Attach the local-view counter delta read at MPI_Finalize."""
+        self._counters = snapshot
+
+    def finalize(self) -> AutoPerfReport:
+        """Produce the immutable report."""
+        return AutoPerfReport(
+            app=self.app,
+            n_nodes=self.n_nodes,
+            ops=dict(self._ops),
+            total_time=self._total_time,
+            counters=self._counters,
+        )

@@ -1,0 +1,120 @@
+"""Export monitoring data to CSV/JSON for external analysis.
+
+The paper's pipeline post-processed AutoPerf and LDMS dumps with
+external tooling; this module provides the equivalent egress points:
+
+* :func:`autoperf_to_dict` / :func:`autoperf_to_json` — the per-interface
+  profile plus local counter ratios;
+* :func:`ldms_series_to_csv` — the system-wide flit/stall/ratio series;
+* :func:`counters_to_csv` — a per-router counter snapshot;
+* :func:`records_to_csv` — a campaign's run records (the Table-II /
+  Figs. 2-7 raw data).
+
+All functions return strings; pass ``path`` to also write a file.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.monitoring.autoperf import AutoPerfReport
+
+if TYPE_CHECKING:  # avoid a core <-> monitoring import cycle
+    from repro.core.experiment import RunRecord
+from repro.monitoring.ldms import LdmsCollector
+from repro.network.counters import CounterSnapshot, TILE_CLASSES
+
+
+def _maybe_write(text: str, path: str | Path | None) -> str:
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def autoperf_to_dict(report: AutoPerfReport) -> dict:
+    """JSON-ready representation of an AutoPerf report."""
+    out = {
+        "app": report.app,
+        "n_nodes": report.n_nodes,
+        "total_time_s": report.total_time,
+        "mpi_time_s": report.mpi_time,
+        "mpi_fraction": report.mpi_fraction,
+        "ops": {
+            op: {
+                "calls": rec.calls,
+                "bytes": rec.nbytes,
+                "avg_bytes": rec.avg_bytes,
+                "time_s": rec.time,
+            }
+            for op, rec in report.ops.items()
+        },
+    }
+    if report.counters is not None:
+        out["stalls_to_flits"] = {
+            cls: report.counters.class_ratio(cls) for cls in TILE_CLASSES
+        }
+    return out
+
+
+def autoperf_to_json(report: AutoPerfReport, path: str | Path | None = None) -> str:
+    """Serialize an AutoPerf report to JSON."""
+    return _maybe_write(json.dumps(autoperf_to_dict(report), indent=2), path)
+
+
+def ldms_series_to_csv(
+    ldms: LdmsCollector, path: str | Path | None = None
+) -> str:
+    """The network-tile flit/stall/ratio time series as CSV."""
+    series = ldms.series()
+    buf = io.StringIO()
+    buf.write("time_s,flits,stalls,ratio\n")
+    for t, f, s, r in zip(
+        series["time"], series["flits"], series["stalls"], series["ratio"]
+    ):
+        buf.write(f"{t:.1f},{f:.6e},{s:.6e},{r:.6f}\n")
+    return _maybe_write(buf.getvalue(), path)
+
+
+def counters_to_csv(
+    snapshot: CounterSnapshot, path: str | Path | None = None
+) -> str:
+    """Per-router counter values for every tile class, as CSV."""
+    n = next(iter(snapshot.flits.values())).size
+    buf = io.StringIO()
+    header = ["router"]
+    for cls in TILE_CLASSES:
+        header += [f"{cls}_flits", f"{cls}_stalls"]
+    buf.write(",".join(header) + "\n")
+    for r in range(n):
+        row = [str(r)]
+        for cls in TILE_CLASSES:
+            row += [
+                f"{snapshot.flits[cls][r]:.6e}",
+                f"{snapshot.stalls[cls][r]:.6e}",
+            ]
+        buf.write(",".join(row) + "\n")
+    return _maybe_write(buf.getvalue(), path)
+
+
+def records_to_csv(
+    records: "list[RunRecord]", path: str | Path | None = None
+) -> str:
+    """A campaign's run records as CSV (one row per run)."""
+    buf = io.StringIO()
+    buf.write(
+        "app,mode,n_nodes,placement,groups,sample,runtime_s,mpi_time_s,"
+        "mpi_fraction,background_intensity\n"
+    )
+    for r in records:
+        buf.write(
+            f"{r.app},{r.mode},{r.n_nodes},{r.placement},{r.groups},"
+            f"{r.sample_index},{r.runtime:.3f},{r.mpi_time:.3f},"
+            f"{r.mpi_fraction:.4f},{r.background_intensity:.3f}\n"
+        )
+    return _maybe_write(buf.getvalue(), path)

@@ -1,0 +1,262 @@
+"""Imperative rank-level MPI over the packet simulator.
+
+:class:`SimComm` mimics the mpi4py surface (lower-case object-style
+naming: ``isend``, ``wait``, ``allreduce``, ``alltoallv``, ``barrier``)
+but executes on :class:`~repro.network.packet_sim.PacketSimulator`, so
+message timing emerges from queueing and the adaptive routing decision.
+One communicator drives all ranks from a single control loop — it is a
+*simulation* of an MPI program rather than a distributed one — which is
+exactly what the examples and microbenchmarks need.
+
+Routing modes follow the communicator's :class:`~repro.mpi.env.RoutingEnv`:
+point-to-point and non-A2A collectives use ``p2p_mode``; ``alltoall[v]``
+uses ``a2a_mode``, as in Cray MPI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mpi.env import RoutingEnv
+from repro.network.packet_sim import InjectionSpec, PacketSimConfig, PacketSimulator
+from repro.topology.dragonfly import DragonflyTopology
+
+
+@dataclass
+class Request:
+    """Handle for a pending non-blocking message."""
+
+    comm: "SimComm"
+    msg_id: int
+
+    @property
+    def done(self) -> bool:
+        return self.comm._sim.messages[self.msg_id].done
+
+    def wait(self) -> float:
+        """Block (advance the simulation) until complete; returns the
+        message latency in seconds."""
+        return self.comm.wait(self)
+
+
+class SimComm:
+    """A simulated communicator over a dragonfly system.
+
+    Parameters
+    ----------
+    top:
+        The system.
+    nodes:
+        Rank-to-node map; rank ``r`` is the endpoint ``nodes[r]``.
+    env:
+        Routing-mode environment (Cray MPI defaults when omitted).
+    config:
+        Packet-simulator configuration.
+    """
+
+    def __init__(
+        self,
+        top: DragonflyTopology,
+        nodes: np.ndarray,
+        *,
+        env: RoutingEnv | None = None,
+        config: PacketSimConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.top = top
+        self.nodes = np.asarray(nodes, dtype=np.int64)
+        if np.unique(self.nodes).size != self.nodes.size:
+            raise ValueError("each rank needs a distinct node")
+        self.env = env or RoutingEnv()
+        self._sim = PacketSimulator(top, config, rng=rng)
+        self.op_times: dict[str, float] = {}
+        self.op_calls: dict[str, int] = {}
+
+    @property
+    def size(self) -> int:
+        """Number of ranks."""
+        return self.nodes.size
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._sim.now
+
+    # ------------------------------------------------------------------
+    def _record(self, op: str, elapsed: float, calls: int = 1) -> None:
+        self.op_times[op] = self.op_times.get(op, 0.0) + elapsed
+        self.op_calls[op] = self.op_calls.get(op, 0) + calls
+
+    def isend(self, src_rank: int, dst_rank: int, nbytes: int) -> Request:
+        """Post a non-blocking send from ``src_rank`` to ``dst_rank``."""
+        mid = self._sim.add_message(
+            InjectionSpec(
+                src=int(self.nodes[src_rank]),
+                dst=int(self.nodes[dst_rank]),
+                nbytes=int(nbytes),
+                mode=self.env.p2p_mode,
+                start_step=self._sim.step,
+            )
+        )
+        self._record("MPI_Isend", 0.0)
+        return Request(self, mid)
+
+    def wait(self, request: Request) -> float:
+        """Advance until ``request`` completes; returns elapsed seconds."""
+        return self.waitall([request])
+
+    def waitall(self, requests: list[Request]) -> float:
+        """Advance until all ``requests`` complete; returns elapsed seconds."""
+        t0 = self._sim.now
+        limit = self._sim.config.max_steps
+        steps = 0
+        while not all(r.done for r in requests):
+            if self._sim.idle:
+                raise RuntimeError("simulator idle with incomplete requests")
+            self._sim.advance()
+            steps += 1
+            if steps > limit:
+                raise RuntimeError(f"waitall exceeded {limit} steps")
+        elapsed = self._sim.now - t0
+        op = "MPI_Wait" if len(requests) == 1 else "MPI_Waitall"
+        self._record(op, elapsed)
+        return elapsed
+
+    def sendrecv(self, pairs: list[tuple[int, int]], nbytes: int) -> float:
+        """Post one message per (src, dst) rank pair and drain them all."""
+        reqs = [self.isend(s, d, nbytes) for s, d in pairs]
+        return self.waitall(reqs)
+
+    # ------------------------------------------------------------------
+    def allreduce(self, nbytes: int) -> float:
+        """Recursive-doubling allreduce over all ranks; returns elapsed."""
+        t0 = self._sim.now
+        P = self.size
+        p2 = 1 << (P.bit_length() - 1)
+        if P > p2:
+            self._round([(r, r - p2) for r in range(p2, P)], nbytes)
+        for k in range(int(np.log2(p2))):
+            self._round([(i, i ^ (1 << k)) for i in range(p2)], nbytes)
+        if P > p2:
+            self._round([(r - p2, r) for r in range(p2, P)], nbytes)
+        elapsed = self._sim.now - t0
+        self._record("MPI_Allreduce", elapsed)
+        return elapsed
+
+    def barrier(self) -> float:
+        """Dissemination barrier; returns elapsed seconds."""
+        t0 = self._sim.now
+        P = self.size
+        for k in range(int(np.ceil(np.log2(P)))):
+            self._round([(i, (i + (1 << k)) % P) for i in range(P)], 8)
+        elapsed = self._sim.now - t0
+        self._record("MPI_Barrier", elapsed)
+        return elapsed
+
+    def bcast(self, nbytes: int, *, root: int = 0) -> float:
+        """Binomial-tree broadcast from ``root``; returns elapsed."""
+        t0 = self._sim.now
+        P = self.size
+        rounds = int(np.ceil(np.log2(P))) if P > 1 else 0
+        for r in range(rounds):
+            pairs = []
+            for s in range(0, P, 1 << (r + 1)):
+                d = s + (1 << r)
+                if d < P:
+                    pairs.append(((s + root) % P, (d + root) % P))
+            if pairs:
+                self._round(pairs, nbytes)
+        elapsed = self._sim.now - t0
+        self._record("MPI_Bcast", elapsed)
+        return elapsed
+
+    def reduce(self, nbytes: int, *, root: int = 0) -> float:
+        """Binomial-tree reduce to ``root`` (the bcast tree reversed)."""
+        t0 = self._sim.now
+        P = self.size
+        rounds = int(np.ceil(np.log2(P))) if P > 1 else 0
+        for r in range(rounds - 1, -1, -1):
+            pairs = []
+            for s in range(0, P, 1 << (r + 1)):
+                d = s + (1 << r)
+                if d < P:
+                    pairs.append(((d + root) % P, (s + root) % P))
+            if pairs:
+                self._round(pairs, nbytes)
+        elapsed = self._sim.now - t0
+        self._record("MPI_Reduce", elapsed)
+        return elapsed
+
+    def allgather(self, nbytes: int) -> float:
+        """Ring allgather: P-1 neighbor rounds."""
+        t0 = self._sim.now
+        P = self.size
+        for _ in range(P - 1):
+            self._round([(i, (i + 1) % P) for i in range(P)], nbytes)
+        elapsed = self._sim.now - t0
+        self._record("MPI_Allgather", elapsed)
+        return elapsed
+
+    def alltoall(self, per_pair_bytes: int) -> float:
+        """Pairwise-exchange alltoall; uses the A2A routing mode."""
+        t0 = self._sim.now
+        P = self.size
+        for k in range(1, P):
+            reqs = []
+            for i in range(P):
+                j = i ^ k if (i ^ k) < P else None
+                if j is None or j == i:
+                    continue
+                mid = self._sim.add_message(
+                    InjectionSpec(
+                        src=int(self.nodes[i]),
+                        dst=int(self.nodes[j]),
+                        nbytes=int(per_pair_bytes),
+                        mode=self.env.a2a_mode,
+                        start_step=self._sim.step,
+                    )
+                )
+                reqs.append(Request(self, mid))
+            if reqs:
+                self._drain(reqs)
+        elapsed = self._sim.now - t0
+        self._record("MPI_Alltoall", elapsed)
+        return elapsed
+
+    # ------------------------------------------------------------------
+    def _round(self, pairs: list[tuple[int, int]], nbytes: int) -> None:
+        reqs = []
+        for s, d in pairs:
+            if s == d:
+                continue
+            mid = self._sim.add_message(
+                InjectionSpec(
+                    src=int(self.nodes[s]),
+                    dst=int(self.nodes[d]),
+                    nbytes=int(nbytes),
+                    mode=self.env.p2p_mode,
+                    start_step=self._sim.step,
+                )
+            )
+            reqs.append(Request(self, mid))
+        self._drain(reqs)
+
+    def _drain(self, reqs: list[Request]) -> None:
+        limit = self._sim.config.max_steps
+        steps = 0
+        while not all(r.done for r in reqs):
+            self._sim.advance()
+            steps += 1
+            if steps > limit:
+                raise RuntimeError(f"collective round exceeded {limit} steps")
+
+    # ------------------------------------------------------------------
+    def profile(self) -> dict[str, tuple[int, float]]:
+        """Per-interface (calls, seconds) observed so far."""
+        return {op: (self.op_calls[op], self.op_times[op]) for op in self.op_times}
+
+    def stall_to_flit_ratio(self) -> float:
+        """Aggregate network congestion metric of the underlying sim."""
+        return self._sim.stall_to_flit_ratio()

@@ -1,0 +1,204 @@
+"""Collective algorithms lowered to flows + latency rounds.
+
+Each function takes ``nodes`` — the job's rank-to-node map (rank ``r``
+runs on node ``nodes[r]``; one network endpoint per node, aggregating
+the node's on-node ranks as the paper's node-level counters do) — and
+returns ``(FlowSet, rounds)`` where ``rounds`` is the number of
+serialized latency-bound communication rounds of the algorithm.
+
+Algorithms match the common Cray MPICH choices:
+
+* allreduce — recursive doubling (with a fold step for non-powers of 2),
+* barrier — dissemination,
+* alltoall[v] — pairwise exchange; for large jobs the P*(P-1) pair flows
+  are importance-sampled (``max_partners`` per rank, byte-rescaled) to
+  keep campaign solves cheap while preserving expected link loads,
+* bcast — binomial tree,
+* allgather — ring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.fluid import FlowSet
+
+
+def _flowset(src_nodes: np.ndarray, dst_nodes: np.ndarray, nbytes) -> FlowSet:
+    """Build a class-0 FlowSet, dropping (defensively) any self-flows."""
+    src_nodes = np.asarray(src_nodes, dtype=np.int64)
+    dst_nodes = np.asarray(dst_nodes, dtype=np.int64)
+    nbytes = np.broadcast_to(np.asarray(nbytes, dtype=np.float64), src_nodes.shape)
+    keep = src_nodes != dst_nodes
+    return FlowSet(
+        src_nodes[keep],
+        dst_nodes[keep],
+        nbytes[keep],
+        np.zeros(keep.sum(), dtype=np.int64),
+    )
+
+
+def allreduce_flows(nodes: np.ndarray, nbytes: float) -> tuple[FlowSet, int]:
+    """Recursive-doubling allreduce: ``log2(P)`` exchange rounds.
+
+    Non-power-of-two rank counts use the standard fold: extra ranks send
+    their contribution to a partner before the doubling rounds and
+    receive the result after, adding two rounds.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    P = nodes.size
+    if P < 2:
+        return FlowSet.empty(), 0
+    p2 = 1 << (P.bit_length() - 1)
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    rounds = int(np.log2(p2))
+    core = np.arange(p2)
+    for r in range(rounds):
+        partner = core ^ (1 << r)
+        src_parts.append(nodes[core])
+        dst_parts.append(nodes[partner])
+    if P > p2:
+        extras = np.arange(p2, P)
+        # fold down and result back up
+        src_parts.append(nodes[extras])
+        dst_parts.append(nodes[extras - p2])
+        src_parts.append(nodes[extras - p2])
+        dst_parts.append(nodes[extras])
+        rounds += 2
+    fl = _flowset(np.concatenate(src_parts), np.concatenate(dst_parts), nbytes)
+    return fl, rounds
+
+
+def barrier_flows(nodes: np.ndarray) -> tuple[FlowSet, int]:
+    """Dissemination barrier: ``ceil(log2 P)`` rounds of 8-byte tokens."""
+    nodes = np.asarray(nodes, dtype=np.int64)
+    P = nodes.size
+    if P < 2:
+        return FlowSet.empty(), 0
+    rounds = int(np.ceil(np.log2(P)))
+    ranks = np.arange(P)
+    src_parts, dst_parts = [], []
+    for r in range(rounds):
+        dst = (ranks + (1 << r)) % P
+        src_parts.append(nodes[ranks])
+        dst_parts.append(nodes[dst])
+    fl = _flowset(np.concatenate(src_parts), np.concatenate(dst_parts), 8.0)
+    return fl, rounds
+
+
+def alltoall_flows(
+    nodes: np.ndarray,
+    per_pair_bytes: float,
+    *,
+    max_partners: int = 32,
+    rng: np.random.Generator,
+) -> tuple[FlowSet, int]:
+    """Pairwise-exchange alltoall: every rank sends to every other rank.
+
+    For ``P - 1 > max_partners`` the pair set is sampled: each rank keeps
+    ``max_partners`` random distinct partners with bytes scaled by
+    ``(P - 1) / max_partners``, preserving expected per-link load at a
+    fraction of the flow count.
+    """
+    return alltoallv_flows(
+        nodes,
+        per_pair_bytes,
+        imbalance=0.0,
+        max_partners=max_partners,
+        rng=rng,
+    )
+
+
+def alltoallv_flows(
+    nodes: np.ndarray,
+    mean_pair_bytes: float,
+    *,
+    imbalance: float = 0.5,
+    max_partners: int = 32,
+    rng: np.random.Generator,
+) -> tuple[FlowSet, int]:
+    """Alltoallv with log-normal per-pair byte imbalance.
+
+    ``imbalance`` is the sigma of the log-normal multiplier (0 gives a
+    uniform alltoall).  Latency rounds equal the pairwise-exchange count
+    ``P - 1``.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    P = nodes.size
+    if P < 2:
+        return FlowSet.empty(), 0
+    k = min(P - 1, max_partners)
+    scale = (P - 1) / k
+    ranks = np.repeat(np.arange(P), k)
+    # distinct partners per rank: offset trick over 1..P-1
+    base = rng.integers(1, P, size=P)
+    step = np.arange(k)
+    offsets = ((base[:, None] + step[None, :] * max(1, (P - 1) // k) - 1) % (P - 1)) + 1
+    partners = (np.repeat(np.arange(P), k) + offsets.ravel()) % P
+    nbytes = np.full(ranks.size, mean_pair_bytes * scale)
+    if imbalance > 0:
+        jitter = rng.lognormal(mean=-0.5 * imbalance**2, sigma=imbalance, size=ranks.size)
+        nbytes = nbytes * jitter
+    fl = _flowset(nodes[ranks], nodes[partners], nbytes)
+    return fl, P - 1
+
+
+def bcast_flows(nodes: np.ndarray, nbytes: float, *, root: int = 0) -> tuple[FlowSet, int]:
+    """Binomial-tree broadcast: ``ceil(log2 P)`` rounds."""
+    nodes = np.asarray(nodes, dtype=np.int64)
+    P = nodes.size
+    if P < 2:
+        return FlowSet.empty(), 0
+    rounds = int(np.ceil(np.log2(P)))
+    # relative rank space rooted at `root`
+    src_parts, dst_parts = [], []
+    for r in range(rounds):
+        senders = np.arange(0, P, 1 << (r + 1))
+        receivers = senders + (1 << r)
+        ok = receivers < P
+        src_parts.append((senders[ok] + root) % P)
+        dst_parts.append((receivers[ok] + root) % P)
+    src = np.concatenate(src_parts)
+    dst = np.concatenate(dst_parts)
+    fl = _flowset(nodes[src], nodes[dst], nbytes)
+    return fl, rounds
+
+
+def allgather_flows(nodes: np.ndarray, nbytes_per_rank: float) -> tuple[FlowSet, int]:
+    """Ring allgather: ``P - 1`` rounds, neighbors exchange the ring."""
+    nodes = np.asarray(nodes, dtype=np.int64)
+    P = nodes.size
+    if P < 2:
+        return FlowSet.empty(), 0
+    ranks = np.arange(P)
+    nxt = (ranks + 1) % P
+    fl = _flowset(nodes[ranks], nodes[nxt], float(nbytes_per_rank) * (P - 1))
+    return fl, P - 1
+
+
+def reduce_flows(nodes: np.ndarray, nbytes: float, *, root: int = 0) -> tuple[FlowSet, int]:
+    """Binomial-tree reduce: the broadcast tree with edges reversed."""
+    fl, rounds = bcast_flows(nodes, nbytes, root=root)
+    return FlowSet(fl.dst, fl.src, fl.nbytes, fl.cls), rounds
+
+
+def gather_flows(nodes: np.ndarray, nbytes_per_rank: float, *, root: int = 0) -> tuple[FlowSet, int]:
+    """Direct gather: every non-root rank sends its block to the root.
+
+    The root's ingest serializes the operation, so the latency-round
+    count is ``P - 1`` (the paper's incast discussion applies here).
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    P = nodes.size
+    if P < 2:
+        return FlowSet.empty(), 0
+    senders = np.delete(np.arange(P), root % P)
+    fl = _flowset(nodes[senders], np.full(P - 1, nodes[root % P]), nbytes_per_rank)
+    return fl, P - 1
+
+
+def scatter_flows(nodes: np.ndarray, nbytes_per_rank: float, *, root: int = 0) -> tuple[FlowSet, int]:
+    """Direct scatter: the root streams one block to every other rank."""
+    fl, rounds = gather_flows(nodes, nbytes_per_rank, root=root)
+    return FlowSet(fl.dst, fl.src, fl.nbytes, fl.cls), rounds

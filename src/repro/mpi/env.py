@@ -1,0 +1,79 @@
+"""Cray MPI routing-mode environment handling.
+
+Applications on Aries select routing control modes by setting environment
+variables before launch (Section II-D of the paper):
+
+* ``MPICH_GNI_ROUTING_MODE`` — mode for most MPI operations
+  (default ``ADAPTIVE_0``),
+* ``MPICH_GNI_A2A_ROUTING_MODE`` — mode for ``MPI_Alltoall[v]``
+  (default ``ADAPTIVE_1``).
+
+:class:`RoutingEnv` reproduces that interface over an explicit mapping
+(or, optionally, the real process environment), and hands the experiment
+harness the mode for each :class:`~repro.mpi.patterns.TrafficOp`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.biases import AD0, AD1, RoutingMode, mode_by_name
+from repro.mpi.patterns import TrafficOp
+
+ROUTING_MODE_VAR = "MPICH_GNI_ROUTING_MODE"
+A2A_ROUTING_MODE_VAR = "MPICH_GNI_A2A_ROUTING_MODE"
+
+
+@dataclass(frozen=True)
+class RoutingEnv:
+    """Resolved routing modes for a job.
+
+    ``p2p_mode`` applies to point-to-point traffic and non-Alltoall
+    collectives; ``a2a_mode`` to ``MPI_Alltoall[v]``.
+    """
+
+    p2p_mode: RoutingMode = AD0
+    a2a_mode: RoutingMode = AD1
+
+    @classmethod
+    def from_mapping(cls, env: dict[str, str]) -> "RoutingEnv":
+        """Build from an environment-variable mapping.
+
+        Unset variables fall back to the Cray MPI defaults (AD0 for
+        point-to-point, AD1 for Alltoall[v]); e.g. a job script exporting
+        only ``MPICH_GNI_ROUTING_MODE=ADAPTIVE_3`` gets AD3 point-to-point
+        routing with Alltoall[v] still on AD1.
+        """
+        p2p = env.get(ROUTING_MODE_VAR)
+        a2a = env.get(A2A_ROUTING_MODE_VAR)
+        return cls(
+            p2p_mode=mode_by_name(p2p) if p2p else AD0,
+            a2a_mode=mode_by_name(a2a) if a2a else AD1,
+        )
+
+    @classmethod
+    def from_os_environ(cls) -> "RoutingEnv":
+        """Build from the real process environment."""
+        return cls.from_mapping(dict(os.environ))
+
+    @classmethod
+    def uniform(cls, mode: RoutingMode) -> "RoutingEnv":
+        """Both variables set to the same mode (as the facility default
+        change did: everything AD3)."""
+        return cls(p2p_mode=mode, a2a_mode=mode)
+
+    def mode_for(self, op: TrafficOp) -> RoutingMode:
+        """Routing mode for a traffic class."""
+        return self.a2a_mode if op == TrafficOp.A2A else self.p2p_mode
+
+    def modes_list(self) -> list[RoutingMode]:
+        """Modes indexed by ``TrafficOp`` value, for the fluid solver."""
+        return [self.p2p_mode, self.a2a_mode]
+
+    def as_mapping(self) -> dict[str, str]:
+        """Render back to environment-variable form (for job logs)."""
+        return {
+            ROUTING_MODE_VAR: f"ADAPTIVE_{self.p2p_mode.name[-1]}",
+            A2A_ROUTING_MODE_VAR: f"ADAPTIVE_{self.a2a_mode.name[-1]}",
+        }

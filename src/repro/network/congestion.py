@@ -1,0 +1,120 @@
+"""Utilization -> congestion response functions shared by both engines.
+
+The Aries counters the paper analyzes are **flits** (units of useful
+traffic) and **stalls** (cycles a tile spent blocked waiting for credits).
+We model the stall count of a link as an M/M/1-shaped function of its
+utilization: negligible when lightly loaded, superlinear as the link
+saturates.  The same queueing curve drives small-message latency
+inflation, and a backpressure term inflates flit counts when demand
+exceeds capacity (packet retransmission / backpressure re-injection — the
+effect behind HACC's flit growth under AD3 in Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util import KiB, US
+
+#: Aries network flit payload, bytes.  Counter "flits" are loads / this.
+FLIT_BYTES: int = 16
+
+#: maximum packet payload, bytes; messages are segmented into packets.
+PACKET_BYTES: int = 64
+
+
+@dataclass(frozen=True)
+class CongestionModel:
+    """Calibration of the congestion response.
+
+    Attributes
+    ----------
+    stall_kappa:
+        Scale of the stalls-to-flits ratio curve.  Calibrated so network
+        tiles show ratios in the 0-10 range of the paper's Figs. 6/11 at
+        production-like utilizations.
+    stall_cap:
+        Upper bound on the per-link stalls-to-flits ratio (hardware
+        counters saturate; extreme incast is throttled by the NIC).
+    util_cap:
+        Utilization ceiling used inside the queueing formulas to keep
+        them finite (demand above capacity is expressed through
+        :meth:`backpressure_factor` instead).
+    buffer_bytes:
+        Per-link buffering used to convert utilization into queueing
+        delay (per-tile VC buffers; a full 8 KiB buffer on a 5.25 GB/s
+        link drains in ~1.5 us, so congested 5-7 hop paths inflate small
+        messages by tens of microseconds and saturated ones by hundreds,
+        bracketing the paper's P99-P99.99 production latencies).
+    backpressure_beta:
+        Flit-inflation slope once raw demand utilization exceeds
+        ``backpressure_onset`` (retransmissions / re-injections).
+    """
+
+    stall_kappa: float = 3.0
+    stall_cap: float = 12.0
+    util_cap: float = 0.97
+    buffer_bytes: float = 32 * KiB
+    queue_delay_cap_factor: float = 12.0
+    backpressure_onset: float = 0.85
+    backpressure_beta: float = 1.2
+    backpressure_cap: float = 2.5
+    #: how strongly downstream path congestion reflects back onto the
+    #: source NIC's request-VC stalls (credit backpressure reaching the
+    #: processor tiles)
+    backpressure_inj_coupling: float = 0.5
+
+    def stall_ratio(self, util: np.ndarray) -> np.ndarray:
+        """Stalls per flit on a link at utilization ``util``.
+
+        ``kappa * u^2 / (1 - u)``, capped — the standard M/M/1 waiting
+        shape: ~0 for u < 0.3, O(1) around u ~ 0.6, large near saturation.
+        """
+        u = np.clip(np.asarray(util, dtype=np.float64), 0.0, self.util_cap)
+        ratio = self.stall_kappa * u * u / (1.0 - u)
+        return np.minimum(ratio, self.stall_cap)
+
+    def queue_delay(self, util: np.ndarray, capacity: np.ndarray) -> np.ndarray:
+        """Expected per-link queueing delay (seconds) at ``util``.
+
+        The fully-occupied-buffer drain time ``buffer_bytes / capacity``
+        scaled by the same M/M/1 shape, capped at
+        ``queue_delay_cap_factor`` drain times.  On a 5.25 GB/s Aries
+        link a full 64 KiB buffer drains in ~12.5 us, so a 5-hop path
+        near saturation contributes the hundreds of microseconds the
+        paper's P99.9+ latencies show (Section V-D).
+        """
+        u = np.clip(np.asarray(util, dtype=np.float64), 0.0, self.util_cap)
+        capacity = np.asarray(capacity, dtype=np.float64)
+        drain = np.where(capacity > 0, self.buffer_bytes / np.maximum(capacity, 1.0), 0.0)
+        shape = u * u / (1.0 - u)
+        return drain * np.minimum(shape, self.queue_delay_cap_factor)
+
+    def backpressure_factor(self, raw_util: np.ndarray) -> np.ndarray:
+        """Flit inflation factor for raw (uncapped) demand utilization.
+
+        1.0 until ``backpressure_onset``; above it, each unit of excess
+        demand re-injects ``backpressure_beta`` extra flits, capped.
+        """
+        u = np.asarray(raw_util, dtype=np.float64)
+        excess = np.maximum(u - self.backpressure_onset, 0.0)
+        return np.minimum(1.0 + self.backpressure_beta * excess, self.backpressure_cap)
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Base (uncongested) latency components for small messages.
+
+    Values follow published Aries/XC measurements: ~1.2-1.5 us end-to-end
+    software+NIC latency for small MPI messages on KNL, plus ~100 ns per
+    router hop.
+    """
+
+    software_overhead: float = 1.3 * US
+    per_hop: float = 0.1 * US
+
+    def base_latency(self, router_hops: np.ndarray) -> np.ndarray:
+        """Zero-load latency of a message over ``router_hops`` hops."""
+        return self.software_overhead + self.per_hop * np.asarray(router_hops, dtype=np.float64)

@@ -1,0 +1,46 @@
+"""Job placement, production workload mix, and background traffic.
+
+The paper's production/isolated/controlled distinction is entirely about
+*who else* loads the shared links and *where* a job's nodes land:
+
+* :mod:`~repro.scheduler.placement` — compact, dispersed, random, and
+  production-fragmented placements, plus span metrics (groups spanned);
+* :mod:`~repro.scheduler.workload` — the Theta job-size/core-hour mix
+  behind Fig. 1 and the facility studies;
+* :mod:`~repro.scheduler.jobs` — job records and core-hour accounting;
+* :mod:`~repro.scheduler.background` — synthesizes the ambient link
+  utilization field a target job experiences in production, by sampling
+  a co-running job mix, assigning each job a traffic archetype, and
+  routing it with the system-default mode through the fluid engine.
+"""
+
+from repro.scheduler.placement import (
+    compact_placement,
+    dispersed_placement,
+    random_placement,
+    production_placement,
+    groups_spanned,
+    FreeNodePool,
+)
+from repro.scheduler.workload import WorkloadModel, JobSizeMix
+from repro.scheduler.jobs import Job, JobLog
+from repro.scheduler.background import BackgroundModel, BackgroundScenario
+from repro.scheduler.simulator import BatchScheduler, ScheduleTrace, ScheduledJob
+
+__all__ = [
+    "compact_placement",
+    "dispersed_placement",
+    "random_placement",
+    "production_placement",
+    "groups_spanned",
+    "FreeNodePool",
+    "WorkloadModel",
+    "JobSizeMix",
+    "Job",
+    "JobLog",
+    "BackgroundModel",
+    "BackgroundScenario",
+    "BatchScheduler",
+    "ScheduleTrace",
+    "ScheduledJob",
+]

@@ -1,0 +1,78 @@
+"""Job records and core-hour accounting for workload studies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Job:
+    """One batch job in a (synthetic) production log.
+
+    Attributes
+    ----------
+    n_nodes:
+        Allocation size.
+    duration_hours:
+        Wall-clock hours.
+    archetype:
+        Traffic archetype name (see
+        :class:`~repro.scheduler.background.BackgroundModel`).
+    start_hours:
+        Submission-relative start time, hours.
+    nodes:
+        Concrete placement, when materialized.
+    """
+
+    n_nodes: int
+    duration_hours: float
+    archetype: str = "stencil"
+    start_hours: float = 0.0
+    nodes: np.ndarray | None = None
+
+    @property
+    def core_hours(self) -> float:
+        """Core-hours at Theta's 64 cores per KNL node."""
+        return self.n_nodes * 64 * self.duration_hours
+
+
+@dataclass
+class JobLog:
+    """A collection of jobs with aggregate views (Fig. 1's input)."""
+
+    jobs: list[Job] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def sizes(self) -> np.ndarray:
+        return np.array([j.n_nodes for j in self.jobs])
+
+    def core_hours(self) -> np.ndarray:
+        return np.array([j.core_hours for j in self.jobs])
+
+    def core_hour_fraction_between(self, lo: int, hi: int) -> float:
+        """Fraction of total core-hours from jobs with lo <= nodes <= hi."""
+        ch = self.core_hours()
+        total = ch.sum()
+        if total <= 0:
+            return 0.0
+        sel = (self.sizes() >= lo) & (self.sizes() <= hi)
+        return float(ch[sel].sum() / total)
+
+    def corehours_ccdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """Complementary CDF of core-hours over job size (Fig. 1).
+
+        Returns ``(sizes, ccdf)``: for each distinct job size ``s``, the
+        fraction of total core-hours contributed by jobs of size >= s.
+        """
+        sizes = self.sizes()
+        ch = self.core_hours()
+        order = np.argsort(sizes)
+        sizes_sorted = sizes[order]
+        ch_sorted = ch[order]
+        uniq, starts = np.unique(sizes_sorted, return_index=True)
+        tail = ch_sorted[::-1].cumsum()[::-1]
+        return uniq, tail[starts] / ch.sum()

@@ -1,0 +1,130 @@
+"""Production workload mix (the model behind Fig. 1).
+
+Theta's production mix, per the paper's Fig. 1 discussion: roughly 40%
+of all core-hours come from jobs of 128-512 nodes (the "medium" range
+most susceptible to congestion), with the rest spread up to
+full-machine jobs.  :class:`JobSizeMix` models job sizes as a discrete
+power-law over the machine's allocatable sizes; durations are
+log-normal.  :class:`WorkloadModel` turns the mix into synthetic job
+logs and instantaneous active-job mixes (for the background-noise and
+facility simulations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.scheduler.jobs import Job, JobLog
+from repro.topology.dragonfly import DragonflyTopology
+
+#: traffic archetypes and their sampling weights in production
+ARCHETYPE_WEIGHTS: dict[str, float] = {
+    "stencil": 0.40,
+    "alltoall": 0.15,
+    "allreduce": 0.15,
+    "bisection": 0.10,
+    "io_incast": 0.08,
+    "quiet": 0.12,
+}
+
+
+@dataclass(frozen=True)
+class JobSizeMix:
+    """Discrete power-law job-size distribution.
+
+    ``P(size) ~ size**(-count_exponent)`` over ``sizes``; core-hour share
+    is then ``~ size**(1 - count_exponent)`` times the duration mix.
+    The default exponent puts ~40% of core-hours in 128-512 node jobs on
+    a Theta-sized machine, matching Fig. 1.
+    """
+
+    sizes: tuple[int, ...] = (
+        128, 192, 256, 320, 384, 448, 512, 640, 768, 896,
+        1024, 1280, 1536, 2048, 2560, 3072, 3584, 4096,
+    )
+    count_exponent: float = 1.1
+    duration_log_mean: float = np.log(4.0)  # hours
+    duration_log_sigma: float = 0.9
+
+    def probabilities(self, max_nodes: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """(sizes, probabilities), truncated to the machine size."""
+        sizes = np.array([s for s in self.sizes if max_nodes is None or s <= max_nodes])
+        w = sizes.astype(np.float64) ** (-self.count_exponent)
+        return sizes, w / w.sum()
+
+    def sample_size(self, rng: np.random.Generator, max_nodes: int | None = None) -> int:
+        sizes, p = self.probabilities(max_nodes)
+        return int(rng.choice(sizes, p=p))
+
+    def sample_duration(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.duration_log_mean, self.duration_log_sigma))
+
+
+@dataclass
+class WorkloadModel:
+    """Synthetic production workload for a system."""
+
+    top: DragonflyTopology
+    mix: JobSizeMix = field(default_factory=JobSizeMix)
+
+    def _sample_archetype(self, rng: np.random.Generator) -> str:
+        names = list(ARCHETYPE_WEIGHTS)
+        w = np.array([ARCHETYPE_WEIGHTS[n] for n in names])
+        return str(rng.choice(names, p=w / w.sum()))
+
+    def generate_log(self, n_jobs: int, rng: np.random.Generator) -> JobLog:
+        """A synthetic job log (sizes, durations, archetypes) — Fig. 1 input."""
+        log = JobLog()
+        t = 0.0
+        for _ in range(n_jobs):
+            size = self.mix.sample_size(rng, self.top.n_nodes)
+            log.jobs.append(
+                Job(
+                    n_nodes=size,
+                    duration_hours=self.mix.sample_duration(rng),
+                    archetype=self._sample_archetype(rng),
+                    start_hours=t,
+                )
+            )
+            t += float(rng.exponential(0.2))
+        return log
+
+    def sample_active_jobs(
+        self,
+        rng: np.random.Generator,
+        *,
+        target_fill: float = 0.85,
+        reserve_nodes: int = 0,
+    ) -> list[Job]:
+        """An instantaneous mix of concurrently running jobs.
+
+        Jobs are drawn from the size mix until the machine (minus
+        ``reserve_nodes`` held back for the experiment's own job) is
+        ``target_fill`` full — matching how the paper's production runs
+        shared Theta/Cori with whatever else was scheduled.
+        """
+        if not (0.0 <= target_fill <= 1.0):
+            raise ValueError("target_fill must be in [0, 1]")
+        budget = int((self.top.n_nodes - reserve_nodes) * target_fill)
+        jobs: list[Job] = []
+        used = 0
+        attempts = 0
+        while used < budget and attempts < 1000:
+            attempts += 1
+            size = self.mix.sample_size(rng, self.top.n_nodes)
+            if used + size > budget:
+                if budget - used >= self.mix.sizes[0]:
+                    size = self.mix.sizes[0]
+                else:
+                    break
+            jobs.append(
+                Job(
+                    n_nodes=size,
+                    duration_hours=self.mix.sample_duration(rng),
+                    archetype=self._sample_archetype(rng),
+                )
+            )
+            used += size
+        return jobs

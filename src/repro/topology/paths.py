@@ -1,0 +1,300 @@
+"""Vectorized minimal and Valiant (non-minimal) path construction.
+
+A *path* is the ordered list of directed link ids a packet traverses from
+source NIC to destination NIC.  For the fluid congestion engine we build,
+per flow, a small sampled set of candidate **sub-paths** of each kind:
+
+* **minimal** — up to ``k`` sub-paths that differ only in which rank-3
+  cable of the direct group-pair bundle they use (and in the rank-1/rank-2
+  order of the local legs).  Aries minimal adaptive routing spreads packets
+  over exactly this set.
+* **non-minimal (Valiant)** — up to ``k`` sub-paths through distinct
+  randomly chosen intermediate groups, each taking *two* global hops.
+  Within a group, the non-minimal variant detours via a random
+  intermediate router.
+
+Paths are stored in a fixed-width ``(n_subpaths, MAX_HOPS)`` int array
+padded with ``-1``; unused columns are simply masked during load
+accumulation, which keeps every operation a flat NumPy gather/scatter.
+
+Column layout::
+
+    0     injection (NIC -> router)
+    1-2   source-group local leg          (rank-1 / rank-2)
+    3     first global hop                (rank-3)
+    4-5   intermediate- or dest-group leg (rank-1 / rank-2)
+    6     second global hop               (rank-3, Valiant only)
+    7-8   dest-group local leg            (Valiant only)
+    9     ejection (router -> NIC)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.dragonfly import DragonflyTopology
+
+#: fixed path width (see module docstring for the column layout)
+MAX_HOPS = 10
+
+_COL_INJ = 0
+_COL_LOCAL_A = 1
+_COL_GLOBAL_1 = 3
+_COL_LOCAL_B = 4
+_COL_GLOBAL_2 = 6
+_COL_LOCAL_C = 7
+_COL_EJE = 9
+
+
+@dataclass
+class PathBundle:
+    """A set of candidate sub-paths, each owned by one flow.
+
+    Attributes
+    ----------
+    links:
+        ``(n_subpaths, MAX_HOPS)`` int64 array of directed link ids,
+        ``-1``-padded.
+    flow:
+        ``(n_subpaths,)`` index of the owning flow.
+    kind:
+        ``"minimal"`` or ``"nonminimal"``.
+    """
+
+    links: np.ndarray
+    flow: np.ndarray
+    kind: str
+
+    @property
+    def n_subpaths(self) -> int:
+        return self.links.shape[0]
+
+    @property
+    def hops(self) -> np.ndarray:
+        """Number of valid links per sub-path (including NIC hops)."""
+        return (self.links >= 0).sum(axis=1)
+
+    @property
+    def router_hops(self) -> np.ndarray:
+        """Router-to-router hops only (excluding injection/ejection)."""
+        return (self.links[:, 1:_COL_EJE] >= 0).sum(axis=1)
+
+    def subpaths_per_flow(self, n_flows: int) -> np.ndarray:
+        """How many sub-paths each flow owns."""
+        return np.bincount(self.flow, minlength=n_flows)
+
+
+def _local_route(
+    top: DragonflyTopology,
+    src_r: np.ndarray,
+    dst_r: np.ndarray,
+    rank1_first: np.ndarray,
+    out: np.ndarray,
+    col0: int,
+) -> None:
+    """Fill the (up to 2) intra-group links from ``src_r`` to ``dst_r``.
+
+    Both router arrays must be in the same group element-wise.  Writes the
+    link ids into ``out[:, col0]`` and ``out[:, col0 + 1]``; leaves ``-1``
+    where no hop is needed.  ``rank1_first`` selects the dimension order
+    for the two-hop case (both orders are minimal on Aries).
+    """
+    g = top.router_group(src_r)
+    c1 = top.router_chassis(src_r)
+    s1 = top.router_slot(src_r)
+    c2 = top.router_chassis(dst_r)
+    s2 = top.router_slot(dst_r)
+
+    same = src_r == dst_r
+    same_chassis = (~same) & (c1 == c2)
+    same_slot = (~same) & (s1 == s2)
+    two_hop = (~same) & (c1 != c2) & (s1 != s2)
+
+    # single-hop cases
+    idx = np.flatnonzero(same_chassis)
+    if idx.size:
+        out[idx, col0] = top.rank1_link(g[idx], c1[idx], s1[idx], s2[idx])
+    idx = np.flatnonzero(same_slot)
+    if idx.size:
+        out[idx, col0] = top.rank2_link(g[idx], s1[idx], c1[idx], c2[idx])
+
+    # two-hop cases, rank-1 first: row move in src chassis, then column
+    idx = np.flatnonzero(two_hop & rank1_first)
+    if idx.size:
+        out[idx, col0] = top.rank1_link(g[idx], c1[idx], s1[idx], s2[idx])
+        out[idx, col0 + 1] = top.rank2_link(g[idx], s2[idx], c1[idx], c2[idx])
+
+    # two-hop cases, rank-2 first: column move, then row in dst chassis
+    idx = np.flatnonzero(two_hop & ~rank1_first)
+    if idx.size:
+        out[idx, col0] = top.rank2_link(g[idx], s1[idx], c1[idx], c2[idx])
+        out[idx, col0 + 1] = top.rank1_link(g[idx], c2[idx], s1[idx], s2[idx])
+
+
+def _sample_distinct(rng: np.random.Generator, n: int, k: int, modulus: int) -> np.ndarray:
+    """Sample ``k`` distinct values per row from ``range(modulus)``.
+
+    Uses a random base + unit stride, which is distinct as long as
+    ``k <= modulus`` and is dramatically cheaper than per-row permutation.
+    """
+    if k > modulus:
+        raise ValueError(f"cannot sample {k} distinct values from {modulus}")
+    base = rng.integers(0, modulus, size=n)
+    return (base[:, None] + np.arange(k)[None, :]) % modulus
+
+
+def minimal_paths(
+    top: DragonflyTopology,
+    src_node: np.ndarray,
+    dst_node: np.ndarray,
+    *,
+    k: int = 2,
+    rng: np.random.Generator,
+) -> PathBundle:
+    """Build ``k`` minimal candidate sub-paths per flow.
+
+    Inter-group flows get ``k`` sub-paths over distinct rank-3 cables of the
+    direct group-pair bundle (capped by the bundle size); intra-group flows
+    get ``k`` sub-paths that differ in local-leg dimension order.
+    """
+    src_node = np.asarray(src_node, dtype=np.int64)
+    dst_node = np.asarray(dst_node, dtype=np.int64)
+    if src_node.shape != dst_node.shape:
+        raise ValueError("src_node and dst_node must have the same shape")
+    if np.any(src_node == dst_node):
+        raise ValueError("self-flows are not allowed; filter them upstream")
+    n = src_node.size
+    K = top.params.cables_per_group_pair
+    k_eff = min(k, K)
+
+    flow = np.repeat(np.arange(n, dtype=np.int64), k_eff)
+    src = np.repeat(src_node, k_eff)
+    dst = np.repeat(dst_node, k_eff)
+    src_r = top.node_router(src)
+    dst_r = top.node_router(dst)
+    g_src = top.router_group(src_r)
+    g_dst = top.router_group(dst_r)
+
+    m = flow.size
+    links = np.full((m, MAX_HOPS), -1, dtype=np.int64)
+    links[:, _COL_INJ] = top.injection_link(src)
+    links[:, _COL_EJE] = top.ejection_link(dst)
+    rank1_first = rng.integers(0, 2, size=m).astype(bool)
+
+    intra = g_src == g_dst
+    idx = np.flatnonzero(intra)
+    if idx.size:
+        sub = links[idx]
+        _local_route(top, src_r[idx], dst_r[idx], rank1_first[idx], sub, _COL_LOCAL_A)
+        links[idx] = sub
+
+    idx = np.flatnonzero(~intra)
+    if idx.size:
+        cables = _sample_distinct(rng, n, k_eff, K).reshape(-1)[idx]
+        ga, gb = g_src[idx], g_dst[idx]
+        gw_a = top.gateway_router(ga, gb, cables)
+        gw_b = top.gateway_router(gb, ga, cables)
+        sub = links[idx]
+        _local_route(top, src_r[idx], gw_a, rank1_first[idx], sub, _COL_LOCAL_A)
+        sub[:, _COL_GLOBAL_1] = top.rank3_link(ga, gb, cables)
+        _local_route(top, gw_b, dst_r[idx], ~rank1_first[idx], sub, _COL_LOCAL_B)
+        links[idx] = sub
+
+    return PathBundle(links=links, flow=flow, kind="minimal")
+
+
+def valiant_paths(
+    top: DragonflyTopology,
+    src_node: np.ndarray,
+    dst_node: np.ndarray,
+    *,
+    k: int = 2,
+    rng: np.random.Generator,
+) -> PathBundle:
+    """Build ``k`` non-minimal (Valiant) candidate sub-paths per flow.
+
+    Inter-group flows detour through ``k`` distinct intermediate groups
+    (two global hops each); intra-group flows detour through a random
+    intermediate router of the same group.
+    """
+    src_node = np.asarray(src_node, dtype=np.int64)
+    dst_node = np.asarray(dst_node, dtype=np.int64)
+    if src_node.shape != dst_node.shape:
+        raise ValueError("src_node and dst_node must have the same shape")
+    if np.any(src_node == dst_node):
+        raise ValueError("self-flows are not allowed; filter them upstream")
+    n = src_node.size
+    G = top.n_groups
+    K = top.params.cables_per_group_pair
+    k_eff = min(k, max(G - 2, 1))
+
+    flow = np.repeat(np.arange(n, dtype=np.int64), k_eff)
+    src = np.repeat(src_node, k_eff)
+    dst = np.repeat(dst_node, k_eff)
+    src_r = top.node_router(src)
+    dst_r = top.node_router(dst)
+    g_src = top.router_group(src_r)
+    g_dst = top.router_group(dst_r)
+
+    m = flow.size
+    links = np.full((m, MAX_HOPS), -1, dtype=np.int64)
+    links[:, _COL_INJ] = top.injection_link(src)
+    links[:, _COL_EJE] = top.ejection_link(dst)
+    rank1_first = rng.integers(0, 2, size=m).astype(bool)
+
+    intra = g_src == g_dst
+    idx = np.flatnonzero(intra)
+    if idx.size:
+        # detour via a random distinct router of the same group
+        Rg = top.routers_per_group
+        via_local = rng.integers(0, Rg, size=idx.size)
+        via = g_src[idx] * Rg + via_local
+        clash = (via == src_r[idx]) | (via == dst_r[idx])
+        via = np.where(clash, g_src[idx] * Rg + (via_local + 1) % Rg, via)
+        # a second collision is possible when Rg is tiny; nudge once more
+        clash = (via == src_r[idx]) | (via == dst_r[idx])
+        via = np.where(clash, g_src[idx] * Rg + (via_local + 2) % Rg, via)
+        sub = links[idx]
+        _local_route(top, src_r[idx], via, rank1_first[idx], sub, _COL_LOCAL_A)
+        _local_route(top, via, dst_r[idx], ~rank1_first[idx], sub, _COL_LOCAL_B)
+        links[idx] = sub
+
+    idx = np.flatnonzero(~intra)
+    if idx.size and G == 2:
+        # A 2-group dragonfly has no intermediate group; the only
+        # non-minimal diversity is over cables, with a forced detour
+        # through a random gateway.  Emit minimal-shaped paths over
+        # random cables so the bias machinery still has two path sets.
+        cables = rng.integers(0, K, size=idx.size)
+        ga, gb = g_src[idx], g_dst[idx]
+        gw_a = top.gateway_router(ga, gb, cables)
+        gw_b = top.gateway_router(gb, ga, cables)
+        sub = links[idx]
+        _local_route(top, src_r[idx], gw_a, rank1_first[idx], sub, _COL_LOCAL_A)
+        sub[:, _COL_GLOBAL_1] = top.rank3_link(ga, gb, cables)
+        _local_route(top, gw_b, dst_r[idx], ~rank1_first[idx], sub, _COL_LOCAL_B)
+        links[idx] = sub
+    elif idx.size:
+        # distinct intermediate groups, skipping src and dst groups
+        raw = _sample_distinct(rng, n, k_eff, max(G - 2, 1)).reshape(-1)[idx]
+        lo = np.minimum(g_src[idx], g_dst[idx])
+        hi = np.maximum(g_src[idx], g_dst[idx])
+        g_int = raw + (raw >= lo) + (raw + (raw >= lo) >= hi)
+        cab1 = rng.integers(0, K, size=idx.size)
+        cab2 = rng.integers(0, K, size=idx.size)
+        ga, gb = g_src[idx], g_dst[idx]
+        gw1_a = top.gateway_router(ga, g_int, cab1)
+        gw1_b = top.gateway_router(g_int, ga, cab1)
+        gw2_a = top.gateway_router(g_int, gb, cab2)
+        gw2_b = top.gateway_router(gb, g_int, cab2)
+        sub = links[idx]
+        _local_route(top, src_r[idx], gw1_a, rank1_first[idx], sub, _COL_LOCAL_A)
+        sub[:, _COL_GLOBAL_1] = top.rank3_link(ga, g_int, cab1)
+        _local_route(top, gw1_b, gw2_a, ~rank1_first[idx], sub, _COL_LOCAL_B)
+        sub[:, _COL_GLOBAL_2] = top.rank3_link(g_int, gb, cab2)
+        _local_route(top, gw2_b, dst_r[idx], rank1_first[idx], sub, _COL_LOCAL_C)
+        links[idx] = sub
+
+    return PathBundle(links=links, flow=flow, kind="nonminimal")

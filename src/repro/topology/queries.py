@@ -1,0 +1,113 @@
+"""Topology analytics: distances, diversity, and placement geometry.
+
+Helpers for reasoning about a dragonfly the way the paper's Sections
+II-C/II-F do — how far apart a job's endpoints are, how many routing
+choices connect them, and how a placement spreads over the machine.
+All functions are vectorized over node arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.dragonfly import DragonflyTopology
+
+
+def minimal_router_hops(top: DragonflyTopology, src_node, dst_node) -> np.ndarray:
+    """Router-to-router hops of the minimal path between node pairs.
+
+    0 for same-router pairs; 1-2 within a group (rank-1 and/or rank-2);
+    up to 5 across groups (<=2 local + 1 global + <=2 local).  This is
+    the closed form the sampled paths of :mod:`repro.topology.paths`
+    realize, computed without building them.
+    """
+    src_r = top.node_router(np.asarray(src_node))
+    dst_r = top.node_router(np.asarray(dst_node))
+    same_router = src_r == dst_r
+    g_s, g_d = top.router_group(src_r), top.router_group(dst_r)
+    c_s, c_d = top.router_chassis(src_r), top.router_chassis(dst_r)
+    s_s, s_d = top.router_slot(src_r), top.router_slot(dst_r)
+
+    # intra-group local distance between two routers
+    local = np.where(
+        same_router, 0, 1 + ((c_s != c_d) & (s_s != s_d)).astype(int)
+    )
+
+    # inter-group: src -> gateway, cable (1 hop), gateway -> dst.
+    # Gateways vary per cable; we report the *typical* distance (both
+    # local legs at their maximum length), matching the builders'
+    # averages.  A single-chassis (Slingshot-style) group's local legs
+    # are at most one hop.
+    inter = np.asarray(g_s != g_d)
+    leg = 1 if top.params.chassis_per_group == 1 else 2
+    out = np.where(inter, leg + 1 + leg, local)
+    # refine inter-group pairs whose endpoints are themselves gateways
+    # only statistically; the sampled-path mean is what campaigns use.
+    return out.astype(np.int64)
+
+
+def minimal_path_diversity(top: DragonflyTopology, src_node, dst_node) -> np.ndarray:
+    """Number of distinct minimal route choices between node pairs.
+
+    Within a group: 1 for aligned pairs, 2 for two-hop pairs (rank-1
+    first or rank-2 first).  Across groups: one choice per cable of the
+    direct bundle times the local-leg orders.
+    """
+    src_node = np.asarray(src_node)
+    dst_node = np.asarray(dst_node)
+    src_r = top.node_router(src_node)
+    dst_r = top.node_router(dst_node)
+    g_s, g_d = top.router_group(src_r), top.router_group(dst_r)
+    c_s, c_d = top.router_chassis(src_r), top.router_chassis(dst_r)
+    s_s, s_d = top.router_slot(src_r), top.router_slot(dst_r)
+
+    intra_two_hop = (g_s == g_d) & (c_s != c_d) & (s_s != s_d)
+    intra = np.where(src_r == dst_r, 1, np.where(intra_two_hop, 2, 1))
+    K = top.params.cables_per_group_pair
+    return np.where(g_s != g_d, K * 4, intra).astype(np.int64)
+
+
+def placement_geometry(top: DragonflyTopology, nodes: np.ndarray) -> dict[str, float]:
+    """Geometry summary of a placement (the Fig.-3 x-axis and more).
+
+    Returns groups/chassis/routers touched, the fraction of random
+    intra-job pairs that cross groups (rank-3 exposure), and the mean
+    minimal hop distance over sampled pairs.
+    """
+    nodes = np.asarray(nodes)
+    routers = np.unique(top.node_router(nodes))
+    groups = np.unique(top.router_group(routers))
+    chassis = np.unique(
+        top.router_group(routers) * top.params.chassis_per_group
+        + top.router_chassis(routers)
+    )
+
+    rng = np.random.default_rng(0)
+    n = min(2000, nodes.size * (nodes.size - 1))
+    i = rng.integers(0, nodes.size, n)
+    j = rng.integers(0, nodes.size, n)
+    keep = i != j
+    src, dst = nodes[i[keep]], nodes[j[keep]]
+    cross = top.node_group(src) != top.node_group(dst)
+    hops = minimal_router_hops(top, src, dst)
+    return {
+        "groups": int(groups.size),
+        "chassis": int(chassis.size),
+        "routers": int(routers.size),
+        "cross_group_fraction": float(np.mean(cross)) if cross.size else 0.0,
+        "mean_min_hops": float(hops.mean()) if hops.size else 0.0,
+    }
+
+
+def bisection_cut(top: DragonflyTopology, group_set: np.ndarray) -> float:
+    """Per-direction optical bandwidth crossing a group bipartition.
+
+    ``group_set`` lists the groups on one side; the cut is the aggregate
+    cable bandwidth to the remaining groups — the denominator of the
+    bisection-boundness arguments in Sections II-E/IV-C.
+    """
+    group_set = np.unique(np.asarray(group_set))
+    other = np.setdiff1d(np.arange(top.n_groups), group_set)
+    n_pairs = group_set.size * other.size
+    per_cable = top.params.lanes_per_cable * top.params.rank3_bw_bidir / 2.0
+    return float(n_pairs * top.params.cables_per_group_pair * per_cable)

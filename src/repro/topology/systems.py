@@ -1,0 +1,112 @@
+"""System presets: Theta, Cori, and scaled-down variants for tests.
+
+Numbers follow Section II of the paper:
+
+* **Theta** (ALCF): 4392 KNL compute nodes, 12 dragonfly groups, 12 active
+  optical cables (3 lanes each) between each pair of groups.
+* **Cori** (NERSC): 9668 KNL compute nodes on the same XC-40 topology, but
+  only 4 cables per group-to-group connection — a reduced
+  bisection-to-injection ratio.  The paper does not state Cori's group
+  count; its Fig. 4 shows jobs spanning up to 27 groups, so we size the
+  KNL partition at 28 groups (10752 node slots >= 9668).
+* Copper (rank-1/rank-2) links: 10.5 GB/s bidirectional each; optical
+  (rank-3): 9.38 GB/s per link.
+"""
+
+from __future__ import annotations
+
+from repro.topology.dragonfly import DragonflyParams, DragonflyTopology
+
+
+def theta(*, seed: int = 0) -> DragonflyTopology:
+    """ALCF Theta: 12 groups, 4392 KNL nodes, 12 cables per group pair."""
+    return DragonflyTopology(
+        DragonflyParams(
+            name="theta",
+            n_groups=12,
+            n_compute_nodes=4392,
+            cables_per_group_pair=12,
+        ),
+        seed=seed,
+    )
+
+
+def cori(*, seed: int = 0) -> DragonflyTopology:
+    """NERSC Cori (KNL partition): 28 groups, 9668 nodes, 4 cables/pair."""
+    return DragonflyTopology(
+        DragonflyParams(
+            name="cori",
+            n_groups=28,
+            n_compute_nodes=9668,
+            cables_per_group_pair=4,
+        ),
+        seed=seed,
+    )
+
+
+def mini(*, n_groups: int = 4, seed: int = 0) -> DragonflyTopology:
+    """A small but structurally complete system for fast integration tests.
+
+    Keeps the 3-level structure (2 chassis x 8 routers per group, 2 nodes
+    per router) while shrinking every dimension.
+    """
+    return DragonflyTopology(
+        DragonflyParams(
+            name=f"mini{n_groups}",
+            n_groups=n_groups,
+            chassis_per_group=2,
+            routers_per_chassis=8,
+            nodes_per_router=2,
+            cables_per_group_pair=4,
+        ),
+        seed=seed,
+    )
+
+
+def slingshot(*, n_groups: int = 16, seed: int = 0) -> DragonflyTopology:
+    """A Slingshot-generation dragonfly (Perlmutter-like scale).
+
+    The paper's Section II-A argues its insights transfer to the
+    upcoming Cray Slingshot systems "because on any dragonfly system
+    applications will have a preference for minimal or non-minimal
+    routes".  Slingshot groups are a single-level all-to-all of 64-port
+    switches (no chassis/column split), with 16 endpoints per switch and
+    faster (25 GB/s-class) links; we model a group as one 32-switch
+    "chassis" so the rank-1 tier is the intra-group all-to-all and the
+    rank-2 tier is absent.
+    """
+    return DragonflyTopology(
+        DragonflyParams(
+            name="slingshot",
+            n_groups=n_groups,
+            chassis_per_group=1,
+            routers_per_chassis=32,
+            nodes_per_router=16,
+            cables_per_group_pair=8,
+            lanes_per_cable=1,
+            rank1_bw_bidir=25.0e9,
+            rank2_bw_bidir=25.0e9,
+            rank3_bw_bidir=25.0e9,
+            nic_bw_bidir=25.0e9,
+        ),
+        seed=seed,
+    )
+
+
+def toy(*, seed: int = 0) -> DragonflyTopology:
+    """The smallest meaningful dragonfly, for unit tests and the packet sim.
+
+    2 groups x (2 chassis x 4 routers) x 2 nodes = 32 nodes.
+    """
+    return DragonflyTopology(
+        DragonflyParams(
+            name="toy",
+            n_groups=2,
+            chassis_per_group=2,
+            routers_per_chassis=4,
+            nodes_per_router=2,
+            cables_per_group_pair=2,
+            lanes_per_cable=1,
+        ),
+        seed=seed,
+    )

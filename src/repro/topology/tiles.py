@@ -1,0 +1,54 @@
+"""Aries router tile inventory.
+
+Each Aries router has 48 tiles: 40 **network tiles** (15 green rank-1,
+15 grey rank-2 — three tiles per peer chassis times five peers — and 10
+blue rank-3) and 8 **processor tiles** connecting the router's four NICs.
+Request and response traffic use separate virtual channels on the
+processor tiles; the paper analyzes them separately (``Proc_req`` /
+``Proc_rsp`` in Fig. 6).
+
+The congestion engines track loads per *link*; this inventory supplies the
+per-router tile counts used to normalize those loads into per-tile counter
+values, matching how AutoPerf/LDMS report them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TileInventory:
+    """Tile counts per router, by class."""
+
+    rank1: int
+    rank2: int
+    rank3: int
+    proc: int
+
+    @classmethod
+    def aries(cls) -> "TileInventory":
+        """The Cray Aries tile layout (48 tiles total)."""
+        return cls(rank1=15, rank2=15, rank3=10, proc=8)
+
+    @property
+    def network(self) -> int:
+        """Number of network (non-processor) tiles."""
+        return self.rank1 + self.rank2 + self.rank3
+
+    @property
+    def total(self) -> int:
+        return self.network + self.proc
+
+    def count_for(self, class_name: str) -> int:
+        """Tile count for a class name used in counter reports.
+
+        Accepts ``rank1|rank2|rank3|proc_req|proc_rsp|proc``; the two
+        processor VCs share the same physical tiles.
+        """
+        key = class_name.lower()
+        if key in ("proc_req", "proc_rsp", "proc"):
+            return self.proc
+        if key in ("rank1", "rank2", "rank3"):
+            return getattr(self, key)
+        raise KeyError(f"unknown tile class {class_name!r}")

@@ -1,0 +1,45 @@
+"""Shared utilities: unit helpers, seeded RNG derivation, validation.
+
+These helpers are deliberately tiny and dependency-free so that every other
+subpackage can import them without cycles.
+"""
+
+from repro.util.units import (
+    KiB,
+    MiB,
+    GiB,
+    GB,
+    MB,
+    KB,
+    US,
+    MS,
+    fmt_bytes,
+    fmt_time,
+)
+from repro.util.rng import derive_rng, derive_seeds, spawn_rngs
+from repro.util.validation import (
+    check_positive,
+    check_nonnegative,
+    check_in_range,
+    check_power_of_two,
+)
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "GB",
+    "MB",
+    "KB",
+    "US",
+    "MS",
+    "fmt_bytes",
+    "fmt_time",
+    "derive_rng",
+    "derive_seeds",
+    "spawn_rngs",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_power_of_two",
+]

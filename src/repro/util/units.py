@@ -1,0 +1,59 @@
+"""Byte / time unit constants and formatting helpers.
+
+Conventions used throughout the library:
+
+* sizes are in **bytes** (floats allowed for aggregate loads),
+* bandwidths are in **bytes per second**,
+* times are in **seconds**.
+
+Binary prefixes (``KiB``/``MiB``/``GiB``) are powers of two; decimal
+prefixes (``KB``/``MB``/``GB``) are powers of ten and match how link
+bandwidths are quoted in the paper (e.g. 10.5 GB/s rank-1 links).
+"""
+
+from __future__ import annotations
+
+KiB: int = 1024
+MiB: int = 1024 * 1024
+GiB: int = 1024 * 1024 * 1024
+
+KB: int = 1_000
+MB: int = 1_000_000
+GB: int = 1_000_000_000
+
+#: one microsecond / millisecond, in seconds
+US: float = 1e-6
+MS: float = 1e-3
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a human-friendly binary suffix.
+
+    >>> fmt_bytes(8)
+    '8 B'
+    >>> fmt_bytes(2048)
+    '2.0 KiB'
+    """
+    n = float(n)
+    if abs(n) < KiB:
+        return f"{n:.0f} B"
+    for suffix, scale in (("KiB", KiB), ("MiB", MiB), ("GiB", GiB)):
+        if abs(n) < scale * 1024 or suffix == "GiB":
+            return f"{n / scale:.1f} {suffix}"
+    raise AssertionError("unreachable")
+
+
+def fmt_time(t: float) -> str:
+    """Render a duration in the most readable unit.
+
+    >>> fmt_time(0.5)
+    '500.0 ms'
+    >>> fmt_time(3e-6)
+    '3.0 us'
+    """
+    t = float(t)
+    if abs(t) >= 1.0:
+        return f"{t:.3f} s"
+    if abs(t) >= MS:
+        return f"{t / MS:.1f} ms"
+    return f"{t / US:.1f} us"

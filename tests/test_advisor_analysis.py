@@ -1,0 +1,118 @@
+"""Unit tests for the routing advisor and the analysis layer."""
+
+import numpy as np
+import pytest
+
+from repro.apps import BisectionBound, ComputeBound, InjectionBound, LatencyBound, MILC, HACC
+from repro.core.advisor import classify, recommend
+from repro.core.analysis import (
+    breakdown_rows,
+    group_span_series,
+    improvement_table,
+    normalized_by_mode,
+    ratio_samples,
+)
+from repro.core.biases import AD0, AD3
+from repro.core.experiment import run_app_once
+from repro.monitoring.autoperf import AutoPerf
+from repro.mpi.env import RoutingEnv
+from repro.util import derive_rng
+
+
+def _profile_for(app_cls, theta_top, seed=0):
+    _, report, _ = run_app_once(
+        theta_top,
+        app_cls(),
+        np.arange(256),
+        RoutingEnv(),
+        rng=derive_rng(seed, "advisor", app_cls.__name__),
+    )
+    return report
+
+
+class TestAdvisor:
+    def test_latency_bound_gets_ad3(self, theta_top):
+        rec = recommend(_profile_for(LatencyBound, theta_top))
+        assert rec.profile_class == "latency_bound"
+        assert rec.mode is AD3
+
+    def test_bisection_bound_gets_ad0(self, theta_top):
+        rec = recommend(_profile_for(BisectionBound, theta_top))
+        assert rec.profile_class == "bisection_bound"
+        assert rec.mode is AD0
+
+    def test_compute_bound_insensitive(self, theta_top):
+        rec = recommend(_profile_for(ComputeBound, theta_top))
+        assert rec.profile_class == "compute_bound"
+
+    def test_milc_recommendation_matches_paper(self, theta_top):
+        # the paper's key recommendation: MILC-like codes should use AD3
+        rec = recommend(_profile_for(MILC, theta_top))
+        assert rec.mode is AD3
+
+    def test_hacc_recommendation_matches_paper(self, theta_top):
+        # HACC is the documented exception: bisection-bound -> AD0
+        rec = recommend(_profile_for(HACC, theta_top))
+        assert rec.mode is AD0
+
+    def test_classify_synthetic_profile(self):
+        ap = AutoPerf("x", 16)
+        ap.record_op("MPI_Allreduce", calls=1e6, nbytes=8e6, time=50.0)
+        ap.add_total_time(100.0)
+        assert classify(ap.finalize()) == "latency_bound"
+
+    def test_recommendation_str(self, theta_top):
+        rec = recommend(_profile_for(LatencyBound, theta_top))
+        s = str(rec)
+        assert "AD3" in s and "latency" in s
+
+
+class TestAnalysis:
+    def test_improvement_table_row(self, milc_campaign):
+        rows = improvement_table(milc_campaign)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.app == "MILC"
+        assert row.n_runs > 0
+        assert np.isfinite(row.time_improvement)
+        assert np.isfinite(row.mpi_improvement)
+        assert "MILC" in row.format()
+
+    def test_improvement_table_missing_mode(self, milc_campaign):
+        rows = improvement_table(milc_campaign, base_mode="AD1", test_mode="AD2")
+        assert rows == []
+
+    def test_normalized_by_mode_zero_mean(self, milc_campaign):
+        z = normalized_by_mode(milc_campaign)
+        pooled = np.concatenate(list(z.values()))
+        assert pooled.mean() == pytest.approx(0.0, abs=1e-9)
+        assert set(z) == {"AD0", "AD3"}
+
+    def test_group_span_series_keys(self, milc_campaign):
+        series = group_span_series(milc_campaign)
+        groups = {r.groups for r in milc_campaign}
+        assert set(series) == groups
+        for g, modes in series.items():
+            for m, vals in modes.items():
+                assert vals.size > 0
+
+    def test_breakdown_rows_structure(self, milc_campaign):
+        bd = breakdown_rows(milc_campaign)
+        assert set(bd) == {"AD0", "AD3"}
+        row = bd["AD0"][0]
+        assert "Compute" in row and "Other_MPI" in row
+        assert "MPI_Allreduce" in row
+        # stacks must be non-negative and sum to the runtime
+        rec = [r for r in milc_campaign if r.mode == "AD0"][0]
+        assert sum(row.values()) == pytest.approx(rec.runtime, rel=1e-6)
+        assert all(v >= 0 for v in row.values())
+
+    def test_ratio_samples_network(self, milc_campaign):
+        rs = ratio_samples(milc_campaign)
+        assert set(rs) == {"AD0", "AD3"}
+        for vals in rs.values():
+            assert (vals >= 0).all()
+
+    def test_ratio_samples_class(self, milc_campaign):
+        rs = ratio_samples(milc_campaign, cls="proc_req")
+        assert all(v.size for v in rs.values())

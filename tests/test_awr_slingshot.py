@@ -1,0 +1,172 @@
+"""Tests for the AWR runtime comparison and the Slingshot preset."""
+
+import numpy as np
+import pytest
+
+from repro.apps import MILC, LatencyBound
+from repro.core.awr import AwrConfig, AwrRunResult, run_app_awr, run_app_static
+from repro.core.biases import AD0, AD3
+from repro.topology.systems import slingshot
+
+
+class TestAwrConfig:
+    def test_defaults_valid(self):
+        cfg = AwrConfig()
+        assert cfg.degrade_factor > cfg.recover_factor
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AwrConfig(n_windows=0)
+        with pytest.raises(ValueError):
+            AwrConfig(degrade_factor=1.0, recover_factor=1.1)
+
+
+@pytest.fixture(scope="module")
+def awr_setup():
+    from repro.scheduler.background import BackgroundModel
+    from repro.scheduler.placement import production_placement
+    from repro.core.experiment import mask_endpoint_background
+    from repro.topology.systems import theta
+    from repro.util import derive_rng
+
+    top = theta()
+    bm = BackgroundModel(top)
+    sc = bm.build_scenario(derive_rng(5, "awr-test"), reserve_nodes=256)
+    nodes = production_placement(top, 256, derive_rng(6, "awr-test"))
+    rng_i = derive_rng(7, "awr-test")
+    windows = [
+        mask_endpoint_background(
+            top,
+            sc.at_intensity(float(np.clip(rng_i.lognormal(np.log(0.7), 0.6), 0.05, 1.3))),
+            nodes,
+        )
+        for _ in range(6)
+    ]
+    return top, nodes, windows
+
+
+class TestAwrRuntime:
+    def test_result_structure(self, awr_setup):
+        from repro.util import derive_rng
+
+        top, nodes, windows = awr_setup
+        cfg = AwrConfig(n_windows=6)
+        res = run_app_awr(
+            top, MILC(), nodes, background_windows=windows, rng=derive_rng(1, "a"), config=cfg
+        )
+        assert isinstance(res, AwrRunResult)
+        assert res.runtime > 0
+        assert len(res.window_modes) == 6
+        assert len(res.window_latencies) == 6
+        assert res.mode_changes >= 0
+
+    def test_starts_at_ad0(self, awr_setup):
+        from repro.util import derive_rng
+
+        top, nodes, windows = awr_setup
+        res = run_app_awr(
+            top,
+            MILC(),
+            nodes,
+            background_windows=windows,
+            rng=derive_rng(1, "b"),
+            config=AwrConfig(n_windows=6),
+        )
+        assert res.window_modes[0] == "AD0"
+
+    def test_knl_overhead_strictly_slower(self, awr_setup):
+        from repro.util import derive_rng
+
+        top, nodes, windows = awr_setup
+        fast = run_app_awr(
+            top,
+            MILC(),
+            nodes,
+            background_windows=windows,
+            rng=derive_rng(1, "c"),
+            config=AwrConfig(n_windows=6, core_slowdown=1.0),
+        )
+        knl = run_app_awr(
+            top,
+            MILC(),
+            nodes,
+            background_windows=windows,
+            rng=derive_rng(1, "c"),
+            config=AwrConfig(n_windows=6, core_slowdown=8.0),
+        )
+        assert knl.runtime > fast.runtime
+
+    def test_static_ad3_beats_awr_for_milc(self, awr_setup):
+        from repro.util import derive_rng
+
+        top, nodes, windows = awr_setup
+        cfg = AwrConfig(n_windows=6)
+        awr = run_app_awr(
+            top, MILC(), nodes, background_windows=windows, rng=derive_rng(1, "d"), config=cfg
+        )
+        static = run_app_static(
+            top,
+            MILC(),
+            nodes,
+            AD3,
+            background_windows=windows,
+            rng=derive_rng(1, "d"),
+            config=cfg,
+        )
+        assert static < awr.runtime
+
+    def test_static_baseline_mode_sensitivity(self, awr_setup):
+        from repro.util import derive_rng
+
+        top, nodes, windows = awr_setup
+        cfg = AwrConfig(n_windows=6)
+        t0 = run_app_static(
+            top, MILC(), nodes, AD0, background_windows=windows, rng=derive_rng(1, "e"), config=cfg
+        )
+        t3 = run_app_static(
+            top, MILC(), nodes, AD3, background_windows=windows, rng=derive_rng(1, "e"), config=cfg
+        )
+        assert t3 < t0
+
+
+class TestSlingshot:
+    def test_structure(self):
+        top = slingshot()
+        assert top.n_groups == 16
+        assert top.routers_per_group == 32
+        assert top.params.nodes_per_router == 16
+        assert top.n_nodes == 16 * 32 * 16
+
+    def test_single_level_groups(self):
+        # Slingshot groups are all-to-all: no rank-2 tier
+        top = slingshot()
+        from repro.topology.dragonfly import LinkClass
+
+        assert (top.link_class == int(LinkClass.RANK2)).sum() == 0
+
+    def test_paths_work(self, rng):
+        from repro.topology.paths import minimal_paths, valiant_paths
+
+        top = slingshot()
+        src = rng.integers(0, top.n_nodes, 100)
+        dst = (src + 1 + rng.integers(0, top.n_nodes - 1, 100)) % top.n_nodes
+        bm = minimal_paths(top, src, dst, k=2, rng=rng)
+        bv = valiant_paths(top, src, dst, k=2, rng=rng)
+        # flat groups: minimal inter-group is at most 3 router hops
+        assert bm.router_hops.max() <= 3
+        assert bv.router_hops.max() <= 5
+
+    def test_faster_links_than_aries(self):
+        top = slingshot()
+        assert top.params.rank1_bw_bidir > 2 * 10.5e9
+
+    def test_fluid_solver_runs(self, rng):
+        from repro.core.biases import AD0
+        from repro.network.fluid import FlowSet, solve_fluid
+
+        top = slingshot()
+        src = np.arange(64)
+        dst = np.arange(1000, 1064)
+        fl = FlowSet(src, dst, np.full(64, 1e6), np.zeros(64, dtype=np.int64))
+        res = solve_fluid(top, fl, [AD0], rng=rng)
+        assert res.phase_time > 0

@@ -1,0 +1,113 @@
+"""Tests for the discrete-event batch scheduler and its facility hookup."""
+
+import numpy as np
+import pytest
+
+from repro.core.biases import AD3
+from repro.core.facility import WindowConfig, simulate_production_window
+from repro.mpi.env import RoutingEnv
+from repro.scheduler.simulator import BatchScheduler, ScheduleTrace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    from repro.topology.systems import theta
+
+    top = theta()
+    sched = BatchScheduler(top, arrival_rate=14)
+    return top, sched.run(
+        2.0, np.random.default_rng(7), sample_interval_hours=1.0 / 12.0
+    )
+
+
+class TestBatchScheduler:
+    def test_validation(self, theta_top):
+        with pytest.raises(ValueError):
+            BatchScheduler(theta_top, arrival_rate=0)
+        with pytest.raises(ValueError):
+            BatchScheduler(theta_top, backfill_depth=-1)
+        with pytest.raises(ValueError):
+            BatchScheduler(theta_top).run(0, np.random.default_rng(0))
+
+    def test_sample_count(self, trace):
+        _, tr = trace
+        assert tr.sample_times.size == 24  # 2 h at 5-minute samples
+
+    def test_utilization_bounds(self, trace):
+        _, tr = trace
+        assert (tr.utilization >= 0).all()
+        assert (tr.utilization <= 1.0).all()
+
+    def test_machine_fills_after_warmup(self, trace):
+        _, tr = trace
+        # a 14 jobs/hour stream of multi-hour jobs keeps Theta busy
+        assert tr.utilization.mean() > 0.5
+
+    def test_running_jobs_fit_machine(self, trace):
+        top, tr = trace
+        for active in tr.active_at:
+            assert sum(sj.job.n_nodes for sj in active) <= top.n_nodes
+
+    def test_no_placement_overlap_at_any_sample(self, trace):
+        _, tr = trace
+        for active in tr.active_at:
+            allnodes = (
+                np.concatenate([sj.nodes for sj in active])
+                if active
+                else np.zeros(0, dtype=np.int64)
+            )
+            assert np.unique(allnodes).size == allnodes.size
+
+    def test_lifecycle_ordering(self, trace):
+        _, tr = trace
+        for sj in tr.jobs:
+            if sj.ran:
+                assert sj.start >= sj.submit
+                assert sj.end == pytest.approx(sj.start + sj.job.duration_hours)
+
+    def test_wait_times_nonnegative(self, trace):
+        _, tr = trace
+        assert tr.mean_wait_hours() >= 0
+
+    def test_job_log_roundtrip(self, trace):
+        _, tr = trace
+        log = tr.job_log()
+        assert len(log) == sum(1 for j in tr.jobs if j.ran)
+
+    def test_deterministic(self, theta_top):
+        a = BatchScheduler(theta_top).run(0.5, np.random.default_rng(3))
+        b = BatchScheduler(theta_top).run(0.5, np.random.default_rng(3))
+        np.testing.assert_array_equal(a.utilization, b.utilization)
+
+    def test_jobs_persist_across_samples(self, trace):
+        # time correlation: consecutive samples share running jobs
+        _, tr = trace
+        shared = 0
+        for a, b in zip(tr.active_at, tr.active_at[1:]):
+            shared += len({id(x) for x in a} & {id(x) for x in b})
+        assert shared > 0
+
+
+class TestTraceDrivenFacility:
+    def test_window_uses_trace(self, trace):
+        top, tr = trace
+        w = simulate_production_window(
+            top,
+            WindowConfig(env=RoutingEnv(), n_intervals=4, seed=5),
+            trace=tr,
+        )
+        assert len(w.ldms.samples) == 4
+        assert w.series()["flits"].sum() > 0
+
+    def test_trace_modes_comparable(self, trace):
+        top, tr = trace
+        flits = {}
+        for env in (RoutingEnv(), RoutingEnv.uniform(AD3)):
+            w = simulate_production_window(
+                top,
+                WindowConfig(env=env, n_intervals=4, seed=5),
+                trace=tr,
+            )
+            flits[env.p2p_mode.name] = w.series()["flits"].sum()
+        # same trace, fewer hops under AD3
+        assert flits["AD3"] < flits["AD0"]

@@ -1,0 +1,173 @@
+"""Unit tests for routing modes (AD0..AD3) and the biased decision."""
+
+import numpy as np
+import pytest
+
+from repro.core.biases import (
+    AD0,
+    AD1,
+    AD2,
+    AD3,
+    VENDOR_MODES,
+    RoutingMode,
+    custom_bias,
+    mode_by_name,
+)
+from repro.core.policy import (
+    DEFAULT_POLICY,
+    PolicyParams,
+    effective_shift,
+    minimal_preferred,
+    split_fraction,
+)
+
+
+class TestModes:
+    def test_vendor_presets(self):
+        assert AD0.shift == 0 and AD0.add == 0
+        assert AD2.shift == 0 and AD2.add == 4
+        assert AD3.shift == 2 and AD3.add == 0
+        assert AD1.increasing
+
+    def test_ad3_multiplier_is_four(self):
+        # "the load on minimal paths needs to be 4X of that on the
+        # non-minimal paths, before non-minimal paths will be used"
+        assert AD3.multiplier == 4
+
+    def test_mode_order(self):
+        assert tuple(m.name for m in VENDOR_MODES) == ("AD0", "AD1", "AD2", "AD3")
+
+    def test_ad1_schedule_ramps(self):
+        sched = AD1.hop_shift_schedule
+        assert sched[0] == 0
+        assert sched[-1] == AD1.shift
+        assert list(sched) == sorted(sched)
+
+    def test_ad1_mean_shift_between_ad0_and_ad3(self):
+        assert AD0.mean_shift < AD1.mean_shift < AD3.mean_shift
+
+    def test_shift_at_hop(self):
+        assert AD1.shift_at_hop(0) == 0
+        assert AD1.shift_at_hop(100) == AD1.shift
+        assert AD3.shift_at_hop(0) == 2
+        assert AD3.shift_at_hop(9) == 2
+
+    def test_bias_range_validation(self):
+        with pytest.raises(ValueError):
+            RoutingMode("bad", shift=16, add=0)
+        with pytest.raises(ValueError):
+            RoutingMode("bad", shift=0, add=-1)
+
+    def test_schedule_must_end_at_shift(self):
+        with pytest.raises(ValueError, match="final hop_shift_schedule"):
+            RoutingMode("bad", shift=3, add=0, hop_shift_schedule=(0, 1, 2))
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            RoutingMode("bad", shift=0, add=0, hop_shift_schedule=())
+
+    def test_describe(self):
+        assert "no bias" in AD0.describe()
+        assert "increasingly-minimal" in AD1.describe()
+        assert "x4" in AD3.describe()
+
+    def test_custom_bias(self):
+        m = custom_bias(1, 2)
+        assert m.multiplier == 2 and m.add == 2 and m.name == "S1A2"
+
+
+class TestModeByName:
+    @pytest.mark.parametrize("name", ["AD0", "ad3", "ADAPTIVE_2", "1", "3"])
+    def test_accepted_spellings(self, name):
+        assert mode_by_name(name) in VENDOR_MODES
+
+    def test_env_var_value(self):
+        assert mode_by_name("ADAPTIVE_3") is AD3
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            mode_by_name("AD7")
+
+
+class TestMinimalPreferred:
+    def test_ad0_pure_comparison(self):
+        assert bool(minimal_preferred(AD0, 2, 3))
+        assert not bool(minimal_preferred(AD0, 3, 2))
+        assert bool(minimal_preferred(AD0, 2, 2))  # ties go minimal
+
+    def test_ad3_tolerates_4x(self):
+        assert bool(minimal_preferred(AD3, 8, 2))
+        assert not bool(minimal_preferred(AD3, 9, 2))
+
+    def test_ad2_additive_handicap(self):
+        assert bool(minimal_preferred(AD2, 5, 1))
+        assert not bool(minimal_preferred(AD2, 6, 1))
+
+    def test_ad1_hop_dependence(self):
+        # at hop 0 AD1 behaves like AD0; deep in the network like AD3
+        assert not bool(minimal_preferred(AD1, 3, 2, hops_taken=0))
+        assert bool(minimal_preferred(AD1, 3, 2, hops_taken=4))
+
+    def test_vectorized(self):
+        out = minimal_preferred(AD0, np.array([1, 3]), np.array([2, 2]))
+        np.testing.assert_array_equal(out, [True, False])
+
+    def test_effective_shift_vector(self):
+        np.testing.assert_array_equal(
+            effective_shift(AD1, np.array([0, 2, 4, 9])), [0, 1, 2, 2]
+        )
+        np.testing.assert_array_equal(
+            effective_shift(AD3, np.array([0, 5])), [2, 2]
+        )
+
+
+class TestSplitFraction:
+    def test_half_at_threshold(self):
+        # AD0 at exactly equal loads sits at the decision boundary
+        assert split_fraction(AD0, 0.5, 0.5) == pytest.approx(0.5)
+
+    def test_monotone_in_nonmin_load(self):
+        x1 = split_fraction(AD0, 0.5, 0.4)
+        x2 = split_fraction(AD0, 0.5, 0.8)
+        assert x2 > x1
+
+    def test_monotone_in_min_load(self):
+        x1 = split_fraction(AD0, 0.2, 0.5)
+        x2 = split_fraction(AD0, 0.9, 0.5)
+        assert x2 < x1
+
+    def test_stronger_bias_more_minimal(self):
+        # at equal loads, AD3 >> AD2 > AD0 toward minimal
+        loads = (0.6, 0.5)
+        x0 = split_fraction(AD0, *loads)
+        x2 = split_fraction(AD2, *loads)
+        x3 = split_fraction(AD3, *loads)
+        assert x0 < x2
+        assert x0 < x3
+
+    def test_extreme_margins_saturate(self):
+        assert split_fraction(AD3, 0.0, 5.0) == pytest.approx(1.0, abs=1e-9)
+        assert split_fraction(AD0, 50.0, 0.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_temperature_controls_softness(self):
+        soft = split_fraction(AD0, 0.5, 0.6, PolicyParams(temperature=5.0))
+        hard = split_fraction(AD0, 0.5, 0.6, PolicyParams(temperature=0.05))
+        assert 0.5 < soft < hard <= 1.0
+
+    def test_numerical_safety_extreme_inputs(self):
+        x = split_fraction(AD3, 1e6, 0.0)
+        assert np.isfinite(x) and x == pytest.approx(0.0, abs=1e-12)
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            PolicyParams(load_unit=0)
+        with pytest.raises(ValueError):
+            PolicyParams(temperature=0)
+        with pytest.raises(ValueError):
+            PolicyParams(hop_bias=-0.1)
+        with pytest.raises(ValueError):
+            PolicyParams(adaptive_temp=0)
+
+    def test_default_policy_sane(self):
+        assert DEFAULT_POLICY.load_unit > 0
+        assert DEFAULT_POLICY.temperature > 0

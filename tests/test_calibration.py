@@ -1,0 +1,70 @@
+"""Tests for the calibration harness — and the shipped constants."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    PAPER_TARGETS,
+    CalibrationTarget,
+    format_score,
+    probe_observables,
+    score_against_paper,
+    sweep_parameter,
+)
+
+
+@pytest.fixture(scope="module")
+def observables():
+    from repro.topology.systems import theta
+
+    return probe_observables(theta())
+
+
+class TestTargets:
+    def test_band_check(self):
+        t = CalibrationTarget("x", 10.0, lo=8.0, hi=12.0)
+        assert t.check(9.0)
+        assert not t.check(13.0)
+
+    def test_paper_targets_cover_sign_structure(self):
+        names = {t.name for t in PAPER_TARGETS}
+        assert "milc_improvement_pct" in names
+        assert "hacc_improvement_pct" in names
+        # the HACC band is strictly negative: AD3 must lose there
+        hacc = next(t for t in PAPER_TARGETS if t.name == "hacc_improvement_pct")
+        assert hacc.hi < 0
+
+
+class TestShippedConstants:
+    def test_probe_produces_all_observables(self, observables):
+        for key in (
+            "milc_ad0_mean_s",
+            "milc_improvement_pct",
+            "milc_mpi_fraction",
+            "hacc_improvement_pct",
+        ):
+            assert key in observables
+            assert np.isfinite(observables[key])
+
+    def test_shipped_constants_pass_all_targets(self, observables):
+        """The constants in the repository must stay inside the paper
+        bands — this is the regression test for any model change."""
+        scored = score_against_paper(observables)
+        failing = [(t.name, m) for t, m, ok in scored if not ok]
+        assert not failing, format_score(scored)
+
+    def test_format_scorecard(self, observables):
+        text = format_score(score_against_paper(observables))
+        assert "milc_improvement_pct" in text
+        assert "yes" in text
+
+
+class TestSweep:
+    def test_unknown_parameter(self, theta_top):
+        with pytest.raises(KeyError):
+            sweep_parameter(theta_top, "magic_knob", [1.0])
+
+    def test_sweep_shape(self, theta_top):
+        out = sweep_parameter(theta_top, "stall_kappa", [3.0], samples=2)
+        assert set(out) == {3.0}
+        assert "milc_improvement_pct" in out[3.0]

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_describe_defaults(self):
+        args = build_parser().parse_args(["describe"])
+        assert args.system == "theta"
+        assert args.seed == 2021
+
+    def test_compare_args(self):
+        args = build_parser().parse_args(
+            ["compare", "--app", "hacc", "--nodes", "128", "--modes", "AD1,AD2"]
+        )
+        assert args.app == "hacc"
+        assert args.nodes == 128
+        assert args.modes == "AD1,AD2"
+
+    def test_ensemble_args(self):
+        args = build_parser().parse_args(
+            ["ensemble", "--jobs", "4", "--mode", "AD0", "--placement", "compact"]
+        )
+        assert args.jobs == 4 and args.mode == "AD0"
+
+
+class TestCommands:
+    def test_describe_runs(self, capsys):
+        assert main(["describe", "--system", "theta"]) == 0
+        out = capsys.readouterr().out
+        assert "theta" in out
+        assert "AD3" in out
+
+    def test_describe_slingshot(self, capsys):
+        assert main(["describe", "--system", "slingshot"]) == 0
+        assert "slingshot" in capsys.readouterr().out
+
+    def test_unknown_system(self):
+        with pytest.raises(SystemExit, match="unknown system"):
+            main(["describe", "--system", "summit"])
+
+    def test_compare_small(self, capsys):
+        rc = main(
+            ["compare", "--app", "latencybound", "--nodes", "64", "--samples", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "AD0" in out and "AD3" in out and "over AD0" in out
+
+    def test_advise(self, capsys):
+        assert main(["advise", "--app", "bisectionbound", "--nodes", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "AD0" in out  # bisection-bound apps get AD0
+
+    def test_facility_tiny(self, capsys):
+        assert main(["facility", "--intervals", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "flits" in out and "P99.99" in out
+
+    def test_ensemble_tiny(self, capsys):
+        rc = main(
+            [
+                "ensemble",
+                "--app",
+                "latencybound",
+                "--jobs",
+                "2",
+                "--nodes",
+                "128",
+                "--mode",
+                "AD3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "network stalls/flits" in out
+
+
+class TestCalibrateCommand:
+    def test_parser(self):
+        args = build_parser().parse_args(
+            ["calibrate", "--param", "stall_kappa", "--values", "1,3"]
+        )
+        assert args.param == "stall_kappa"
+        assert args.values == "1,3"
+
+    def test_score_runs_small(self, capsys):
+        assert main(["calibrate", "--samples", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "milc_improvement_pct" in out

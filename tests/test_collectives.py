@@ -1,0 +1,188 @@
+"""Unit tests for collective lowering (flows + latency rounds)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.collectives import (
+    allgather_flows,
+    allreduce_flows,
+    alltoall_flows,
+    alltoallv_flows,
+    barrier_flows,
+    bcast_flows,
+)
+
+
+class TestAllreduce:
+    def test_power_of_two(self):
+        fl, rounds = allreduce_flows(np.arange(16), 8.0)
+        assert rounds == 4
+        assert fl.n == 16 * 4
+        assert (fl.nbytes == 8.0).all()
+
+    def test_non_power_of_two_fold(self):
+        fl, rounds = allreduce_flows(np.arange(20), 8.0)
+        # 16-rank core: 4 rounds + fold down/up
+        assert rounds == 6
+        assert fl.n == 16 * 4 + 2 * 4
+
+    def test_each_core_rank_sends_each_round(self):
+        P = 32
+        fl, rounds = allreduce_flows(np.arange(P), 8.0)
+        counts = np.bincount(fl.src, minlength=P)
+        assert (counts == rounds).all()
+
+    def test_round_partners_are_hypercube(self):
+        P = 8
+        fl, _ = allreduce_flows(np.arange(P), 8.0)
+        # every (i, i^2^k) pair must appear exactly once per direction
+        pairs = set(zip(fl.src.tolist(), fl.dst.tolist()))
+        for k in range(3):
+            for i in range(P):
+                assert (i, i ^ (1 << k)) in pairs
+
+    def test_trivial_sizes(self):
+        fl, rounds = allreduce_flows(np.arange(1), 8.0)
+        assert fl.n == 0 and rounds == 0
+
+    def test_arbitrary_node_ids(self):
+        nodes = np.array([100, 205, 7, 4000])
+        fl, _ = allreduce_flows(nodes, 8.0)
+        assert set(np.unique(fl.src)) <= set(nodes.tolist())
+
+
+class TestBarrier:
+    def test_dissemination_rounds(self):
+        fl, rounds = barrier_flows(np.arange(33))
+        assert rounds == int(np.ceil(np.log2(33)))
+        assert (fl.nbytes == 8.0).all()
+
+    def test_every_rank_sends_every_round(self):
+        P = 16
+        fl, rounds = barrier_flows(np.arange(P))
+        counts = np.bincount(fl.src, minlength=P)
+        assert (counts == rounds).all()
+
+    def test_single_rank(self):
+        fl, rounds = barrier_flows(np.arange(1))
+        assert fl.n == 0 and rounds == 0
+
+
+class TestAlltoall:
+    def test_full_density_small(self, rng):
+        fl, rounds = alltoall_flows(np.arange(8), 100.0, max_partners=32, rng=rng)
+        # every ordered pair exactly once
+        assert fl.n == 8 * 7
+        assert rounds == 7
+        assert np.allclose(fl.nbytes, 100.0)
+
+    def test_sampling_preserves_total_bytes(self, rng):
+        P, per_pair = 100, 1000.0
+        fl, _ = alltoall_flows(np.arange(P), per_pair, max_partners=16, rng=rng)
+        assert fl.n == P * 16
+        assert fl.nbytes.sum() == pytest.approx(P * (P - 1) * per_pair, rel=1e-9)
+
+    def test_sampled_partners_distinct(self, rng):
+        fl, _ = alltoall_flows(np.arange(64), 10.0, max_partners=8, rng=rng)
+        for r in range(64):
+            partners = fl.dst[fl.src == r]
+            assert np.unique(partners).size == partners.size
+
+    def test_no_self_pairs(self, rng):
+        fl, _ = alltoall_flows(np.arange(50), 10.0, max_partners=10, rng=rng)
+        assert (fl.src != fl.dst).all()
+
+
+class TestAlltoallv:
+    def test_imbalance_varies_bytes(self, rng):
+        fl, _ = alltoallv_flows(np.arange(32), 1000.0, imbalance=0.8, rng=rng)
+        assert fl.nbytes.std() > 0
+
+    def test_zero_imbalance_uniform(self, rng):
+        fl, _ = alltoallv_flows(np.arange(32), 1000.0, imbalance=0.0, rng=rng)
+        assert fl.nbytes.std() == 0
+
+    def test_mean_bytes_preserved_under_imbalance(self, rng):
+        P, mean_pair = 64, 5000.0
+        fl, _ = alltoallv_flows(
+            np.arange(P), mean_pair, imbalance=0.5, max_partners=32, rng=rng
+        )
+        # log-normal jitter is mean-1 by construction
+        assert fl.nbytes.sum() == pytest.approx(P * (P - 1) * mean_pair, rel=0.15)
+
+    def test_two_ranks(self, rng):
+        fl, rounds = alltoallv_flows(np.arange(2), 100.0, rng=rng)
+        assert rounds == 1
+        assert fl.n == 2
+
+
+class TestBcast:
+    def test_binomial_edge_count(self):
+        # a broadcast tree reaches P-1 receivers exactly once
+        for P in (2, 7, 16, 33):
+            fl, rounds = bcast_flows(np.arange(P), 64.0)
+            assert fl.n == P - 1
+            assert rounds == int(np.ceil(np.log2(P)))
+
+    def test_every_nonroot_receives_once(self):
+        P = 21
+        fl, _ = bcast_flows(np.arange(P), 64.0)
+        recv_counts = np.bincount(fl.dst, minlength=P)
+        assert recv_counts[0] == 0
+        assert (recv_counts[1:] == 1).all()
+
+    def test_rotated_root(self):
+        P = 16
+        fl, _ = bcast_flows(np.arange(P), 64.0, root=5)
+        recv_counts = np.bincount(fl.dst, minlength=P)
+        assert recv_counts[5] == 0
+        assert recv_counts.sum() == P - 1
+
+
+class TestAllgather:
+    def test_ring_structure(self):
+        P = 8
+        fl, rounds = allgather_flows(np.arange(P), 64.0)
+        assert rounds == P - 1
+        assert fl.n == P
+        # each rank sends (P-1) * nbytes around the ring
+        assert np.allclose(fl.nbytes, 64.0 * (P - 1))
+        np.testing.assert_array_equal(np.sort(fl.dst), np.arange(P))
+
+
+class TestReduceGatherScatter:
+    def test_reduce_mirrors_bcast(self):
+        import numpy as np
+        from repro.mpi.collectives import bcast_flows, reduce_flows
+
+        b, rb = bcast_flows(np.arange(16), 64.0)
+        r, rr = reduce_flows(np.arange(16), 64.0)
+        assert rb == rr
+        np.testing.assert_array_equal(np.sort(b.src), np.sort(r.dst))
+        np.testing.assert_array_equal(np.sort(b.dst), np.sort(r.src))
+
+    def test_gather_incast_structure(self):
+        import numpy as np
+        from repro.mpi.collectives import gather_flows
+
+        fl, rounds = gather_flows(np.arange(10), 128.0, root=3)
+        assert rounds == 9
+        assert (fl.dst == 3).all()
+        assert np.unique(fl.src).size == 9
+        assert 3 not in fl.src
+
+    def test_scatter_outcast_structure(self):
+        import numpy as np
+        from repro.mpi.collectives import scatter_flows
+
+        fl, rounds = scatter_flows(np.arange(10), 128.0, root=0)
+        assert (fl.src == 0).all()
+        assert np.unique(fl.dst).size == 9
+
+    def test_trivial_sizes(self):
+        import numpy as np
+        from repro.mpi.collectives import gather_flows, reduce_flows, scatter_flows
+
+        for fn in (reduce_flows, gather_flows, scatter_flows):
+            fl, rounds = fn(np.arange(1), 8.0)
+            assert fl.n == 0 and rounds == 0

@@ -1,0 +1,192 @@
+"""Unit tests for the congestion response functions and counter banks."""
+
+import numpy as np
+import pytest
+
+from repro.network.congestion import (
+    FLIT_BYTES,
+    PACKET_BYTES,
+    CongestionModel,
+    LatencyModel,
+)
+from repro.network.counters import TILE_CLASSES, CounterBank
+
+
+class TestCongestionModel:
+    def setup_method(self):
+        self.cm = CongestionModel()
+
+    def test_stall_ratio_zero_at_idle(self):
+        assert self.cm.stall_ratio(0.0) == 0.0
+
+    def test_stall_ratio_monotone(self):
+        u = np.linspace(0, 0.95, 50)
+        r = self.cm.stall_ratio(u)
+        assert (np.diff(r) >= 0).all()
+
+    def test_stall_ratio_capped(self):
+        assert self.cm.stall_ratio(0.999) <= self.cm.stall_cap
+        assert self.cm.stall_ratio(5.0) <= self.cm.stall_cap
+
+    def test_stall_ratio_small_at_moderate_load(self):
+        assert self.cm.stall_ratio(0.3) < 0.5
+
+    def test_queue_delay_zero_capacity_safe(self):
+        assert self.cm.queue_delay(0.5, 0.0) == 0.0
+
+    def test_queue_delay_scales_with_buffer_drain(self):
+        fast = self.cm.queue_delay(0.6, 10e9)
+        slow = self.cm.queue_delay(0.6, 1e9)
+        assert slow == pytest.approx(10 * fast)
+
+    def test_queue_delay_capped(self):
+        cap = self.cm.buffer_bytes / 5.25e9 * self.cm.queue_delay_cap_factor
+        assert self.cm.queue_delay(0.999, 5.25e9) <= cap * 1.0001
+
+    def test_queue_delay_microsecond_scale(self):
+        # a congested Aries link adds ~microseconds, not milliseconds
+        d = self.cm.queue_delay(0.7, 5.25e9)
+        assert 0.5e-6 < d < 100e-6
+
+    def test_backpressure_identity_below_onset(self):
+        assert self.cm.backpressure_factor(0.5) == 1.0
+        assert self.cm.backpressure_factor(self.cm.backpressure_onset) == 1.0
+
+    def test_backpressure_grows_then_caps(self):
+        lo = self.cm.backpressure_factor(0.9)
+        hi = self.cm.backpressure_factor(1.5)
+        assert 1.0 < lo < hi <= self.cm.backpressure_cap
+
+    def test_flit_packet_constants(self):
+        assert PACKET_BYTES % FLIT_BYTES == 0
+
+
+class TestLatencyModel:
+    def test_base_latency_components(self):
+        lm = LatencyModel()
+        assert lm.base_latency(0) == pytest.approx(lm.software_overhead)
+        assert lm.base_latency(5) == pytest.approx(
+            lm.software_overhead + 5 * lm.per_hop
+        )
+
+    def test_base_latency_microseconds(self):
+        # small-message MPI latency on Aries/KNL is ~1.3-2 us
+        lm = LatencyModel()
+        assert 1e-6 < lm.base_latency(5) < 3e-6
+
+
+class TestCounterBank:
+    def test_initial_state_zero(self, toy_top):
+        bank = CounterBank(toy_top)
+        snap = bank.snapshot()
+        for c in TILE_CLASSES:
+            assert snap.flits[c].sum() == 0
+
+    def test_network_accumulation_by_class(self, toy_top):
+        bank = CounterBank(toy_top)
+        r1 = toy_top.rank1_link(0, 0, 0, 1)
+        r3 = toy_top.rank3_link(0, 1, 0)
+        bank.add_network_link_counts(
+            np.array([r1, r3]), np.array([100.0, 50.0]), np.array([10.0, 5.0])
+        )
+        snap = bank.snapshot()
+        assert snap.flits["rank1"].sum() == 100
+        assert snap.flits["rank3"].sum() == 50
+        assert snap.stalls["rank1"].sum() == 10
+
+    def test_attribution_to_transmit_router(self, toy_top):
+        bank = CounterBank(toy_top)
+        lid = toy_top.rank1_link(0, 0, 2, 3)
+        src_router = toy_top.link_src_router[lid]
+        bank.add_network_link_counts(np.array([lid]), np.array([7.0]), np.array([1.0]))
+        assert bank.snapshot().flits["rank1"][src_router] == 7.0
+
+    def test_proc_split_req_rsp(self, toy_top):
+        bank = CounterBank(toy_top)
+        bank.add_proc_counts(
+            np.array([0, 1]),
+            req_flits=np.array([10.0, 20.0]),
+            req_stalls=np.array([1.0, 2.0]),
+            rsp_flits=np.array([3.0, 4.0]),
+            rsp_stalls=np.array([0.1, 0.2]),
+        )
+        snap = bank.snapshot()
+        assert snap.flits["proc_req"].sum() == 30
+        assert snap.flits["proc_rsp"].sum() == 7
+        # nodes 0,1 share router 0
+        assert snap.flits["proc_req"][0] == 30
+
+    def test_snapshot_delta(self, toy_top):
+        bank = CounterBank(toy_top)
+        lid = toy_top.rank1_link(0, 0, 0, 1)
+        bank.add_network_link_counts(np.array([lid]), np.array([5.0]), np.array([1.0]))
+        s1 = bank.snapshot()
+        bank.add_network_link_counts(np.array([lid]), np.array([5.0]), np.array([4.0]))
+        delta = bank.snapshot() - s1
+        assert delta.flits["rank1"].sum() == 5
+        assert delta.stalls["rank1"].sum() == 4
+
+    def test_ratio_safe_when_idle(self, toy_top):
+        snap = CounterBank(toy_top).snapshot()
+        assert snap.class_ratio("rank1") == 0.0
+        assert snap.network_ratio() == 0.0
+        assert np.all(snap.ratio("rank3") == 0)
+
+    def test_local_view_masks_other_routers(self, toy_top):
+        bank = CounterBank(toy_top)
+        r1a = toy_top.rank1_link(0, 0, 0, 1)  # router 0 transmits
+        r1b = toy_top.rank1_link(1, 0, 0, 1)  # a router in group 1
+        bank.add_network_link_counts(
+            np.array([r1a, r1b]), np.array([10.0, 20.0]), np.array([0.0, 0.0])
+        )
+        # nodes 0/1 live on router 0 only
+        local = bank.local_view(np.array([0, 1]))
+        assert local.flits["rank1"].sum() == 10.0
+
+    def test_merge_and_scale(self, toy_top):
+        a = CounterBank(toy_top)
+        b = CounterBank(toy_top)
+        lid = toy_top.rank1_link(0, 0, 0, 1)
+        b.add_network_link_counts(np.array([lid]), np.array([8.0]), np.array([2.0]))
+        a.merge(b, fraction=0.5)
+        assert a.snapshot().flits["rank1"].sum() == 4.0
+        a.scale(3.0)
+        assert a.snapshot().flits["rank1"].sum() == 12.0
+
+    def test_scale_negative_rejected(self, toy_top):
+        with pytest.raises(ValueError):
+            CounterBank(toy_top).scale(-1)
+
+    def test_merge_different_topologies_rejected(self, toy_top, mini_top):
+        with pytest.raises(ValueError):
+            CounterBank(toy_top).merge(CounterBank(mini_top))
+
+    def test_per_tile_normalization(self, toy_top):
+        bank = CounterBank(toy_top)
+        lid = toy_top.rank1_link(0, 0, 0, 1)
+        bank.add_network_link_counts(np.array([lid]), np.array([15.0]), np.array([0.0]))
+        # 15 rank-1 tiles per router
+        router = toy_top.link_src_router[lid]
+        assert bank.per_tile_flits("rank1")[router] == pytest.approx(1.0)
+
+    def test_reset(self, toy_top):
+        bank = CounterBank(toy_top)
+        lid = toy_top.rank1_link(0, 0, 0, 1)
+        bank.add_network_link_counts(np.array([lid]), np.array([5.0]), np.array([0.0]))
+        bank.reset()
+        assert bank.snapshot().total_flits() == 0
+
+
+class TestTileInventory:
+    def test_aries_layout(self, theta_top):
+        t = theta_top.tiles
+        assert t.rank1 == 15 and t.rank2 == 15 and t.rank3 == 10 and t.proc == 8
+        assert t.network == 40
+        assert t.total == 48
+
+    def test_count_for_aliases(self, theta_top):
+        t = theta_top.tiles
+        assert t.count_for("proc_req") == t.count_for("proc_rsp") == 8
+        assert t.count_for("rank3") == 10
+        with pytest.raises(KeyError):
+            t.count_for("rank9")

@@ -1,0 +1,155 @@
+"""Edge-case and failure-injection tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.apps import MILC, PRODUCTION_APPS, LatencyBound
+from repro.core.biases import AD0, AD3
+from repro.core.experiment import run_app_once
+from repro.mpi.env import RoutingEnv
+from repro.network.fluid import FlowSet, FluidParams, solve_fluid
+from repro.util import derive_rng
+
+
+class TestFluidExtremes:
+    def test_fully_saturated_background(self, theta_top, rng):
+        """Background at the clip ceiling must not produce NaNs or hangs."""
+        bg = np.full(theta_top.n_links, 0.9)
+        fl = FlowSet(
+            np.arange(32), np.arange(100, 132), np.full(32, 1e6), np.zeros(32, dtype=np.int64)
+        )
+        res = solve_fluid(theta_top, fl, [AD0], background_util=bg, rng=rng)
+        assert np.isfinite(res.flow_time).all()
+        assert np.isfinite(res.flow_latency).all()
+        assert res.link_util.max() <= 1.0 + 1e-9
+
+    def test_single_flow(self, theta_top, rng):
+        fl = FlowSet(np.array([0]), np.array([4000]), np.array([1e7]), np.array([0]))
+        res = solve_fluid(theta_top, fl, [AD3], rng=rng)
+        assert res.flow_time[0] > 0
+        # 10 MB over a ~5.25 GB/s NIC: at least ~1.9 ms
+        assert res.flow_time[0] >= 1e7 / theta_top.capacity[theta_top.injection_link(0)]
+
+    def test_tiny_flows(self, theta_top, rng):
+        fl = FlowSet(np.array([0, 1]), np.array([2, 3]), np.array([1.0, 1.0]), np.zeros(2, dtype=np.int64))
+        res = solve_fluid(theta_top, fl, [AD0], rng=rng)
+        assert (res.flow_time > 0).all()
+
+    def test_huge_flow_counts(self, theta_top, rng):
+        n = 20_000
+        src = rng.integers(0, theta_top.n_nodes, n)
+        dst = (src + 1 + rng.integers(0, theta_top.n_nodes - 1, n)) % theta_top.n_nodes
+        fl = FlowSet(src, dst, np.full(n, 1e4), np.zeros(n, dtype=np.int64))
+        res = solve_fluid(theta_top, fl, [AD0], rng=rng, params=FluidParams(n_iter=3))
+        assert res.link_load.sum() > 0
+
+    def test_k_larger_than_cables(self, toy_top, rng):
+        # toy has 2 cables/pair; asking for 8 minimal candidates must cap
+        fl = FlowSet(np.array([0]), np.array([31]), np.array([1e5]), np.array([0]))
+        res = solve_fluid(
+            toy_top, fl, [AD0], rng=rng, params=FluidParams(k_min=8, k_nonmin=8)
+        )
+        assert res.flow_time[0] > 0
+
+    def test_zero_byte_flow_allowed(self, theta_top, rng):
+        fl = FlowSet(np.array([0]), np.array([9]), np.array([0.0]), np.array([0]))
+        res = solve_fluid(theta_top, fl, [AD0], rng=rng)
+        assert np.isfinite(res.flow_latency[0])
+
+
+class TestAppsSmallScales:
+    @pytest.mark.parametrize("P", [2, 4, 8])
+    def test_every_app_runs_tiny(self, theta_top, P):
+        for cls in PRODUCTION_APPS:
+            rt, rep, _ = run_app_once(
+                theta_top,
+                cls(),
+                np.arange(P),
+                RoutingEnv(),
+                rng=derive_rng(0, "tiny", cls.name, P),
+                collect_counters=False,
+            )
+            assert rt > 0, (cls.name, P)
+            assert rep.mpi_time >= 0
+
+    def test_odd_rank_counts(self, theta_top):
+        for P in (7, 13, 100):
+            rt, _, _ = run_app_once(
+                theta_top,
+                MILC(),
+                np.arange(P),
+                RoutingEnv(),
+                rng=derive_rng(0, "odd", P),
+                collect_counters=False,
+            )
+            assert rt > 0
+
+    def test_non_contiguous_nodes(self, theta_top):
+        nodes = np.arange(0, 512, 2)  # every other node
+        rt, _, _ = run_app_once(
+            theta_top,
+            MILC(),
+            nodes,
+            RoutingEnv(),
+            rng=derive_rng(0, "stride"),
+            collect_counters=False,
+        )
+        assert rt > 0
+
+
+class TestModeInvariance:
+    def test_compute_bound_app_mode_insensitive(self, theta_top):
+        """An app with negligible traffic must be unaffected by routing."""
+        from repro.apps import ComputeBound
+
+        times = {}
+        for mode in (AD0, AD3):
+            rt, _, _ = run_app_once(
+                theta_top,
+                ComputeBound(),
+                np.arange(64),
+                RoutingEnv.uniform(mode),
+                rng=derive_rng(0, "cb", mode.name),
+                collect_counters=False,
+            )
+            times[mode.name] = rt
+        assert times["AD0"] == pytest.approx(times["AD3"], rel=0.03)
+
+    def test_injection_bound_app_mode_insensitive(self, theta_top):
+        """NIC-limited streams do not care about the routing mode
+        (Section II-E: 'less sensitive to routing mode changes')."""
+        from repro.apps import InjectionBound
+
+        times = {}
+        for mode in (AD0, AD3):
+            rt, _, _ = run_app_once(
+                theta_top,
+                InjectionBound(),
+                np.arange(64),
+                RoutingEnv.uniform(mode),
+                rng=derive_rng(0, "ib", mode.name),
+                collect_counters=False,
+            )
+            times[mode.name] = rt
+        assert times["AD0"] == pytest.approx(times["AD3"], rel=0.05)
+
+
+class TestLatencyPhysics:
+    def test_latency_floor_is_base_latency(self, theta_top, rng):
+        """No flow can beat the software + per-hop base latency."""
+        from repro.network.congestion import LatencyModel
+
+        fl = FlowSet(
+            np.arange(16), np.arange(2000, 2016), np.full(16, 8.0), np.zeros(16, dtype=np.int64)
+        )
+        res = solve_fluid(theta_top, fl, [AD3], rng=rng)
+        lm = LatencyModel()
+        assert (res.flow_latency >= lm.software_overhead).all()
+
+    def test_more_hops_more_latency_at_idle(self, theta_top, rng):
+        # same-router pair vs cross-group pair at idle
+        near = FlowSet(np.array([0]), np.array([1]), np.array([8.0]), np.array([0]))
+        far = FlowSet(np.array([0]), np.array([4000]), np.array([8.0]), np.array([0]))
+        ln = solve_fluid(theta_top, near, [AD3], rng=np.random.default_rng(0)).flow_latency[0]
+        lf = solve_fluid(theta_top, far, [AD3], rng=np.random.default_rng(0)).flow_latency[0]
+        assert lf > ln

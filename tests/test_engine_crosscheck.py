@@ -1,0 +1,135 @@
+"""Cross-validation of the fluid solver against the packet simulator.
+
+The fluid engine approximates what the packet engine simulates.  On
+small systems the two must agree on the *qualitative* routing physics:
+which mode routes more minimally, how contention slows transfers, and
+where stalls appear.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.biases import AD0, AD3
+from repro.network.fluid import FlowSet, solve_fluid
+from repro.network.packet_sim import InjectionSpec, PacketSimConfig, PacketSimulator
+
+
+def _cross_traffic(top):
+    """Group-0 -> group-1 streams: 8 pairs, 32 KiB each."""
+    src = np.arange(8)
+    dst = np.arange(16, 24)
+    nbytes = 32 * 1024
+    return src, dst, nbytes
+
+
+@pytest.fixture(scope="module")
+def engines(request):
+    from repro.topology.systems import toy
+
+    top = toy()
+    out = {}
+    for mode in (AD0, AD3):
+        src, dst, nbytes = _cross_traffic(top)
+        fl = FlowSet(src, dst, np.full(8, float(nbytes)), np.zeros(8, dtype=np.int64))
+        fluid = solve_fluid(top, fl, [mode], rng=np.random.default_rng(0))
+
+        sim = PacketSimulator(top, PacketSimConfig(), rng=np.random.default_rng(0))
+        mids = [
+            sim.add_message(InjectionSpec(src=int(s), dst=int(d), nbytes=nbytes, mode=mode))
+            for s, d in zip(src, dst)
+        ]
+        sim.run()
+        out[mode.name] = (fluid, sim, mids)
+    return top, out
+
+
+class TestEnginesAgree:
+    def test_minimal_fraction_ordering(self, engines):
+        _, out = engines
+        fluid_frac = {m: out[m][0].min_fraction.mean() for m in out}
+        sim_frac = {}
+        for m in out:
+            sim = out[m][1]
+            mn = sum(s.min_packets for s in sim.messages)
+            nm = sum(s.nonmin_packets for s in sim.messages)
+            sim_frac[m] = mn / (mn + nm)
+        # both engines: AD3 more minimal than AD0
+        assert fluid_frac["AD3"] > fluid_frac["AD0"]
+        assert sim_frac["AD3"] > sim_frac["AD0"]
+
+    def test_ad3_near_fully_minimal_in_both(self, engines):
+        _, out = engines
+        fluid, sim, _ = out["AD3"]
+        assert fluid.min_fraction.mean() > 0.85
+        mn = sum(s.min_packets for s in sim.messages)
+        nm = sum(s.nonmin_packets for s in sim.messages)
+        assert mn / (mn + nm) > 0.85
+
+    def test_completion_times_same_scale(self, engines):
+        # fluid flow times and packet-sim message latencies should agree
+        # within a small factor (both are dominated by the same 32 KiB
+        # cross-group serialization)
+        _, out = engines
+        for m in out:
+            fluid, sim, mids = out[m]
+            t_fluid = fluid.flow_time.max()
+            t_sim = max(sim.messages[i].latency(sim.config.step_time) for i in mids)
+            assert t_fluid == pytest.approx(t_sim, rel=2.0)
+
+    def test_both_engines_count_flits(self, engines):
+        top, out = engines
+        for m in out:
+            fluid, sim, _ = out[m]
+            net = top.link_class <= 2
+            assert fluid.link_flits[net].sum() > 0
+            assert sim.flits[net].sum() > 0
+
+    def test_flit_counts_same_scale(self, engines):
+        # total network flits: same traffic, so within ~2x of each other
+        top, out = engines
+        net = top.link_class <= 2
+        for m in out:
+            fluid, sim, _ = out[m]
+            ratio = fluid.link_flits[net].sum() / sim.flits[net].sum()
+            assert 0.4 < ratio < 2.5
+
+    def test_ad3_fewer_network_flits_in_both(self, engines):
+        top, out = engines
+        net = top.link_class <= 2
+        f = {m: out[m][0].link_flits[net].sum() for m in out}
+        s = {m: out[m][1].flits[net].sum() for m in out}
+        assert f["AD3"] <= f["AD0"] * 1.02
+        assert s["AD3"] <= s["AD0"] * 1.02
+
+
+class TestContentionAgreement:
+    def test_incast_slows_both_engines(self):
+        from repro.topology.systems import toy
+
+        top = toy()
+        # free-flowing pair vs 6-way incast to node 31
+        fl_free = FlowSet(np.array([0]), np.array([31]), np.array([16384.0]), np.array([0]))
+        r_free = solve_fluid(top, fl_free, [AD0], rng=np.random.default_rng(1))
+
+        src = np.arange(6)
+        fl_incast = FlowSet(src, np.full(6, 31), np.full(6, 16384.0), np.zeros(6, dtype=np.int64))
+        r_incast = solve_fluid(top, fl_incast, [AD0], rng=np.random.default_rng(1))
+        assert r_incast.flow_time.max() > r_free.flow_time.max()
+
+        sim_free = PacketSimulator(top, rng=np.random.default_rng(1))
+        sim_free.add_message(InjectionSpec(src=0, dst=31, nbytes=16384, mode=AD0))
+        sim_free.run()
+        t_free = sim_free.messages[0].latency(sim_free.config.step_time)
+
+        sim_in = PacketSimulator(top, rng=np.random.default_rng(1))
+        for s in range(6):
+            sim_in.add_message(InjectionSpec(src=s, dst=31, nbytes=16384, mode=AD0))
+        sim_in.run()
+        t_in = max(m.latency(sim_in.config.step_time) for m in sim_in.messages)
+        assert t_in > t_free
+
+        # and the slowdown factors agree in scale (ejection serialization
+        # of 6 messages ~ 6x)
+        slow_fluid = r_incast.flow_time.max() / r_free.flow_time.max()
+        slow_sim = t_in / t_free
+        assert slow_fluid == pytest.approx(slow_sim, rel=0.8)

@@ -1,0 +1,138 @@
+"""Integration tests for controlled ensembles and facility studies."""
+
+import numpy as np
+import pytest
+
+from repro.apps import MILC, LatencyBound
+from repro.core.biases import AD0, AD3
+from repro.core.ensembles import EnsembleConfig, run_ensemble
+from repro.core.facility import (
+    WindowConfig,
+    run_default_change_study,
+    simulate_production_window,
+)
+from repro.mpi.env import RoutingEnv
+from repro.network.fluid import FluidParams
+
+
+@pytest.fixture(scope="module")
+def small_ensembles(request):
+    from repro.topology.systems import theta
+
+    top = theta()
+    out = {}
+    for mode in (AD0, AD3):
+        out[mode.name] = run_ensemble(
+            top,
+            EnsembleConfig(app=MILC(), n_jobs=4, n_nodes=256, mode=mode, placement="dispersed"),
+        )
+    return top, out
+
+
+class TestEnsembles:
+    def test_validation(self, theta_top):
+        with pytest.raises(ValueError, match="exceed the machine"):
+            run_ensemble(theta_top, EnsembleConfig(app=MILC(), n_jobs=100, n_nodes=512))
+        with pytest.raises(ValueError):
+            EnsembleConfig(app=MILC(), n_jobs=0)
+
+    def test_job_count_and_disjoint_placements(self, small_ensembles):
+        top, ens = small_ensembles
+        r = ens["AD0"]
+        assert len(r.job_nodes) == 4
+        allnodes = np.concatenate(r.job_nodes)
+        assert np.unique(allnodes).size == allnodes.size
+
+    def test_runtimes_per_job(self, small_ensembles):
+        _, ens = small_ensembles
+        r = ens["AD0"]
+        assert r.job_runtimes.shape == (4,)
+        assert (r.job_runtimes > 0).all()
+        assert r.makespan == r.job_runtimes.max()
+
+    def test_counters_populated(self, small_ensembles):
+        _, ens = small_ensembles
+        snap = ens["AD0"].bank.snapshot()
+        assert snap.total_flits() > 0
+        assert ens["AD0"].stalls_to_flits("rank1") >= 0
+
+    def test_ldms_samples_cover_makespan(self, small_ensembles):
+        _, ens = small_ensembles
+        r = ens["AD0"]
+        n = len(r.ldms.samples)
+        assert n == int(np.ceil(r.makespan / 60.0))
+        series = r.ldms.series()
+        assert series["flits"].sum() == pytest.approx(
+            r.bank.snapshot().total_flits(("rank1", "rank2", "rank3")), rel=1e-6
+        )
+
+    def test_ad3_fewer_network_flits(self, small_ensembles):
+        # minimal bias -> fewer hops -> fewer transmissions (Fig. 10)
+        _, ens = small_ensembles
+        f0 = ens["AD0"].bank.snapshot().total_flits(("rank1", "rank2", "rank3"))
+        f3 = ens["AD3"].bank.snapshot().total_flits(("rank1", "rank2", "rank3"))
+        assert f3 < f0
+
+    def test_ad3_fewer_rank1_stalls(self, small_ensembles):
+        # Fig. 10: "clear reduction in the absolute stall counts" on
+        # rank-1/rank-2 under AD3
+        _, ens = small_ensembles
+        s0 = ens["AD0"].bank.snapshot().stalls["rank1"].sum()
+        s3 = ens["AD3"].bank.snapshot().stalls["rank1"].sum()
+        assert s3 < s0
+
+    def test_network_ratio_per_router_shape(self, small_ensembles):
+        top, ens = small_ensembles
+        ratios = ens["AD0"].network_ratio_per_router()
+        assert ratios.shape == (top.n_routers,)
+        assert (ratios >= 0).all()
+
+    def test_deterministic(self, theta_top):
+        a = run_ensemble(theta_top, EnsembleConfig(app=LatencyBound(), n_jobs=2, n_nodes=128, seed=3))
+        b = run_ensemble(theta_top, EnsembleConfig(app=LatencyBound(), n_jobs=2, n_nodes=128, seed=3))
+        np.testing.assert_allclose(a.job_runtimes, b.job_runtimes)
+
+
+class TestFacility:
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.topology.systems import theta
+
+        return run_default_change_study(theta(), n_intervals=6, seed=42)
+
+    def test_window_structure(self, theta_top):
+        w = simulate_production_window(
+            theta_top, WindowConfig(env=RoutingEnv(), n_intervals=2, seed=1)
+        )
+        assert len(w.ldms.samples) == 2
+        assert w.nic_latency_samples.size > 0
+        assert np.isfinite(w.nic_latency_samples).all()
+
+    def test_latency_percentiles_positive_monotone(self, study):
+        p = study.before.latency_percentiles()
+        vals = list(p.values())
+        assert all(v > 0 for v in vals)
+        assert vals == sorted(vals)
+
+    def test_flits_roughly_in_line(self, study):
+        # the paper's comparability check between the two windows
+        change = study.counter_change()
+        assert abs(change["flits"]) < 0.35
+
+    def test_ad3_reduces_median_latency(self, study):
+        change = study.latency_change()
+        assert change[50] < 1.0  # median no worse (typically improves)
+
+    def test_counter_change_keys(self, study):
+        assert set(study.counter_change()) == {"flits", "stalls", "ratio"}
+
+    def test_matched_windows_same_workload(self, theta_top):
+        # same seed -> same per-interval flit-generation workload
+        p = FluidParams(k_min=2, k_nonmin=2, n_iter=3)
+        a = simulate_production_window(
+            theta_top, WindowConfig(env=RoutingEnv(), n_intervals=2, seed=9, params=p)
+        )
+        b = simulate_production_window(
+            theta_top, WindowConfig(env=RoutingEnv(), n_intervals=2, seed=9, params=p)
+        )
+        np.testing.assert_allclose(a.series()["flits"], b.series()["flits"])

@@ -1,0 +1,93 @@
+"""Tests for the CSV/JSON export layer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.monitoring.autoperf import AutoPerf
+from repro.monitoring.export import (
+    autoperf_to_dict,
+    autoperf_to_json,
+    counters_to_csv,
+    ldms_series_to_csv,
+    records_to_csv,
+)
+from repro.monitoring.ldms import LdmsCollector
+from repro.network.counters import CounterBank, TILE_CLASSES
+
+
+@pytest.fixture
+def report(toy_top):
+    ap = AutoPerf("MILC", 16)
+    ap.record_op("MPI_Allreduce", calls=100, nbytes=800, time=2.0)
+    ap.record_op("MPI_Wait", calls=50, nbytes=0, time=1.0)
+    ap.add_total_time(10.0)
+    bank = CounterBank(toy_top)
+    lid = toy_top.rank1_link(0, 0, 0, 1)
+    bank.add_network_link_counts(np.array([lid]), np.array([10.0]), np.array([5.0]))
+    ap.attach_counters(bank.local_view(np.arange(4)))
+    return ap.finalize()
+
+
+class TestAutoPerfExport:
+    def test_dict_fields(self, report):
+        d = autoperf_to_dict(report)
+        assert d["app"] == "MILC"
+        assert d["mpi_fraction"] == pytest.approx(0.3)
+        assert d["ops"]["MPI_Allreduce"]["avg_bytes"] == 8.0
+        assert set(d["stalls_to_flits"]) == set(TILE_CLASSES)
+
+    def test_json_roundtrip(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        text = autoperf_to_json(report, path)
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(text)
+        assert loaded["n_nodes"] == 16
+
+    def test_dict_without_counters(self):
+        ap = AutoPerf("x", 2)
+        ap.add_total_time(1.0)
+        d = autoperf_to_dict(ap.finalize())
+        assert "stalls_to_flits" not in d
+
+
+class TestLdmsExport:
+    def test_csv_rows(self, toy_top, tmp_path):
+        bank = CounterBank(toy_top)
+        ldms = LdmsCollector(bank, interval=60.0)
+        lid = toy_top.rank3_link(0, 1, 0)
+        bank.add_network_link_counts(np.array([lid]), np.array([8.0]), np.array([4.0]))
+        ldms.sample()
+        ldms.sample()
+        path = tmp_path / "series.csv"
+        text = ldms_series_to_csv(ldms, path)
+        lines = text.strip().splitlines()
+        assert lines[0] == "time_s,flits,stalls,ratio"
+        assert len(lines) == 3
+        assert "0.500000" in lines[1]  # ratio of the first interval
+        assert path.read_text() == text
+
+
+class TestCounterExport:
+    def test_per_router_csv(self, toy_top):
+        bank = CounterBank(toy_top)
+        lid = toy_top.rank1_link(0, 0, 0, 1)
+        bank.add_network_link_counts(np.array([lid]), np.array([7.0]), np.array([0.0]))
+        text = counters_to_csv(bank.snapshot())
+        lines = text.strip().splitlines()
+        assert len(lines) == toy_top.n_routers + 1
+        assert lines[0].startswith("router,rank1_flits,rank1_stalls")
+
+
+class TestRecordsExport:
+    def test_campaign_csv(self, milc_campaign, tmp_path):
+        path = tmp_path / "runs.csv"
+        text = records_to_csv(milc_campaign, path)
+        lines = text.strip().splitlines()
+        assert len(lines) == len(milc_campaign) + 1
+        assert lines[0].startswith("app,mode,n_nodes")
+        assert any(",AD3," in l for l in lines[1:])
+        # every row parses to the right column count
+        ncols = lines[0].count(",")
+        assert all(l.count(",") == ncols for l in lines[1:])

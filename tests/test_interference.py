@@ -1,0 +1,72 @@
+"""Tests for the pairwise job-interference analysis."""
+
+import numpy as np
+import pytest
+
+from repro.apps import MILC, LatencyBound
+from repro.core.biases import AD0, AD3
+from repro.core.interference import (
+    DEFAULT_AGGRESSORS,
+    InterferenceEntry,
+    format_matrix,
+    interference_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    from repro.topology.systems import theta
+
+    return interference_matrix(theta(), MILC(), modes=(AD0, AD3), seed=5)
+
+
+class TestEntries:
+    def test_full_grid(self, matrix):
+        assert len(matrix) == len(DEFAULT_AGGRESSORS) * 2
+        keys = {(e.aggressor, e.mode) for e in matrix}
+        assert len(keys) == len(matrix)
+
+    def test_slowdowns_at_least_one(self, matrix):
+        # background can only hurt (shared links lose capacity)
+        for e in matrix:
+            assert e.slowdown >= 0.995, (e.aggressor, e.mode, e.slowdown)
+
+    def test_bisection_is_the_bully(self, matrix):
+        # NIC-rate global streams are the worst neighbor for MILC
+        by = {(e.aggressor, e.mode): e.slowdown for e in matrix}
+        for mode in ("AD0", "AD3"):
+            assert by[("bisection", mode)] == max(
+                by[(a, mode)] for a in DEFAULT_AGGRESSORS
+            )
+
+    def test_incast_mostly_harmless(self, matrix):
+        # endpoint-bound I/O barely touches the victim's paths
+        by = {(e.aggressor, e.mode): e.slowdown for e in matrix}
+        for mode in ("AD0", "AD3"):
+            assert by[("io_incast", mode)] < 1.05
+
+    def test_mode_contrast_is_bounded(self, matrix):
+        # the mode changes interference by tens of percent, not orders
+        # of magnitude (which direction wins is placement-dependent)
+        by = {(e.aggressor, e.mode): e for e in matrix}
+        for aggressor in DEFAULT_AGGRESSORS:
+            ratio = by[(aggressor, "AD3")].disturbed / by[(aggressor, "AD0")].disturbed
+            assert 0.5 < ratio < 2.0
+
+    def test_baselines_shared_within_mode(self, matrix):
+        for mode in ("AD0", "AD3"):
+            bases = {e.baseline for e in matrix if e.mode == mode}
+            assert len(bases) == 1
+
+
+class TestFormatting:
+    def test_matrix_text(self, matrix):
+        text = format_matrix(matrix)
+        lines = text.splitlines()
+        assert "AD0" in lines[0] and "AD3" in lines[0]
+        assert len(lines) == 1 + len(DEFAULT_AGGRESSORS)
+        assert "bisection" in text
+
+    def test_entry_slowdown_nan_on_zero_baseline(self):
+        e = InterferenceEntry("v", "a", "AD0", baseline=0.0, disturbed=1.0)
+        assert np.isnan(e.slowdown)

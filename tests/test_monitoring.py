@@ -1,0 +1,153 @@
+"""Unit tests for AutoPerf, LDMS, and NIC latency counters."""
+
+import numpy as np
+import pytest
+
+from repro.monitoring.autoperf import AutoPerf, MpiOpRecord
+from repro.monitoring.ldms import LdmsCollector
+from repro.monitoring.nic import NicLatencyCounters
+from repro.network.counters import CounterBank
+from repro.network.fluid import FlowSet
+
+
+class TestAutoPerf:
+    def _report(self):
+        ap = AutoPerf("MILC", 256)
+        ap.record_op("MPI_Allreduce", calls=1000, nbytes=8000, time=100.0)
+        ap.record_op("MPI_Wait", calls=5000, nbytes=0, time=60.0)
+        ap.record_op("MPI_Isend", calls=5000, nbytes=5 * 32768 * 1000, time=5.0)
+        ap.add_total_time(400.0)
+        return ap.finalize()
+
+    def test_avg_bytes(self):
+        rec = MpiOpRecord(calls=10, nbytes=80, time=1.0)
+        assert rec.avg_bytes == 8.0
+        assert MpiOpRecord().avg_bytes == 0.0
+
+    def test_mpi_time_and_fraction(self):
+        rep = self._report()
+        assert rep.mpi_time == pytest.approx(165.0)
+        assert rep.compute_time == pytest.approx(235.0)
+        assert rep.mpi_fraction == pytest.approx(165.0 / 400.0)
+
+    def test_top_ops_ordered_by_time(self):
+        rep = self._report()
+        assert rep.top_ops(3) == ["MPI_Allreduce", "MPI_Wait", "MPI_Isend"]
+
+    def test_breakdown_sums_to_total(self):
+        rep = self._report()
+        bd = rep.breakdown()
+        assert sum(bd.values()) == pytest.approx(rep.total_time)
+        assert "Compute" in bd and "Other_MPI" in bd
+
+    def test_record_op_accumulates(self):
+        ap = AutoPerf("x", 4)
+        ap.record_op("MPI_Send", calls=1, nbytes=10, time=0.5)
+        ap.record_op("MPI_Send", calls=2, nbytes=20, time=0.5)
+        rep = ap.finalize()
+        assert rep.ops["MPI_Send"].calls == 3
+        assert rep.ops["MPI_Send"].time == 1.0
+
+    def test_counters_attachment(self, toy_top):
+        bank = CounterBank(toy_top)
+        lid = toy_top.rank1_link(0, 0, 0, 1)
+        bank.add_network_link_counts(np.array([lid]), np.array([10.0]), np.array([5.0]))
+        ap = AutoPerf("x", 2)
+        ap.add_total_time(1.0)
+        ap.attach_counters(bank.local_view(np.array([0, 1])))
+        rep = ap.finalize()
+        assert rep.stalls_to_flits("rank1") == pytest.approx(0.5)
+
+    def test_stalls_without_counters_raises(self):
+        rep = self._report()
+        with pytest.raises(RuntimeError):
+            rep.stalls_to_flits("rank1")
+
+    def test_summary_text(self):
+        s = self._report().summary()
+        assert "MILC" in s and "MPI_Allreduce" in s
+
+
+class TestLdms:
+    def test_sample_deltas(self, toy_top):
+        bank = CounterBank(toy_top)
+        ldms = LdmsCollector(bank, interval=60.0)
+        lid = toy_top.rank1_link(0, 0, 0, 1)
+        bank.add_network_link_counts(np.array([lid]), np.array([10.0]), np.array([1.0]))
+        s1 = ldms.sample()
+        assert s1.delta.flits["rank1"].sum() == 10
+        bank.add_network_link_counts(np.array([lid]), np.array([5.0]), np.array([2.0]))
+        s2 = ldms.sample()
+        assert s2.delta.flits["rank1"].sum() == 5
+        assert s2.time == pytest.approx(120.0)
+
+    def test_series_ratio(self, toy_top):
+        bank = CounterBank(toy_top)
+        ldms = LdmsCollector(bank, interval=60.0)
+        lid = toy_top.rank3_link(0, 1, 0)
+        bank.add_network_link_counts(np.array([lid]), np.array([10.0]), np.array([5.0]))
+        ldms.sample()
+        series = ldms.series()
+        assert series["ratio"][0] == pytest.approx(0.5)
+        r3 = ldms.series("rank3")
+        assert r3["flits"][0] == 10
+
+    def test_per_router_series_shape(self, toy_top):
+        bank = CounterBank(toy_top)
+        ldms = LdmsCollector(bank, interval=60.0)
+        ldms.sample()
+        ldms.sample()
+        flits, stalls = ldms.per_router_series("rank1")
+        assert flits.shape == (2, toy_top.n_routers)
+
+    def test_cumulative(self, toy_top):
+        bank = CounterBank(toy_top)
+        ldms = LdmsCollector(bank, interval=60.0)
+        lid = toy_top.rank1_link(0, 0, 0, 1)
+        bank.add_network_link_counts(np.array([lid]), np.array([4.0]), np.array([0.0]))
+        ldms.sample()
+        bank.add_network_link_counts(np.array([lid]), np.array([6.0]), np.array([0.0]))
+        ldms.sample()
+        assert ldms.cumulative().flits["rank1"].sum() == 10
+
+    def test_cumulative_empty_raises(self, toy_top):
+        ldms = LdmsCollector(CounterBank(toy_top))
+        with pytest.raises(RuntimeError):
+            ldms.cumulative()
+
+    def test_interval_validation(self, toy_top):
+        with pytest.raises(ValueError):
+            LdmsCollector(CounterBank(toy_top), interval=0)
+
+
+class TestNicCounters:
+    def test_record_and_mean(self, toy_top):
+        nic = NicLatencyCounters(toy_top)
+        fl = FlowSet(
+            np.array([0, 0, 1]),
+            np.array([2, 3, 2]),
+            np.array([64.0, 64.0, 64.0]),
+            np.array([0, 0, 0]),
+        )
+        nic.record_flows(fl, latency=np.array([1e-6, 3e-6, 5e-6]), pairs=np.array([1.0, 1.0, 2.0]))
+        means = nic.interval_means()
+        assert means[0] == pytest.approx(2e-6)  # (1 + 3) / 2 pairs
+        assert means[1] == pytest.approx(5e-6)
+        assert np.isnan(means[4])  # idle NIC
+
+    def test_window_mean_between_snapshots(self, toy_top):
+        nic = NicLatencyCounters(toy_top)
+        fl = FlowSet(np.array([0]), np.array([2]), np.array([64.0]), np.array([0]))
+        nic.record_flows(fl, np.array([2e-6]), np.array([4.0]))
+        before = nic.snapshot()
+        nic.record_flows(fl, np.array([10e-6]), np.array([1.0]))
+        means = NicLatencyCounters.window_mean_latency(before, nic.snapshot())
+        # the window only contains the 10us pair
+        assert means[0] == pytest.approx(10e-6)
+
+    def test_counters_cumulative(self, toy_top):
+        nic = NicLatencyCounters(toy_top)
+        fl = FlowSet(np.array([5]), np.array([6]), np.array([64.0]), np.array([0]))
+        nic.record_flows(fl, np.array([1e-6]), np.array([1.0]))
+        nic.record_flows(fl, np.array([1e-6]), np.array([1.0]))
+        assert nic.rsp_count[5] == 2.0

@@ -1,0 +1,80 @@
+"""Tests for blocked-packet re-routing in the packet simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.biases import AD0, AD1, AD3
+from repro.network.packet_sim import InjectionSpec, PacketSimConfig, PacketSimulator
+
+
+def incast_sim(top, mode, *, patience, seed=3, n_src=8, nbytes=16384):
+    sim = PacketSimulator(
+        top,
+        PacketSimConfig(reroute_patience=patience),
+        rng=np.random.default_rng(seed),
+    )
+    for s in range(n_src):
+        sim.add_message(InjectionSpec(src=s, dst=31, nbytes=nbytes, mode=mode))
+    sim.run()
+    return sim
+
+
+class TestReroute:
+    def test_disabled_with_zero_patience(self, toy_top):
+        # patience=0 must reproduce the static source decision exactly
+        a = incast_sim(toy_top, AD0, patience=0)
+        b = incast_sim(toy_top, AD0, patience=0)
+        np.testing.assert_array_equal(a.packet_latencies(), b.packet_latencies())
+
+    def test_all_packets_still_complete(self, toy_top):
+        sim = incast_sim(toy_top, AD0, patience=4)
+        assert sim.idle
+        assert all(m.done for m in sim.messages)
+        n_pkts = sum(m.n_packets for m in sim.messages)
+        assert sim.packet_latencies().size == n_pkts
+
+    def test_side_attribution_consistent(self, toy_top):
+        # min/nonmin packet counts stay consistent with the packet total
+        # even when packets are re-attributed after a re-route
+        sim = incast_sim(toy_top, AD0, patience=2)
+        for m in sim.messages:
+            assert m.min_packets + m.nonmin_packets == m.n_packets
+            assert m.min_packets >= 0 and m.nonmin_packets >= 0
+
+    def test_rerouting_does_not_hurt_congested_latency(self, toy_top):
+        # allowing blocked packets to re-decide should not make the
+        # worst-case incast latency meaningfully worse
+        no_rr = incast_sim(toy_top, AD0, patience=0)
+        rr = incast_sim(toy_top, AD0, patience=4)
+        worst_no = max(m.latency(no_rr.config.step_time) for m in no_rr.messages)
+        worst_rr = max(m.latency(rr.config.step_time) for m in rr.messages)
+        assert worst_rr <= worst_no * 1.15
+
+    def test_ad1_reroutes_toward_minimal(self, mini_top):
+        # AD1's shift schedule has ramped by the retry, so its re-routes
+        # lean more minimal than AD0's under identical congestion
+        fracs = {}
+        for mode in (AD0, AD1):
+            sim = PacketSimulator(
+                mini_top,
+                PacketSimConfig(reroute_patience=2),
+                rng=np.random.default_rng(5),
+            )
+            for s in range(16):
+                sim.add_message(
+                    InjectionSpec(src=s, dst=mini_top.n_nodes - 1 - s, nbytes=16384, mode=mode)
+                )
+            sim.run()
+            mn = sum(m.min_packets for m in sim.messages)
+            nm = sum(m.nonmin_packets for m in sim.messages)
+            fracs[mode.name] = mn / (mn + nm)
+        assert fracs["AD1"] >= fracs["AD0"] - 0.02
+
+    def test_ad3_unaffected_by_patience(self, toy_top):
+        # AD3 is already pinned minimal; rerouting rarely changes it
+        a = incast_sim(toy_top, AD3, patience=0)
+        b = incast_sim(toy_top, AD3, patience=4)
+        na = sum(m.nonmin_packets for m in a.messages)
+        nb = sum(m.nonmin_packets for m in b.messages)
+        total = sum(m.n_packets for m in a.messages)
+        assert na / total < 0.1 and nb / total < 0.1

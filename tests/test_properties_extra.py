@@ -1,0 +1,118 @@
+"""Additional property-based tests: collectives, placement, counters."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.collectives import (
+    allgather_flows,
+    allreduce_flows,
+    alltoall_flows,
+    barrier_flows,
+    bcast_flows,
+)
+from repro.network.counters import CounterBank, TILE_CLASSES
+
+
+class TestCollectiveProperties:
+    @given(p=st.integers(2, 200), nbytes=st.floats(1.0, 1e6))
+    def test_allreduce_invariants(self, p, nbytes):
+        fl, rounds = allreduce_flows(np.arange(p), nbytes)
+        # symmetric algorithm: sends == receives per core rank
+        assert (fl.src != fl.dst).all()
+        assert rounds >= int(np.floor(np.log2(p)))
+        # every flow carries the message size
+        assert np.allclose(fl.nbytes, nbytes)
+
+    @given(p=st.integers(2, 150))
+    def test_barrier_total_flows(self, p):
+        fl, rounds = barrier_flows(np.arange(p))
+        assert rounds == int(np.ceil(np.log2(p)))
+        # dissemination: every rank sends exactly once per round
+        assert fl.n == p * rounds
+
+    @given(p=st.integers(2, 100), k=st.integers(1, 32), seed=st.integers(0, 100))
+    def test_alltoall_byte_conservation(self, p, k, seed):
+        rng = np.random.default_rng(seed)
+        per_pair = 100.0
+        fl, rounds = alltoall_flows(np.arange(p), per_pair, max_partners=k, rng=rng)
+        assert rounds == p - 1
+        # sampling rescales bytes so the expected total is exact
+        assert fl.nbytes.sum() == pytest.approx(p * (p - 1) * per_pair, rel=1e-9)
+
+    @given(p=st.integers(2, 128), root=st.integers(0, 127))
+    def test_bcast_reaches_everyone_once(self, p, root):
+        root = root % p
+        fl, _ = bcast_flows(np.arange(p), 64.0, root=root)
+        recv = np.bincount(fl.dst, minlength=p)
+        assert recv[root] == 0
+        assert recv.sum() == p - 1
+        assert recv.max() == 1
+
+    @given(p=st.integers(2, 100), nbytes=st.floats(1.0, 1e5))
+    def test_allgather_volume(self, p, nbytes):
+        fl, rounds = allgather_flows(np.arange(p), nbytes)
+        assert rounds == p - 1
+        # ring: total on-wire volume is P*(P-1)*nbytes
+        assert fl.nbytes.sum() == pytest.approx(p * (p - 1) * nbytes, rel=1e-9)
+
+
+class TestPlacementProperties:
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        n=st.integers(8, 512),
+        kind=st.sampled_from(["compact", "dispersed", "random", "production"]),
+        seed=st.integers(0, 500),
+    )
+    def test_any_placement_valid(self, theta_top, n, kind, seed):
+        from repro.scheduler.placement import make_placement
+
+        nodes = make_placement(kind, theta_top, n, np.random.default_rng(seed))
+        assert nodes.size == n
+        assert np.unique(nodes).size == n
+        assert nodes.min() >= 0 and nodes.max() < theta_top.n_nodes
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(sizes=st.lists(st.integers(8, 256), min_size=1, max_size=6), seed=st.integers(0, 100))
+    def test_pooled_placements_disjoint(self, theta_top, sizes, seed):
+        from repro.scheduler.placement import FreeNodePool, production_placement
+
+        rng = np.random.default_rng(seed)
+        pool = FreeNodePool(theta_top)
+        taken = []
+        for size in sizes:
+            if size > pool.n_free:
+                break
+            taken.append(production_placement(theta_top, size, rng, pool=pool))
+        allnodes = np.concatenate(taken) if taken else np.zeros(0, dtype=int)
+        assert np.unique(allnodes).size == allnodes.size
+
+
+class TestCounterAlgebra:
+    @given(
+        f1=st.floats(0, 1e9),
+        s1=st.floats(0, 1e9),
+        scale=st.floats(0, 100),
+        frac=st.floats(0, 1),
+    )
+    def test_merge_scale_linear(self, toy_top, f1, s1, scale, frac):
+        a = CounterBank(toy_top)
+        b = CounterBank(toy_top)
+        lid = toy_top.rank1_link(0, 0, 0, 1)
+        b.add_network_link_counts(np.array([lid]), np.array([f1]), np.array([s1]))
+        a.merge(b, fraction=frac)
+        a.scale(scale)
+        snap = a.snapshot()
+        assert snap.flits["rank1"].sum() == pytest.approx(f1 * frac * scale, rel=1e-9, abs=1e-6)
+        assert snap.stalls["rank1"].sum() == pytest.approx(s1 * frac * scale, rel=1e-9, abs=1e-6)
+
+    @given(vals=st.lists(st.floats(0, 1e6), min_size=1, max_size=8))
+    def test_snapshot_delta_inverts_accumulation(self, toy_top, vals):
+        bank = CounterBank(toy_top)
+        lid = toy_top.rank3_link(0, 1, 0)
+        before = bank.snapshot()
+        for v in vals:
+            bank.add_network_link_counts(np.array([lid]), np.array([v]), np.array([0.0]))
+        delta = bank.snapshot() - before
+        assert delta.flits["rank3"].sum() == pytest.approx(sum(vals), rel=1e-9, abs=1e-6)

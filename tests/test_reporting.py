@@ -1,0 +1,91 @@
+"""Tests for the terminal figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.reporting import (
+    bar_chart,
+    density_plot,
+    grouped_bar_chart,
+    hbar,
+    histogram,
+    series_plot,
+)
+
+
+class TestHbar:
+    def test_scaling(self):
+        assert hbar(5, 10, width=10) == "#####"
+        assert hbar(10, 10, width=10) == "#" * 10
+
+    def test_clamps(self):
+        assert hbar(20, 10, width=10) == "#" * 10
+        assert hbar(-1, 10, width=10) == ""
+        assert hbar(1, 0, width=10) == ""
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=4)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a ")
+        assert "####" in lines[1]
+        assert "2.00" in lines[1]
+
+    def test_grouped(self):
+        out = grouped_bar_chart(
+            ["rank1", "rank3"], {"AD0": [2.0, 4.0], "AD3": [1.0, 3.0]}, width=8
+        )
+        assert "AD0" in out and "AD3" in out
+        assert out.count("\n") == 3  # 2 labels x 2 series
+
+
+class TestDensityPlot:
+    def test_renders_all_series(self, rng):
+        out = density_plot(
+            {"AD0": rng.normal(540, 45, 100), "AD3": rng.normal(480, 35, 100)},
+            width=50,
+            height=8,
+            xlabel="runtime (s)",
+        )
+        assert "#=AD0" in out
+        assert "*=AD3" in out
+        assert "runtime (s)" in out
+        # the canvas is exactly the requested width
+        assert all(len(l) <= 60 for l in out.splitlines()[:8])
+
+    def test_empty(self):
+        assert density_plot({}) == "(no data)"
+
+    def test_degenerate_series(self):
+        out = density_plot({"x": np.array([5.0, 5.0, 5.0])})
+        assert "#=x" in out
+
+
+class TestSeriesPlot:
+    def test_renders(self, rng):
+        t = np.arange(20) * 60.0
+        out = series_plot(
+            t,
+            {"stalls": rng.random(20) * 10, "flits": rng.random(20) * 8},
+            width=40,
+            height=6,
+            ylabel="counts",
+        )
+        assert "#=stalls" in out and "*=flits" in out
+        assert "counts" in out
+
+    def test_empty(self):
+        assert series_plot(np.arange(3), {}) == "(no data)"
+
+
+class TestHistogram:
+    def test_counts_sum(self, rng):
+        v = rng.normal(0, 1, 500)
+        out = histogram(v, bins=10)
+        total = sum(int(line.rsplit(" ", 1)[-1]) for line in out.splitlines())
+        assert total == 500
+
+    def test_empty(self):
+        assert histogram(np.array([])) == "(no data)"

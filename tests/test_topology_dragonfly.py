@@ -1,0 +1,161 @@
+"""Unit tests for the dragonfly structure and its index arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.topology.dragonfly import DragonflyParams, DragonflyTopology, LinkClass
+
+
+class TestParams:
+    def test_theta_counts(self, theta_top):
+        assert theta_top.n_groups == 12
+        assert theta_top.routers_per_group == 96
+        assert theta_top.n_routers == 1152
+        assert theta_top.n_nodes == 4392
+
+    def test_cori_counts(self, cori_top):
+        assert cori_top.n_groups == 28
+        assert cori_top.n_nodes == 9668
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="exceeds node capacity"):
+            DragonflyParams(name="bad", n_groups=2, n_compute_nodes=10**6)
+
+    def test_single_group_rejected(self):
+        with pytest.raises(ValueError, match="at least 2 groups"):
+            DragonflyParams(name="bad", n_groups=1)
+
+    def test_node_capacity(self, toy_top):
+        # 2 groups x 2 chassis x 4 routers x 2 nodes
+        assert toy_top.params.node_capacity == 32
+        assert toy_top.n_nodes == 32
+
+    def test_bisection_to_injection_cori_below_theta(self, theta_top, cori_top):
+        # the paper: Cori has a reduced bisection-to-injection ratio
+        # (4 vs 12 cables per group pair)
+        assert cori_top.bisection_to_injection_ratio < theta_top.bisection_to_injection_ratio
+
+    def test_describe_mentions_name(self, theta_top):
+        assert "theta" in theta_top.describe()
+
+
+class TestLinkTables:
+    def test_total_links_consistent(self, toy_top):
+        t = toy_top
+        assert t.n_links == t.eje_base + t.n_nodes
+
+    def test_rank1_capacity_is_half_bidirectional(self, theta_top):
+        lid = theta_top.rank1_link(0, 0, 0, 1)
+        assert theta_top.capacity[lid] == pytest.approx(10.5e9 / 2)
+
+    def test_rank2_bundle_capacity(self, theta_top):
+        # three physical links aggregated per rank-2 bundle
+        lid = theta_top.rank2_link(0, 0, 0, 1)
+        assert theta_top.capacity[lid] == pytest.approx(3 * 10.5e9 / 2)
+
+    def test_rank3_cable_capacity(self, theta_top):
+        lid = theta_top.rank3_link(0, 1, 0)
+        assert theta_top.capacity[lid] == pytest.approx(3 * 9.38e9 / 2)
+
+    def test_diagonal_rank1_links_unusable(self, theta_top):
+        lid = theta_top.rank1_link(0, 0, 3, 3)
+        assert theta_top.capacity[lid] == 0.0
+        assert theta_top.link_class[lid] == -1
+
+    def test_diagonal_rank3_links_unusable(self, theta_top):
+        lid = theta_top.rank3_link(2, 2, 0)
+        assert theta_top.capacity[lid] == 0.0
+
+    def test_link_class_counts(self, toy_top):
+        t = toy_top
+        p = t.params
+        n_r1 = t.params.n_groups * p.chassis_per_group * p.routers_per_chassis * (
+            p.routers_per_chassis - 1
+        )
+        assert (t.link_class == int(LinkClass.RANK1)).sum() == n_r1
+        n_r3 = p.n_groups * (p.n_groups - 1) * p.cables_per_group_pair
+        assert (t.link_class == int(LinkClass.RANK3)).sum() == n_r3
+        assert (t.link_class == int(LinkClass.INJECTION)).sum() == t.n_nodes
+        assert (t.link_class == int(LinkClass.EJECTION)).sum() == t.n_nodes
+
+    def test_rank1_endpoints_same_chassis(self, theta_top):
+        lid = theta_top.rank1_link(2, 3, 4, 5)
+        src = theta_top.link_src_router[lid]
+        dst = theta_top.link_dst_router[lid]
+        assert theta_top.router_group(src) == 2
+        assert theta_top.router_chassis(src) == 3
+        assert theta_top.router_slot(src) == 4
+        assert theta_top.router_slot(dst) == 5
+        assert theta_top.router_chassis(dst) == 3
+
+    def test_rank2_endpoints_same_slot(self, theta_top):
+        lid = theta_top.rank2_link(1, 7, 0, 5)
+        src = theta_top.link_src_router[lid]
+        dst = theta_top.link_dst_router[lid]
+        assert theta_top.router_slot(src) == 7
+        assert theta_top.router_slot(dst) == 7
+        assert theta_top.router_chassis(src) == 0
+        assert theta_top.router_chassis(dst) == 5
+
+    def test_rank3_endpoints_cross_groups(self, theta_top):
+        lid = theta_top.rank3_link(0, 5, 3)
+        src = theta_top.link_src_router[lid]
+        dst = theta_top.link_dst_router[lid]
+        assert theta_top.router_group(src) == 0
+        assert theta_top.router_group(dst) == 5
+
+    def test_gateway_matches_link_endpoint(self, theta_top):
+        gw = theta_top.gateway_router(0, 5, 3)
+        lid = theta_top.rank3_link(0, 5, 3)
+        assert theta_top.link_src_router[lid] == gw
+
+    def test_cable_reverse_direction_shares_gateways(self, theta_top):
+        fwd = theta_top.rank3_link(0, 5, 3)
+        rev = theta_top.rank3_link(5, 0, 3)
+        assert theta_top.link_src_router[fwd] == theta_top.link_dst_router[rev]
+        assert theta_top.link_dst_router[fwd] == theta_top.link_src_router[rev]
+
+
+class TestIndexArithmetic:
+    def test_node_router_scalar_and_array(self, theta_top):
+        assert theta_top.node_router(0) == 0
+        assert theta_top.node_router(7) == 1
+        np.testing.assert_array_equal(
+            theta_top.node_router(np.array([0, 4, 8])), [0, 1, 2]
+        )
+
+    def test_node_group(self, theta_top):
+        nodes_per_group = theta_top.routers_per_group * 4
+        assert theta_top.node_group(0) == 0
+        assert theta_top.node_group(nodes_per_group) == 1
+
+    def test_router_decomposition_roundtrip(self, theta_top):
+        for r in (0, 17, 95, 96, 1151):
+            g = theta_top.router_group(r)
+            c = theta_top.router_chassis(r)
+            s = theta_top.router_slot(r)
+            assert g * 96 + c * 16 + s == r
+
+    def test_injection_ejection_distinct(self, theta_top):
+        node = 100
+        assert theta_top.injection_link(node) != theta_top.ejection_link(node)
+        assert theta_top.link_class[theta_top.injection_link(node)] == int(
+            LinkClass.INJECTION
+        )
+        assert theta_top.link_class[theta_top.ejection_link(node)] == int(
+            LinkClass.EJECTION
+        )
+
+    def test_cable_assignment_deterministic(self):
+        from repro.topology.systems import theta
+
+        a = theta(seed=3)
+        b = theta(seed=3)
+        np.testing.assert_array_equal(a.cable_gateway, b.cable_gateway)
+
+    def test_cable_assignment_seed_sensitivity(self):
+        from repro.topology.systems import theta
+
+        a = theta(seed=3)
+        b = theta(seed=4)
+        assert not np.array_equal(a.cable_gateway, b.cable_gateway)

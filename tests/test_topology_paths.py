@@ -1,0 +1,181 @@
+"""Unit tests for minimal / Valiant path construction."""
+
+import numpy as np
+import pytest
+
+from repro.topology.dragonfly import LinkClass
+from repro.topology.paths import MAX_HOPS, minimal_paths, valiant_paths
+
+
+def check_continuity(top, bundle):
+    """Every path must start at injection, end at ejection, and chain
+    router-continuously in between."""
+    for row in bundle.links:
+        ids = row[row >= 0]
+        assert top.link_class[ids[0]] == int(LinkClass.INJECTION)
+        assert top.link_class[ids[-1]] == int(LinkClass.EJECTION)
+        prev = top.link_dst_router[ids[0]]
+        for lid in ids[1:-1]:
+            assert top.link_src_router[lid] == prev
+            prev = top.link_dst_router[lid]
+        assert top.link_src_router[ids[-1]] == prev
+
+
+def _pairs(top, rng, n=200):
+    src = rng.integers(0, top.n_nodes, n)
+    dst = rng.integers(0, top.n_nodes, n)
+    keep = src != dst
+    return src[keep], dst[keep]
+
+
+class TestMinimalPaths:
+    def test_continuity_theta(self, theta_top, rng):
+        src, dst = _pairs(theta_top, rng)
+        b = minimal_paths(theta_top, src, dst, k=3, rng=rng)
+        check_continuity(theta_top, b)
+
+    def test_continuity_toy(self, toy_top, rng):
+        src, dst = _pairs(toy_top, rng, 64)
+        b = minimal_paths(toy_top, src, dst, k=2, rng=rng)
+        check_continuity(toy_top, b)
+
+    def test_subpath_count(self, theta_top, rng):
+        src, dst = _pairs(theta_top, rng, 50)
+        b = minimal_paths(theta_top, src, dst, k=4, rng=rng)
+        assert b.n_subpaths == 4 * src.size
+        np.testing.assert_array_equal(
+            b.subpaths_per_flow(src.size), np.full(src.size, 4)
+        )
+
+    def test_at_most_one_global_hop(self, theta_top, rng):
+        src, dst = _pairs(theta_top, rng)
+        b = minimal_paths(theta_top, src, dst, k=2, rng=rng)
+        r3 = theta_top.link_class[np.where(b.links >= 0, b.links, 0)] == int(
+            LinkClass.RANK3
+        )
+        r3 &= b.links >= 0
+        assert r3.sum(axis=1).max() <= 1
+
+    def test_intra_group_paths_have_no_global_hop(self, theta_top, rng):
+        # nodes 0..50 are all in group 0
+        src = np.arange(0, 25)
+        dst = np.arange(25, 50)
+        b = minimal_paths(theta_top, src, dst, k=2, rng=rng)
+        used = np.where(b.links >= 0, b.links, 0)
+        r3 = (theta_top.link_class[used] == int(LinkClass.RANK3)) & (b.links >= 0)
+        assert r3.sum() == 0
+
+    def test_minimal_router_hops_bound(self, theta_top, rng):
+        # minimal: <= 2 local + 1 global + 2 local = 5 router-to-router hops
+        src, dst = _pairs(theta_top, rng)
+        b = minimal_paths(theta_top, src, dst, k=2, rng=rng)
+        assert b.router_hops.max() <= 5
+
+    def test_same_router_pair_shortest(self, theta_top, rng):
+        # two nodes of the same router: injection + ejection only
+        b = minimal_paths(theta_top, np.array([0]), np.array([1]), k=2, rng=rng)
+        assert set(b.hops) == {2}
+        assert b.router_hops.max() == 0
+
+    def test_distinct_cables_sampled(self, theta_top, rng):
+        # inter-group flow with k > 1 should touch distinct cables
+        src = np.array([0])
+        dst = np.array([theta_top.n_nodes - 1])
+        b = minimal_paths(theta_top, src, dst, k=4, rng=rng)
+        used = b.links[b.links >= 0]
+        cables = used[theta_top.link_class[used] == int(LinkClass.RANK3)]
+        assert np.unique(cables).size == 4
+
+    def test_self_flow_rejected(self, theta_top, rng):
+        with pytest.raises(ValueError, match="self-flows"):
+            minimal_paths(theta_top, np.array([3]), np.array([3]), rng=rng)
+
+    def test_shape_mismatch_rejected(self, theta_top, rng):
+        with pytest.raises(ValueError, match="same shape"):
+            minimal_paths(theta_top, np.array([1, 2]), np.array([3]), rng=rng)
+
+    def test_valid_capacities(self, mini_top, rng):
+        src, dst = _pairs(mini_top, rng, 100)
+        b = minimal_paths(mini_top, src, dst, k=3, rng=rng)
+        used = b.links[b.links >= 0]
+        assert (mini_top.capacity[used] > 0).all()
+
+
+class TestValiantPaths:
+    def test_continuity_theta(self, theta_top, rng):
+        src, dst = _pairs(theta_top, rng)
+        b = valiant_paths(theta_top, src, dst, k=3, rng=rng)
+        check_continuity(theta_top, b)
+
+    def test_continuity_mini(self, mini_top, rng):
+        src, dst = _pairs(mini_top, rng, 100)
+        b = valiant_paths(mini_top, src, dst, k=2, rng=rng)
+        check_continuity(mini_top, b)
+
+    def test_two_global_hops_inter_group(self, theta_top, rng):
+        src = np.array([0])
+        dst = np.array([theta_top.n_nodes - 1])
+        b = valiant_paths(theta_top, src, dst, k=3, rng=rng)
+        used = np.where(b.links >= 0, b.links, 0)
+        r3 = (theta_top.link_class[used] == int(LinkClass.RANK3)) & (b.links >= 0)
+        np.testing.assert_array_equal(r3.sum(axis=1), [2, 2, 2])
+
+    def test_intermediate_group_differs_from_endpoints(self, theta_top, rng):
+        src = np.zeros(50, dtype=np.int64)
+        dst = np.full(50, theta_top.n_nodes - 1, dtype=np.int64)
+        b = valiant_paths(theta_top, src, dst, k=2, rng=rng)
+        g_src = int(theta_top.node_group(0))
+        g_dst = int(theta_top.node_group(theta_top.n_nodes - 1))
+        for row in b.links:
+            ids = row[row >= 0]
+            cables = ids[theta_top.link_class[ids] == int(LinkClass.RANK3)]
+            g_int = int(theta_top.router_group(theta_top.link_dst_router[cables[0]]))
+            assert g_int not in (g_src, g_dst)
+
+    def test_valiant_longer_than_minimal_on_average(self, theta_top, rng):
+        src, dst = _pairs(theta_top, rng)
+        bm = minimal_paths(theta_top, src, dst, k=2, rng=rng)
+        bv = valiant_paths(theta_top, src, dst, k=2, rng=rng)
+        assert bv.router_hops.mean() > bm.router_hops.mean()
+
+    def test_two_group_system_fallback(self, toy_top, rng):
+        # a 2-group dragonfly has no intermediate group: the non-minimal
+        # set degrades to random-cable minimal-shaped paths
+        src = np.arange(0, 16)
+        dst = np.arange(16, 32)
+        b = valiant_paths(toy_top, src, dst, k=2, rng=rng)
+        check_continuity(toy_top, b)
+        used = np.where(b.links >= 0, b.links, 0)
+        r3 = (toy_top.link_class[used] == int(LinkClass.RANK3)) & (b.links >= 0)
+        assert r3.sum(axis=1).max() == 1
+
+    def test_intra_group_detour(self, theta_top, rng):
+        # intra-group valiant goes via an intermediate router
+        src = np.arange(0, 20)
+        dst = np.arange(40, 60)
+        b = valiant_paths(theta_top, src, dst, k=2, rng=rng)
+        check_continuity(theta_top, b)
+        bm = minimal_paths(theta_top, src, dst, k=2, rng=rng)
+        assert b.router_hops.mean() >= bm.router_hops.mean()
+
+    def test_max_hops_respected(self, theta_top, rng):
+        src, dst = _pairs(theta_top, rng)
+        b = valiant_paths(theta_top, src, dst, k=3, rng=rng)
+        assert b.links.shape[1] == MAX_HOPS
+        assert b.hops.max() <= MAX_HOPS
+
+
+class TestDeterminism:
+    def test_same_rng_same_paths(self, theta_top):
+        src = np.arange(100)
+        dst = np.arange(200, 300)
+        a = minimal_paths(theta_top, src, dst, k=3, rng=np.random.default_rng(5))
+        b = minimal_paths(theta_top, src, dst, k=3, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.links, b.links)
+
+    def test_different_rng_different_valiant(self, theta_top):
+        src = np.arange(100)
+        dst = np.arange(2000, 2100)
+        a = valiant_paths(theta_top, src, dst, k=2, rng=np.random.default_rng(5))
+        b = valiant_paths(theta_top, src, dst, k=2, rng=np.random.default_rng(6))
+        assert not np.array_equal(a.links, b.links)

@@ -1,0 +1,110 @@
+"""Tests for the topology analytics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.topology.queries import (
+    bisection_cut,
+    minimal_path_diversity,
+    minimal_router_hops,
+    placement_geometry,
+)
+
+
+class TestHops:
+    def test_same_router(self, theta_top):
+        assert minimal_router_hops(theta_top, 0, 1) == 0
+
+    def test_same_chassis(self, theta_top):
+        # nodes 0 (router 0) and 7 (router 1): same chassis row
+        assert minimal_router_hops(theta_top, 0, 7) == 1
+
+    def test_same_group_two_hops(self, theta_top):
+        # router 0 (chassis 0, slot 0) to router 17 (chassis 1, slot 1)
+        node_b = 17 * 4
+        assert minimal_router_hops(theta_top, 0, node_b) == 2
+
+    def test_cross_group(self, theta_top):
+        far = theta_top.n_nodes - 1
+        assert minimal_router_hops(theta_top, 0, far) == 5
+
+    def test_vectorized(self, theta_top):
+        out = minimal_router_hops(theta_top, np.array([0, 0]), np.array([1, 4000]))
+        assert out.shape == (2,)
+        assert out[0] == 0 and out[1] == 5
+
+    def test_matches_sampled_paths_on_average(self, theta_top, rng):
+        # the closed form and the sampled builders agree within a hop
+        from repro.topology.paths import minimal_paths
+
+        src = rng.integers(0, theta_top.n_nodes, 300)
+        dst = (src + 17 + rng.integers(0, 2000, 300)) % theta_top.n_nodes
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        closed = minimal_router_hops(theta_top, src, dst).mean()
+        sampled = minimal_paths(theta_top, src, dst, k=2, rng=rng).router_hops.mean()
+        assert closed == pytest.approx(sampled, abs=1.0)
+
+
+class TestDiversity:
+    def test_same_router_single(self, theta_top):
+        assert minimal_path_diversity(theta_top, 0, 1) == 1
+
+    def test_two_hop_pairs_have_two(self, theta_top):
+        node_b = 17 * 4
+        assert minimal_path_diversity(theta_top, 0, node_b) == 2
+
+    def test_cross_group_scales_with_cables(self, theta_top, cori_top):
+        far_t = theta_top.n_nodes - 1
+        far_c = cori_top.n_nodes - 1
+        d_theta = int(minimal_path_diversity(theta_top, 0, far_t))
+        d_cori = int(minimal_path_diversity(cori_top, 0, far_c))
+        # Theta: 12 cables/pair, Cori: 4 — 3x the minimal diversity
+        assert d_theta == 3 * d_cori
+
+
+class TestPlacementGeometry:
+    def test_compact_vs_dispersed(self, theta_top, rng):
+        from repro.scheduler.placement import compact_placement, dispersed_placement
+
+        compact = placement_geometry(theta_top, compact_placement(theta_top, 256, rng))
+        dispersed = placement_geometry(
+            theta_top, dispersed_placement(theta_top, 256, rng)
+        )
+        assert compact["groups"] < dispersed["groups"]
+        assert compact["cross_group_fraction"] < dispersed["cross_group_fraction"]
+        assert compact["mean_min_hops"] < dispersed["mean_min_hops"]
+
+    def test_fields(self, theta_top):
+        geo = placement_geometry(theta_top, np.arange(64))
+        assert set(geo) == {
+            "groups",
+            "chassis",
+            "routers",
+            "cross_group_fraction",
+            "mean_min_hops",
+        }
+        assert geo["routers"] == 16
+        assert geo["groups"] == 1
+        assert geo["cross_group_fraction"] == 0.0
+
+
+class TestBisectionCut:
+    def test_half_machine_cut(self, theta_top):
+        half = np.arange(6)
+        cut = bisection_cut(theta_top, half)
+        per_cable = 3 * 9.38e9 / 2
+        assert cut == pytest.approx(6 * 6 * 12 * per_cable)
+
+    def test_cut_symmetric(self, theta_top):
+        a = bisection_cut(theta_top, np.arange(4))
+        b = bisection_cut(theta_top, np.arange(4, 12))
+        assert a == pytest.approx(b)
+
+    def test_cori_thinner_cut(self, theta_top, cori_top):
+        # same bipartition size: Cori's 4-cable pairs give a thinner cut
+        cut_t = bisection_cut(theta_top, np.arange(6))
+        cut_c = bisection_cut(cori_top, np.arange(6))
+        per_pair_t = cut_t / (6 * 6)
+        per_pair_c = cut_c / (6 * 22)
+        assert per_pair_t == pytest.approx(3 * per_pair_c)

@@ -1,0 +1,135 @@
+"""Unit tests for repro.util (units, rng derivation, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    GB,
+    GiB,
+    KB,
+    KiB,
+    MB,
+    MiB,
+    US,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_power_of_two,
+    derive_rng,
+    derive_seeds,
+    fmt_bytes,
+    fmt_time,
+    spawn_rngs,
+)
+
+
+class TestUnits:
+    def test_binary_prefixes(self):
+        assert KiB == 1024
+        assert MiB == 1024**2
+        assert GiB == 1024**3
+
+    def test_decimal_prefixes(self):
+        assert KB == 1_000
+        assert MB == 1_000_000
+        assert GB == 1_000_000_000
+
+    def test_fmt_bytes_small(self):
+        assert fmt_bytes(8) == "8 B"
+
+    def test_fmt_bytes_kib(self):
+        assert fmt_bytes(2048) == "2.0 KiB"
+
+    def test_fmt_bytes_mib(self):
+        assert fmt_bytes(3 * MiB) == "3.0 MiB"
+
+    def test_fmt_bytes_gib(self):
+        assert "GiB" in fmt_bytes(5 * GiB)
+
+    def test_fmt_time_seconds(self):
+        assert fmt_time(2.5) == "2.500 s"
+
+    def test_fmt_time_ms(self):
+        assert fmt_time(0.5) == "500.0 ms"
+
+    def test_fmt_time_us(self):
+        assert fmt_time(3 * US) == "3.0 us"
+
+
+class TestDeriveRng:
+    def test_deterministic(self):
+        a = derive_rng(42, "milc", "AD0", 3)
+        b = derive_rng(42, "milc", "AD0", 3)
+        assert a.integers(1 << 30) == b.integers(1 << 30)
+
+    def test_key_sensitivity(self):
+        a = derive_rng(42, "milc", 0)
+        b = derive_rng(42, "milc", 1)
+        assert a.integers(1 << 30) != b.integers(1 << 30)
+
+    def test_seed_sensitivity(self):
+        a = derive_rng(1, "x")
+        b = derive_rng(2, "x")
+        assert a.integers(1 << 30) != b.integers(1 << 30)
+
+    def test_string_vs_int_keys_differ(self):
+        # "1" and 1 should not silently collide by repr
+        a = derive_rng(0, "1")
+        b = derive_rng(0, 1)
+        assert a.integers(1 << 30) != b.integers(1 << 30)
+
+    def test_float_keys_supported(self):
+        rng = derive_rng(0, 0.5)
+        assert 0 <= rng.random() < 1
+
+    def test_bool_keys_supported(self):
+        a = derive_rng(0, True)
+        b = derive_rng(0, False)
+        assert a.integers(1 << 30) != b.integers(1 << 30)
+
+    def test_unsupported_key_type_raises(self):
+        with pytest.raises(TypeError):
+            derive_rng(0, object())
+
+    def test_derive_seeds_count_and_range(self):
+        seeds = derive_seeds(7, "a", n=5)
+        assert len(seeds) == 5
+        assert all(0 <= s < 2**63 for s in seeds)
+
+    def test_spawn_rngs_independent(self):
+        parent = np.random.default_rng(0)
+        children = spawn_rngs(parent, 3)
+        vals = [c.integers(1 << 30) for c in children]
+        assert len(set(vals)) == 3
+
+
+class TestValidation:
+    def test_check_positive_ok(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_check_positive_zero_raises(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_check_nonnegative_ok(self):
+        assert check_nonnegative("x", 0) == 0
+
+    def test_check_nonnegative_raises(self):
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1)
+
+    def test_check_in_range_bounds_inclusive(self):
+        assert check_in_range("x", 0, 0, 15) == 0
+        assert check_in_range("x", 15, 0, 15) == 15
+
+    def test_check_in_range_raises(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 16, 0, 15)
+
+    def test_check_power_of_two_ok(self):
+        assert check_power_of_two("x", 256) == 256
+
+    @pytest.mark.parametrize("bad", [0, -4, 3, 12])
+    def test_check_power_of_two_raises(self, bad):
+        with pytest.raises(ValueError):
+            check_power_of_two("x", bad)
