@@ -19,7 +19,6 @@ constants are documented on each class.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
 
 import numpy as np
 

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.apps.base import Application, random_pair_flows
 from repro.mpi.collectives import allreduce_flows
-from repro.mpi.patterns import CollectiveSpec, P2PSpec, Phase, TrafficOp
+from repro.mpi.patterns import CollectiveSpec, P2PSpec, Phase
 from repro.network.fluid import FlowSet
 from repro.util import MiB
 

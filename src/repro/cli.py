@@ -12,29 +12,53 @@ Usage (``python -m repro <command>``)::
     python -m repro calibrate --param stall_kappa --values 1,3,6
 
 Every command prints paper-style text output; nothing is written to
-disk.  All commands accept ``--seed`` for reproducibility.
+disk unless telemetry flags ask for it.  All commands accept ``--seed``
+for reproducibility, plus the observability flags:
+
+``--verbose/-v``
+    Log progress to stderr (repeat for the full event stream).
+``--trace PATH``
+    Journal structured JSONL solver/engine events to a file
+    (summarize later with ``repro-study report PATH``).
+``--metrics PATH``
+    Write accumulated metrics at exit — Prometheus text exposition, or
+    JSON when the path ends in ``.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
+from pathlib import Path
 
 import numpy as np
 
 from repro.apps import app_by_name
 from repro.core.advisor import recommend
 from repro.core.analysis import improvement_table
-from repro.core.biases import AD0, AD3, VENDOR_MODES, mode_by_name
+from repro.core.biases import VENDOR_MODES, mode_by_name
 from repro.core.ensembles import EnsembleConfig, run_ensemble
 from repro.core.experiment import CampaignConfig, run_app_once, run_campaign, stats_by_mode
 from repro.core.facility import run_default_change_study
 from repro.core.metrics import LATENCY_PERCENTILES
 from repro.mpi.env import RoutingEnv
+from repro.telemetry import (
+    JsonlTraceWriter,
+    LoggingTraceWriter,
+    MultiTraceWriter,
+    NULL_TRACE,
+    Telemetry,
+    format_summary,
+    summarize_trace,
+    use_telemetry,
+)
 from repro.topology.systems import cori, slingshot, theta
 from repro.util import derive_rng
 
 SYSTEMS = {"theta": theta, "cori": cori, "slingshot": slingshot}
+
+logger = logging.getLogger("repro.cli")
 
 
 def _system(name: str):
@@ -76,7 +100,9 @@ def cmd_compare(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    args.modes = "AD0,AD1,AD2,AD3"
+    # sweep is compare with its own --modes default (all four vendor
+    # modes); the parser owns the default so --modes is honored and the
+    # help text stays truthful.
     return cmd_compare(args)
 
 
@@ -163,15 +189,45 @@ def cmd_ensemble(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    path = Path(args.trace_path)
+    if not path.exists():
+        raise SystemExit(f"no such trace file: {path}")
+    print(format_summary(summarize_trace(path, top=args.top)))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro", description="Dragonfly adaptive-routing study toolkit"
     )
     sub = p.add_subparsers(dest="command", required=True)
 
+    def observability(sp):
+        sp.add_argument(
+            "-v",
+            "--verbose",
+            action="count",
+            default=0,
+            help="log progress to stderr (-vv for the full event stream)",
+        )
+        sp.add_argument(
+            "--trace",
+            default=None,
+            metavar="PATH",
+            help="journal structured JSONL engine events to PATH",
+        )
+        sp.add_argument(
+            "--metrics",
+            default=None,
+            metavar="PATH",
+            help="write metrics at exit (Prometheus text, or JSON for *.json)",
+        )
+
     def common(sp):
         sp.add_argument("--system", default="theta", help="theta | cori | slingshot")
         sp.add_argument("--seed", type=int, default=2021)
+        observability(sp)
 
     sp = sub.add_parser("describe", help="print a system's structure and the routing modes")
     common(sp)
@@ -190,6 +246,11 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--app", default="milc")
     sp.add_argument("--nodes", type=int, default=256)
     sp.add_argument("--samples", type=int, default=6)
+    sp.add_argument(
+        "--modes",
+        default="AD0,AD1,AD2,AD3",
+        help="comma-separated mode subset to sweep (default: all four)",
+    )
     sp.set_defaults(func=cmd_sweep)
 
     sp = sub.add_parser("advise", help="profile an app and recommend a bias")
@@ -219,12 +280,68 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--placement", default="dispersed")
     sp.set_defaults(func=cmd_ensemble)
 
+    sp = sub.add_parser("report", help="summarize a recorded JSONL trace")
+    sp.add_argument("trace_path", help="trace file written with --trace")
+    sp.add_argument("--top", type=int, default=10, help="rows per ranked section")
+    observability(sp)
+    sp.set_defaults(func=cmd_report)
+
     return p
+
+
+def _telemetry_from_args(args) -> Telemetry:
+    """Build the command's telemetry handle from the shared flags."""
+    verbose = getattr(args, "verbose", 0)
+    if verbose:
+        logging.basicConfig(
+            stream=sys.stderr,
+            level=logging.INFO if verbose == 1 else logging.DEBUG,
+            format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        )
+    writers = []
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        try:
+            writers.append(JsonlTraceWriter(trace_path))
+        except OSError as e:
+            raise SystemExit(f"cannot open trace file {trace_path}: {e.strerror}")
+    if verbose >= 2:
+        writers.append(LoggingTraceWriter(logging.getLogger("repro.telemetry")))
+    if len(writers) == 1:
+        trace = writers[0]
+    elif writers:
+        trace = MultiTraceWriter(writers)
+    else:
+        trace = NULL_TRACE
+    tel = Telemetry(trace=trace)
+    tel.metrics.enabled = bool(getattr(args, "metrics", None))
+    if trace_path:
+        logger.info("tracing engine events to %s", trace_path)
+    return tel
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    tel = _telemetry_from_args(args)
+    try:
+        with use_telemetry(tel):
+            rc = args.func(args)
+    finally:
+        tel.close()
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path:
+        path = Path(metrics_path)
+        text = (
+            tel.metrics.to_json()
+            if path.suffix == ".json"
+            else tel.metrics.to_prometheus()
+        )
+        try:
+            path.write_text(text)
+        except OSError as e:
+            raise SystemExit(f"cannot write metrics file {path}: {e.strerror}")
+        logger.info("wrote %d metrics to %s", len(tel.metrics), path)
+    return rc
 
 
 if __name__ == "__main__":

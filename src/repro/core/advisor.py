@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 from repro.core.biases import AD0, AD3, RoutingMode
 from repro.monitoring.autoperf import AutoPerfReport
-from repro.util import KiB, MiB
+from repro.util import KiB
 
 #: interfaces that synchronize globally and are paced by message latency
 LATENCY_OPS = ("MPI_Allreduce", "MPI_Barrier", "MPI_Bcast", "MPI_Reduce")

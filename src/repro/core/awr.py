@@ -25,10 +25,9 @@ import numpy as np
 
 from repro.apps.base import Application
 from repro.core.biases import AD0, VENDOR_MODES, RoutingMode
-from repro.core.experiment import PhaseTiming, resolve_phase
+from repro.core.experiment import resolve_phase
 from repro.mpi.env import RoutingEnv
 from repro.topology.dragonfly import DragonflyTopology
-from repro.util import derive_rng
 
 
 @dataclass(frozen=True)

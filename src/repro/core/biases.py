@@ -30,7 +30,7 @@ The four vendor presets:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util import check_in_range
 

@@ -16,7 +16,8 @@ scatter data behind the paper's Figs. 10 and 12.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -28,6 +29,7 @@ from repro.mpi.env import RoutingEnv
 from repro.network.counters import CounterBank
 from repro.network.fluid import FlowSet, FluidParams, solve_fluid
 from repro.scheduler.placement import FreeNodePool, make_placement
+from repro.telemetry import Telemetry, resolve_telemetry
 from repro.topology.dragonfly import DragonflyTopology
 from repro.util import derive_rng
 
@@ -90,9 +92,11 @@ def run_ensemble(
     cfg: EnsembleConfig,
     *,
     rng: np.random.Generator | None = None,
+    telemetry: Telemetry | None = None,
 ) -> EnsembleResult:
     """Place and jointly resolve all jobs of the ensemble."""
     app = cfg.app
+    tel = resolve_telemetry(telemetry)
     if cfg.n_jobs * cfg.n_nodes > top.n_nodes:
         raise ValueError(
             f"{cfg.n_jobs} x {cfg.n_nodes} nodes exceed the machine "
@@ -132,6 +136,7 @@ def run_ensemble(
             cursor += fl.n
             spread = max(spread, phase.spread_time)
         flows = FlowSet.concat(parts)
+        t0 = time.perf_counter() if tel.enabled else 0.0
         res = solve_fluid(
             top,
             flows,
@@ -139,8 +144,25 @@ def run_ensemble(
             rng=rng,
             params=cfg.params,
             min_duration=spread,
+            telemetry=tel,
         )
         res.accumulate_counters(bank, top)
+        if tel.enabled:
+            if tel.metrics.enabled:
+                tel.metrics.counter(
+                    "ensemble_phases_total", "jointly solved ensemble phases"
+                ).inc()
+            tel.event(
+                "ensemble.phase",
+                app=app.name,
+                phase=p,
+                jobs=cfg.n_jobs,
+                flows=flows.n,
+                converged=res.converged,
+                residual=res.residual,
+                residual_mean=res.residual_mean,
+                wall_ms=(time.perf_counter() - t0) * 1e3,
+            )
         for j, slices, offset in job_slices:
             phase = job_phases[j][p]
             pt = phase_times_from_result(phase, res, slices, offset=offset)
@@ -163,6 +185,15 @@ def run_ensemble(
         ldms_bank.merge(bank, fraction=1.0 / n_samples)
         ldms.sample(time=(k + 1) * cfg.ldms_interval)
 
+    tel.event(
+        "ensemble.end",
+        app=app.name,
+        jobs=cfg.n_jobs,
+        mode=cfg.mode.name,
+        makespan_s=makespan,
+        runtime_min_s=float(job_runtimes.min()),
+        runtime_max_s=float(job_runtimes.max()),
+    )
     return EnsembleResult(
         config=cfg,
         job_nodes=job_nodes,

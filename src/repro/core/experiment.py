@@ -13,7 +13,8 @@ same four-month production window aimed to be.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -27,6 +28,7 @@ from repro.network.counters import CounterBank
 from repro.network.fluid import FlowSet, FluidParams, FluidResult, solve_fluid
 from repro.scheduler.background import BackgroundModel, BackgroundScenario
 from repro.scheduler.placement import groups_spanned, make_placement
+from repro.telemetry import Telemetry, resolve_telemetry
 from repro.topology.dragonfly import DragonflyTopology
 from repro.util import derive_rng
 
@@ -190,6 +192,7 @@ def resolve_phase(
     background_util: np.ndarray | None,
     rng: np.random.Generator,
     params: FluidParams | None = None,
+    telemetry: Telemetry | None = None,
 ) -> PhaseTiming:
     """Solve one phase and convert the equilibrium into MPI-op times."""
     flows, slices = phase_slices(phase)
@@ -201,6 +204,7 @@ def resolve_phase(
         rng=rng,
         params=params,
         min_duration=phase.spread_time,
+        telemetry=telemetry,
     )
     return phase_times_from_result(phase, res, slices)
 
@@ -218,6 +222,14 @@ class RunRecord:
     report: AutoPerfReport
     background_intensity: float
     sample_index: int
+    #: fluid-solver diagnostics aggregated over the run's phases: did
+    #: every phase solve converge, how many did not, and the worst final
+    #: residuals (max / mean |Δx|) seen across them.
+    solver_converged: bool = True
+    solver_nonconverged_phases: int = 0
+    solver_max_residual: float = 0.0
+    solver_max_residual_mean: float = 0.0
+    solver_iterations: int = 0
 
     @property
     def mpi_time(self) -> float:
@@ -226,6 +238,19 @@ class RunRecord:
     @property
     def mpi_fraction(self) -> float:
         return self.report.mpi_fraction
+
+
+def solver_diagnostics(timings: list[PhaseTiming]) -> dict:
+    """Aggregate per-phase fluid diagnostics for a run (RunRecord fields)."""
+    results = [t.result for t in timings]
+    nonconv = [r for r in results if not r.converged]
+    return {
+        "solver_converged": not nonconv,
+        "solver_nonconverged_phases": len(nonconv),
+        "solver_max_residual": max((r.residual for r in results), default=0.0),
+        "solver_max_residual_mean": max((r.residual_mean for r in results), default=0.0),
+        "solver_iterations": max((r.iterations for r in results), default=0),
+    }
 
 
 def run_app_once(
@@ -238,6 +263,7 @@ def run_app_once(
     rng: np.random.Generator,
     params: FluidParams | None = None,
     collect_counters: bool = True,
+    telemetry: Telemetry | None = None,
 ) -> tuple[float, AutoPerfReport, list[PhaseTiming]]:
     """One run: resolve each phase once, scale by iterations, add noise.
 
@@ -255,7 +281,13 @@ def run_app_once(
     timings: list[PhaseTiming] = []
     for phase in phases:
         pt = resolve_phase(
-            top, phase, env, background_util=background_util, rng=rng, params=params
+            top,
+            phase,
+            env,
+            background_util=background_util,
+            rng=rng,
+            params=params,
+            telemetry=telemetry,
         )
         timings.append(pt)
         # compute-time jitter: OS/core-spec noise, a fraction of a percent
@@ -305,9 +337,21 @@ def run_campaign(
     *,
     background_model: BackgroundModel | None = None,
     scenarios: list[BackgroundScenario] | None = None,
+    telemetry: Telemetry | None = None,
 ) -> list[RunRecord]:
     """Run the campaign; returns one RunRecord per (mode, sample)."""
     app = cfg.app
+    tel = resolve_telemetry(telemetry)
+    tel.event(
+        "campaign.start",
+        app=app.name,
+        n_nodes=cfg.n_nodes,
+        modes=[m.name for m in cfg.modes],
+        samples=cfg.samples,
+        placement=cfg.placement,
+        background=cfg.background,
+        seed=cfg.seed,
+    )
     if cfg.background == "production":
         if scenarios is None:
             bm = background_model or BackgroundModel(top)
@@ -335,7 +379,8 @@ def run_campaign(
                 else RoutingEnv(p2p_mode=mode)
             )
             run_rng = derive_rng(cfg.seed, app.name, cfg.n_nodes, i, mode.name)
-            runtime, report, _ = run_app_once(
+            t0 = time.perf_counter() if tel.enabled else 0.0
+            runtime, report, timings = run_app_once(
                 top,
                 app,
                 nodes,
@@ -343,7 +388,9 @@ def run_campaign(
                 background_util=bg,
                 rng=run_rng,
                 params=cfg.params,
+                telemetry=tel,
             )
+            diag = solver_diagnostics(timings)
             records.append(
                 RunRecord(
                     app=app.name,
@@ -355,8 +402,36 @@ def run_campaign(
                     report=report,
                     background_intensity=intensity,
                     sample_index=i,
+                    **diag,
                 )
             )
+            if tel.enabled:
+                wall = time.perf_counter() - t0
+                m = tel.metrics
+                if m.enabled:
+                    m.counter("campaign_samples_total", "campaign runs executed").inc()
+                    m.histogram(
+                        "campaign_sample_seconds", "wall time per campaign run"
+                    ).observe(wall)
+                tel.event(
+                    "campaign.sample",
+                    app=app.name,
+                    mode=mode.name,
+                    sample=i,
+                    runtime_s=runtime,
+                    mpi_time_s=report.mpi_time,
+                    background_intensity=intensity,
+                    solver_converged=diag["solver_converged"],
+                    solver_nonconverged_phases=diag["solver_nonconverged_phases"],
+                    solver_max_residual=diag["solver_max_residual"],
+                    wall_ms=wall * 1e3,
+                )
+    tel.event(
+        "campaign.end",
+        app=app.name,
+        records=len(records),
+        nonconverged_runs=sum(1 for r in records if not r.solver_converged),
+    )
     return records
 
 

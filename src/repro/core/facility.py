@@ -17,13 +17,13 @@ does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.biases import AD3, RoutingMode
 from repro.core.metrics import (
-    LATENCY_PERCENTILES,
     percent_change,
     percentile_summary,
 )
@@ -36,6 +36,7 @@ from repro.network.fluid import FlowSet, FluidParams, solve_fluid
 from repro.scheduler.background import _job_flows
 from repro.scheduler.placement import FreeNodePool, production_placement
 from repro.scheduler.workload import WorkloadModel
+from repro.telemetry import Telemetry, resolve_telemetry
 from repro.topology.dragonfly import DragonflyTopology
 from repro.util import derive_rng
 
@@ -75,6 +76,7 @@ def simulate_production_window(
     *,
     workload: WorkloadModel | None = None,
     trace=None,
+    telemetry: Telemetry | None = None,
 ) -> WindowResult:
     """Simulate one week-like window of production under a default mode.
 
@@ -85,6 +87,7 @@ def simulate_production_window(
     sampling an independent job mix per interval.
     """
     workload = workload or WorkloadModel(top)
+    tel = resolve_telemetry(telemetry)
     params = cfg.params or FluidParams(k_min=3, k_nonmin=2, n_iter=5)
     bank = CounterBank(top)
     ldms = LdmsCollector(bank, interval=cfg.interval)
@@ -92,6 +95,7 @@ def simulate_production_window(
     samples: list[np.ndarray] = []
 
     for i in range(cfg.n_intervals):
+        t0 = time.perf_counter() if tel.enabled else 0.0
         # note: the routing mode is *not* part of the key, so two windows
         # with the same seed see identical job mixes and load levels
         rng = derive_rng(cfg.seed, "facility", i)
@@ -132,6 +136,7 @@ def simulate_production_window(
             rng=rng,
             params=params,
             fixed_duration=cfg.interval,
+            telemetry=tel,
         )
         res.accumulate_counters(bank, top)
         ldms.sample()
@@ -142,7 +147,29 @@ def simulate_production_window(
         means = NicLatencyCounters.window_mean_latency(before, nic.snapshot())
         samples.append(means[np.isfinite(means)])
 
+        if tel.enabled:
+            if tel.metrics.enabled:
+                tel.metrics.counter(
+                    "facility_intervals_total", "production intervals simulated"
+                ).inc()
+            tel.event(
+                "facility.interval",
+                interval=i,
+                jobs=len(placed),
+                flows=flows.n,
+                load_level=level,
+                converged=res.converged,
+                residual_mean=res.residual_mean,
+                wall_ms=(time.perf_counter() - t0) * 1e3,
+            )
+
     pooled = np.concatenate(samples) if samples else np.zeros(0)
+    tel.event(
+        "facility.window",
+        intervals=cfg.n_intervals,
+        mode=cfg.env.p2p_mode.name,
+        latency_samples=int(pooled.size),
+    )
     return WindowResult(config=cfg, ldms=ldms, nic_latency_samples=pooled)
 
 

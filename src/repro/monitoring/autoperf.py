@@ -11,9 +11,8 @@ and the breakdown stacks of Figs. 5/8.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from repro.network.counters import CounterSnapshot, TILE_CLASSES
 from repro.util import fmt_bytes, fmt_time

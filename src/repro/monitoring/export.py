@@ -74,6 +74,7 @@ def ldms_series_to_csv(
     series = ldms.series()
     buf = io.StringIO()
     buf.write("time_s,flits,stalls,ratio\n")
+    # an empty collector (no samples yet) yields a header-only CSV
     for t, f, s, r in zip(
         series["time"], series["flits"], series["stalls"], series["ratio"]
     ):
@@ -84,19 +85,24 @@ def ldms_series_to_csv(
 def counters_to_csv(
     snapshot: CounterSnapshot, path: str | Path | None = None
 ) -> str:
-    """Per-router counter values for every tile class, as CSV."""
-    n = next(iter(snapshot.flits.values())).size
+    """Per-router counter values for every tile class, as CSV.
+
+    An empty snapshot (no tile classes recorded) yields a header-only
+    CSV rather than crashing.
+    """
+    n = next(iter(snapshot.flits.values())).size if snapshot.flits else 0
     buf = io.StringIO()
     header = ["router"]
     for cls in TILE_CLASSES:
         header += [f"{cls}_flits", f"{cls}_stalls"]
     buf.write(",".join(header) + "\n")
+    zeros = np.zeros(n)
     for r in range(n):
         row = [str(r)]
         for cls in TILE_CLASSES:
             row += [
-                f"{snapshot.flits[cls][r]:.6e}",
-                f"{snapshot.stalls[cls][r]:.6e}",
+                f"{snapshot.flits.get(cls, zeros)[r]:.6e}",
+                f"{snapshot.stalls.get(cls, zeros)[r]:.6e}",
             ]
         buf.write(",".join(row) + "\n")
     return _maybe_write(buf.getvalue(), path)

@@ -10,12 +10,11 @@ use: total stalls, flits, and stalls-to-flits ratio per tile class
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.network.counters import CounterBank, CounterSnapshot, TILE_CLASSES
-from repro.topology.dragonfly import DragonflyTopology
 
 
 @dataclass

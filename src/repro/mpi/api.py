@@ -15,7 +15,7 @@ uses ``a2a_mode``, as in Cray MPI.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

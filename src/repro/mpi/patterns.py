@@ -31,7 +31,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import IntEnum
 
-import numpy as np
 
 from repro.network.fluid import FlowSet
 from repro.util import check_nonnegative

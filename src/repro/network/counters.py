@@ -14,7 +14,7 @@ network tiles; ``proc_req`` / ``proc_rsp`` processor-tile VCs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -37,6 +37,8 @@ to convert background byte rates into the ambient ``u_bg`` field.
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -50,8 +52,13 @@ from repro.network.congestion import (
     PACKET_BYTES,
 )
 from repro.network.counters import CounterBank
+from repro.telemetry import Telemetry, resolve_telemetry
 from repro.topology.dragonfly import DragonflyTopology
 from repro.topology.paths import PathBundle, minimal_paths, valiant_paths
+
+
+class NonConvergenceWarning(RuntimeWarning):
+    """The fluid solver hit its iteration cap before the splits settled."""
 
 
 @dataclass
@@ -134,12 +141,21 @@ class FluidParams:
     policy: PolicyParams = DEFAULT_POLICY
     congestion: CongestionModel = field(default_factory=CongestionModel)
     latency: LatencyModel = field(default_factory=LatencyModel)
+    #: mean |Δx| of the split update between the last two iterations
+    #: below which the solve is classified converged.  The mean is the
+    #: criterion (the max is dominated by a handful of flows sitting on a
+    #: decision boundary and is reported separately as the residual).
+    #: The solver always runs ``n_iter`` iterations — the tolerance only
+    #: classifies the result, it never changes the numbers.
+    convergence_tol: float = 0.05
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.damping < 1.0):
             raise ValueError("damping must be in [0, 1)")
         if self.n_iter < 1:
             raise ValueError("n_iter must be >= 1")
+        if self.convergence_tol <= 0:
+            raise ValueError("convergence_tol must be > 0")
 
 
 @dataclass
@@ -160,6 +176,14 @@ class FluidResult:
     link_flits: np.ndarray
     link_stalls: np.ndarray
     timescale: float
+    #: solver diagnostics.  ``residual`` is the final max |Δx| of the
+    #: split update; ``residual_mean`` the final mean |Δx| (the
+    #: convergence criterion, see :attr:`FluidParams.convergence_tol`).
+    #: Empty phases converge trivially.
+    converged: bool = True
+    iterations: int = 0
+    residual: float = 0.0
+    residual_mean: float = 0.0
 
     def utilization_field(self) -> np.ndarray:
         """Per-link utilization (for use as another solve's background)."""
@@ -286,6 +310,7 @@ def solve_fluid(
     params: FluidParams | None = None,
     fixed_duration: float | None = None,
     min_duration: float = 0.0,
+    telemetry: Telemetry | None = None,
 ) -> FluidResult:
     """Resolve one phase to its routing/congestion equilibrium.
 
@@ -311,8 +336,13 @@ def solve_fluid(
         completion times) are unaffected.
     rng:
         Drives path sampling only.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`; defaults to the
+        ambient handle (a null sink unless the CLI installed one).
     """
     params = params or FluidParams()
+    tel = resolve_telemetry(telemetry)
+    t_start = time.perf_counter() if tel.enabled else 0.0
     cm = params.congestion
     lm = params.latency
     n = flows.n
@@ -373,7 +403,10 @@ def solve_fluid(
     inv_cap_eff = np.divide(1.0, cap_eff, out=np.zeros_like(cap_eff), where=cap_eff > 0)
     adaptive_temp = params.policy.adaptive_temp
 
-    for _ in range(params.n_iter):
+    residual = 0.0
+    residual_mean = 0.0
+    iters_to_tol: int | None = None
+    for it in range(params.n_iter):
         # 1. per-link loads from the current side splits and within-side
         #    adaptive weights
         w_min = (flows.nbytes * x)[pmin.flow] * w_sub_min
@@ -415,7 +448,13 @@ def solve_fluid(
             sel = flows.cls == ci
             if sel.any():
                 x_new[sel] = split_fraction(mode, score_min[sel], score_non[sel], params.policy)
+        x_prev = x
         x = params.damping * x + (1.0 - params.damping) * x_new
+        dx = np.abs(x - x_prev)
+        residual = float(dx.max())
+        residual_mean = float(dx.mean())
+        if iters_to_tol is None and residual_mean <= params.convergence_tol:
+            iters_to_tol = it + 1
 
     # ---- final extraction ------------------------------------------------
     t_link = load * inv_cap_eff
@@ -509,6 +548,56 @@ def solve_fluid(
         np.broadcast_to(extra_non[:, None], vnon.shape)[vnon],
     )
 
+    converged = residual_mean <= params.convergence_tol
+    if not converged and fixed_duration is None:
+        # rate-mode (fixed_duration) solves build deliberately coarse,
+        # clipped background fields and are expected to stay unsettled on
+        # overloaded links; only equilibrium results feed calibration and
+        # campaign statistics, so only those warn.
+        warnings.warn(
+            f"fluid solver hit the {params.n_iter}-iteration cap with mean "
+            f"split residual {residual_mean:.2g} > tol "
+            f"{params.convergence_tol:g} (max {residual:.2g}, {n} flows); "
+            f"result may be off-equilibrium",
+            NonConvergenceWarning,
+            stacklevel=2,
+        )
+
+    if tel.enabled:
+        wall = time.perf_counter() - t_start
+        links_saturated = int((raw_util >= 1.0).sum())
+        m = tel.metrics
+        if m.enabled:
+            m.counter("fluid_solves_total", "fluid solver invocations").inc()
+            if not converged:
+                m.counter(
+                    "fluid_nonconverged_total", "solves that hit the iteration cap"
+                ).inc()
+            m.histogram("fluid_solve_seconds", "wall time per solve").observe(wall)
+            m.histogram(
+                "fluid_solve_residual",
+                "final mean |dx| of the split update",
+                buckets=(1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0),
+            ).observe(residual_mean)
+            m.gauge(
+                "fluid_links_saturated", "links at/above capacity in the last solve"
+            ).set(links_saturated)
+        tel.event(
+            "fluid.solve",
+            flows=n,
+            iterations=params.n_iter,
+            residual=residual,
+            residual_mean=residual_mean,
+            converged=converged,
+            iters_to_tol=iters_to_tol,
+            phase_time=float(T if fixed_duration is None else t_link.max()),
+            timescale=float(T),
+            links_saturated=links_saturated,
+            max_util=float(raw_util.max()),
+            min_fraction_mean=float(x.mean()),
+            wall_ms=wall * 1e3,
+        )
+
     return FluidResult(
         flows=flows,
         phase_time=float(T if fixed_duration is None else t_link.max()),
@@ -524,4 +613,8 @@ def solve_fluid(
         link_flits=link_flits,
         link_stalls=link_stalls,
         timescale=T,
+        converged=converged,
+        iterations=params.n_iter,
+        residual=residual,
+        residual_mean=residual_mean,
     )

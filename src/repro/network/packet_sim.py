@@ -29,13 +29,15 @@ packets); campaigns use the fluid engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.biases import RoutingMode
 from repro.core.policy import minimal_preferred
 from repro.network.congestion import PACKET_BYTES, FLIT_BYTES
+from repro.telemetry import Telemetry, resolve_telemetry
 from repro.topology.dragonfly import DragonflyTopology, LinkClass
 from repro.topology.paths import minimal_paths, valiant_paths
 
@@ -72,6 +74,10 @@ class PacketSimConfig:
     k_min: int = 2
     k_nonmin: int = 2
     max_steps: int = 200_000
+    #: emit a ``packet.step`` trace event every this many steps while a
+    #: trace sink is attached (0 disables the periodic events; the
+    #: end-of-run ``packet.run`` summary is always emitted when tracing)
+    trace_every: int = 0
 
     def __post_init__(self) -> None:
         if self.step_time <= 0:
@@ -127,10 +133,12 @@ class PacketSimulator:
         config: PacketSimConfig | None = None,
         *,
         rng: np.random.Generator | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.top = top
         self.config = config or PacketSimConfig()
         self.rng = rng or np.random.default_rng(0)
+        self.telemetry = telemetry
         c = self.config
 
         # per-link service rate, packets per step
@@ -263,6 +271,7 @@ class PacketSimulator:
         n = self.n_active
         if n == 0:
             self.step += 1
+            self._maybe_trace_step()
             return
 
         # FIFO rank of each packet within its link's queue
@@ -311,6 +320,26 @@ class PacketSimulator:
             self._p_wait[served] = 0
             self._advance_served(served)
         self.step += 1
+        self._maybe_trace_step()
+
+    def _maybe_trace_step(self) -> None:
+        """Periodic queue-state event (``trace_every`` steps apart)."""
+        every = self.config.trace_every
+        if every <= 0 or self.step % every:
+            return
+        tel = resolve_telemetry(self.telemetry)
+        if not tel.trace.enabled:
+            return
+        occ = self.occupancy()
+        tel.event(
+            "packet.step",
+            step=self.step,
+            active_packets=self.n_active,
+            pending_messages=len(self._pending),
+            queued_max=float(occ.max()) if occ.size else 0.0,
+            busy_links=int((occ > 0).sum()),
+            stall_ratio=self.stall_to_flit_ratio(),
+        )
 
     def _advance_served(self, served: np.ndarray) -> None:
         top = self.top
@@ -410,6 +439,8 @@ class PacketSimulator:
         """Step until idle (or the step limit); returns steps executed."""
         limit = max_steps if max_steps is not None else self.config.max_steps
         start = self.step
+        tel = resolve_telemetry(self.telemetry)
+        t0 = time.perf_counter() if tel.enabled else 0.0
         while not self.idle:
             if self.step - start >= limit:
                 raise RuntimeError(
@@ -417,7 +448,30 @@ class PacketSimulator:
                     f"({self.n_active} packets active)"
                 )
             self.advance()
-        return self.step - start
+        steps = self.step - start
+        if tel.enabled:
+            wall = time.perf_counter() - t0
+            m = tel.metrics
+            if m.enabled:
+                m.counter("packet_steps_total", "packet-sim steps executed").inc(steps)
+                m.counter(
+                    "packet_messages_total", "messages drained by packet-sim runs"
+                ).inc(sum(1 for s in self.messages if s.done))
+                m.histogram("packet_run_seconds", "wall time per packet-sim run").observe(
+                    wall
+                )
+            tel.event(
+                "packet.run",
+                steps=steps,
+                sim_time_s=self.now,
+                messages=len(self.messages),
+                messages_done=sum(1 for s in self.messages if s.done),
+                flits=float(self.flits.sum()),
+                stalls=float(self.stalls.sum()),
+                stall_ratio=self.stall_to_flit_ratio(),
+                wall_ms=wall * 1e3,
+            )
+        return steps
 
     @property
     def now(self) -> float:

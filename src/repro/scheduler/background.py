@@ -32,7 +32,7 @@ from repro.scheduler.jobs import Job
 from repro.scheduler.placement import FreeNodePool, production_placement
 from repro.scheduler.workload import WorkloadModel
 from repro.topology.dragonfly import DragonflyTopology
-from repro.util import GB, MB
+from repro.util import GB
 from repro.apps.base import grid_dims, random_pair_flows, stencil_flows
 
 #: per-node aggregate byte rates (bytes/s) by archetype, at intensity 1.0.
@@ -94,7 +94,6 @@ def _job_flows(
     if job.archetype == "allreduce":
         fl, _ = allreduce_flows(nodes, 8.0)
         # many calls per second; scale the 8-byte rounds up to the rate
-        per_flow = fl.nbytes.sum() / max(fl.n, 1)
         calls = rate * P / max(fl.nbytes.sum(), 1.0)
         return fl.scaled(calls), empty
     if job.archetype == "bisection":

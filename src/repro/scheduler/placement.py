@@ -71,7 +71,6 @@ def compact_placement(
     free = _pool_or_all(top, pool)
     if free.size < n_nodes:
         raise ValueError(f"need {n_nodes} nodes, only {free.size} free")
-    npg = top.routers_per_group * top.params.nodes_per_router
     # order free nodes by (group, node) and choose the rotation whose
     # window is most group-compact, starting from a random group offset
     start_group = rng.integers(0, top.n_groups)

@@ -14,7 +14,7 @@ the core-hours log behind Fig. 1.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

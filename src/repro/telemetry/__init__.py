@@ -1,0 +1,78 @@
+"""Runtime telemetry: structured tracing, metrics, and solver diagnostics.
+
+The observability layer the paper's methodology is built on (AutoPerf on
+the job side, LDMS on the system side) has an in-process analogue here
+for *our own* engines:
+
+* :class:`MetricsRegistry` — counters / gauges / histograms with JSON and
+  Prometheus text exposition, plus a ``timeit`` span context manager;
+* :class:`TraceWriter` and friends — a structured JSONL event journal of
+  per-phase solver events (convergence residuals, link saturation,
+  per-sample timing, packet-sim step stats);
+* :class:`Telemetry` — the bundle the engines accept (explicitly, or via
+  the ambient :func:`current_telemetry` installed by the CLI);
+* :func:`summarize_trace` / :func:`format_summary` — the post-hoc digest
+  behind ``repro-study report``.
+
+The default is :data:`NULL_TELEMETRY`: a disabled sink whose cost is one
+boolean check per instrumented span, so un-instrumented runs behave
+exactly as before.  See ``docs/OBSERVABILITY.md`` for the event schema.
+"""
+
+from repro.telemetry.context import (
+    NULL_TELEMETRY,
+    Telemetry,
+    current_telemetry,
+    resolve_telemetry,
+    set_current_telemetry,
+    use_telemetry,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.report import (
+    ConvergenceSummary,
+    TraceSummary,
+    format_summary,
+    summarize_trace,
+)
+from repro.telemetry.trace import (
+    NULL_TRACE,
+    JsonlTraceWriter,
+    LoggingTraceWriter,
+    MemoryTraceWriter,
+    MultiTraceWriter,
+    NullTraceWriter,
+    TraceWriter,
+    read_trace,
+)
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "NULL_TRACE",
+    "DEFAULT_BUCKETS",
+    "ConvergenceSummary",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlTraceWriter",
+    "LoggingTraceWriter",
+    "MemoryTraceWriter",
+    "MetricsRegistry",
+    "MultiTraceWriter",
+    "NullTraceWriter",
+    "Telemetry",
+    "TraceSummary",
+    "TraceWriter",
+    "current_telemetry",
+    "format_summary",
+    "read_trace",
+    "resolve_telemetry",
+    "set_current_telemetry",
+    "summarize_trace",
+    "use_telemetry",
+]

@@ -1,0 +1,252 @@
+"""Metrics primitives: counters, gauges, histograms, and a registry.
+
+The registry is the process-local analogue of the paper's counter
+infrastructure: engines increment named instruments while they run, and
+the accumulated state is exposed at exit in either JSON or
+Prometheus text exposition format (so traces from many runs can be
+scraped / diffed with standard tooling).
+
+Instruments are created on first use (``registry.counter("x").inc()``)
+and are plain Python objects — no background threads, no sockets.  A
+registry created with ``enabled=False`` still works arithmetically; the
+flag exists so callers holding a shared registry can skip instrumentation
+work entirely (the null-telemetry fast path).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: default histogram buckets (seconds-oriented, Prometheus-style)
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: cap on raw observations kept per histogram for percentile queries
+_RESERVOIR_CAP = 65536
+
+
+def _sanitize(name: str) -> str:
+    """Make a metric name Prometheus-legal (dots/dashes to underscores)."""
+    out = [c if (c.isalnum() or c in "_:") else "_" for c in name]
+    if out and out[0].isdigit():
+        out.insert(0, "_")
+    return "".join(out)
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing value."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+@dataclass
+class Histogram:
+    """Bucketed distribution with exact percentiles on a bounded reservoir.
+
+    ``observe`` updates cumulative Prometheus-style buckets plus count and
+    sum; the first ``_RESERVOIR_CAP`` raw observations are also kept so
+    :meth:`percentile` is exact for every realistic workload size.
+    """
+
+    name: str
+    help: str = ""
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    bucket_counts: list[int] = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+    _values: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.buckets = tuple(sorted(self.buckets))
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * (len(self.buckets) + 1)  # +Inf tail
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        for i, edge in enumerate(self.buckets):
+            if value <= edge:
+                self.bucket_counts[i] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        if len(self._values) < _RESERVOIR_CAP:
+            self._values.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile (``q`` in [0, 100]) over the stored reservoir."""
+        if not (0.0 <= q <= 100.0):
+            raise ValueError("q must be in [0, 100]")
+        if not self._values:
+            return math.nan
+        vals = sorted(self._values)
+        if len(vals) == 1:
+            return vals[0]
+        # linear interpolation between closest ranks (numpy's default)
+        pos = q / 100.0 * (len(vals) - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, len(vals) - 1)
+        frac = pos - lo
+        return vals[lo] * (1.0 - frac) + vals[hi] * frac
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """(upper_edge, cumulative_count) pairs, ending with +Inf."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for edge, c in zip(self.buckets, self.bucket_counts):
+            running += c
+            out.append((edge, running))
+        out.append((math.inf, self.count))
+        return out
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    A name is bound to exactly one instrument kind; asking for the same
+    name as a different kind raises.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type, **kwargs):
+        m = self._metrics.get(name)
+        if m is None:
+            m = kind(name=name, **kwargs)
+            self._metrics[name] = m
+        elif not isinstance(m, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(m).__name__}, "
+                f"not {kind.__name__}"
+            )
+        return m
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, help=help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, help=help, buckets=buckets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    @contextmanager
+    def timeit(self, name: str, help: str = ""):
+        """Span context manager: observes elapsed seconds into a histogram.
+
+        Yields a one-slot holder whose ``elapsed`` is filled on exit::
+
+            with registry.timeit("fluid_solve_seconds") as span:
+                ...
+            span.elapsed  # seconds
+        """
+        hist = self.histogram(name, help=help)
+        span = _Span()
+        t0 = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.elapsed = time.perf_counter() - t0
+            hist.observe(span.elapsed)
+
+    # ---- exposition ---------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of every instrument."""
+        out: dict[str, dict] = {}
+        for name, m in sorted(self._metrics.items()):
+            if isinstance(m, Counter):
+                out[name] = {"type": "counter", "value": m.value}
+            elif isinstance(m, Gauge):
+                out[name] = {"type": "gauge", "value": m.value}
+            else:
+                out[name] = {
+                    "type": "histogram",
+                    "count": m.count,
+                    "sum": m.sum,
+                    "mean": m.mean,
+                    "p50": m.percentile(50),
+                    "p95": m.percentile(95),
+                    "p99": m.percentile(99),
+                }
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, allow_nan=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for name, m in sorted(self._metrics.items()):
+            pname = _sanitize(name)
+            if m.help:
+                lines.append(f"# HELP {pname} {m.help}")
+            if isinstance(m, Counter):
+                lines.append(f"# TYPE {pname} counter")
+                lines.append(f"{pname} {m.value:g}")
+            elif isinstance(m, Gauge):
+                lines.append(f"# TYPE {pname} gauge")
+                lines.append(f"{pname} {m.value:g}")
+            else:
+                lines.append(f"# TYPE {pname} histogram")
+                for edge, cum in m.cumulative_buckets():
+                    le = "+Inf" if math.isinf(edge) else f"{edge:g}"
+                    lines.append(f'{pname}_bucket{{le="{le}"}} {cum}')
+                lines.append(f"{pname}_sum {m.sum:g}")
+                lines.append(f"{pname}_count {m.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _Span:
+    """Mutable elapsed-time holder returned by :meth:`MetricsRegistry.timeit`."""
+
+    __slots__ = ("elapsed",)
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0

@@ -1,0 +1,178 @@
+"""Summarize a recorded JSONL trace (the ``repro-study report`` command).
+
+Answers the questions an operator asks of a run after the fact: where
+did the time go (slowest instrumented spans), did the fluid solver
+converge everywhere (non-converged solves, residual distribution,
+iterations-to-tolerance histogram), and what did the run actually do
+(event counts, campaign samples per mode).
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.telemetry.trace import read_trace
+
+
+@dataclass
+class ConvergenceSummary:
+    """Fluid-solver convergence digest of one trace."""
+
+    n_solves: int = 0
+    n_converged: int = 0
+    residuals: list[float] = field(default_factory=list)
+    #: iteration at which |dx| first dropped below tol; None = never
+    iters_to_tol: list[int | None] = field(default_factory=list)
+    worst: list[dict] = field(default_factory=list)  # non-converged events
+
+    @property
+    def n_nonconverged(self) -> int:
+        return self.n_solves - self.n_converged
+
+
+@dataclass
+class TraceSummary:
+    """Everything :func:`format_summary` needs, precomputed."""
+
+    source: str
+    n_events: int
+    by_type: dict[str, int]
+    convergence: ConvergenceSummary
+    slowest: list[dict]  # events carrying wall_ms, slowest first
+    sample_runtimes: dict[str, list[float]]  # campaign runtimes by mode
+
+
+def _percentile(values: list[float], q: float) -> float:
+    vals = sorted(values)
+    if not vals:
+        return float("nan")
+    pos = q / 100.0 * (len(vals) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(vals) - 1)
+    return vals[lo] + (vals[hi] - vals[lo]) * (pos - lo)
+
+
+def summarize_trace(
+    source: str | Path | list[dict], *, top: int = 10
+) -> TraceSummary:
+    """Digest a trace file (or already-parsed event list)."""
+    if isinstance(source, (str, Path)):
+        events = read_trace(source)
+        label = str(source)
+    else:
+        events = source
+        label = "<memory>"
+
+    by_type = TallyCounter(e.get("ev", "?") for e in events)
+
+    conv = ConvergenceSummary()
+    sample_runtimes: dict[str, list[float]] = {}
+    timed: list[dict] = []
+    for e in events:
+        if "wall_ms" in e:
+            timed.append(e)
+        ev = e.get("ev")
+        if ev == "fluid.solve":
+            conv.n_solves += 1
+            if e.get("converged", True):
+                conv.n_converged += 1
+            else:
+                conv.worst.append(e)
+            # the mean |dx| is the convergence criterion; older traces
+            # only carry the max, so fall back to it
+            r = e.get("residual_mean", e.get("residual"))
+            if r is not None:
+                conv.residuals.append(float(r))
+            conv.iters_to_tol.append(e.get("iters_to_tol"))
+        elif ev == "campaign.sample":
+            mode = str(e.get("mode", "?"))
+            sample_runtimes.setdefault(mode, []).append(float(e.get("runtime_s", 0.0)))
+    conv.worst.sort(key=lambda e: -float(e.get("residual", 0.0)))
+    conv.worst = conv.worst[:top]
+    timed.sort(key=lambda e: -float(e["wall_ms"]))
+
+    return TraceSummary(
+        source=label,
+        n_events=len(events),
+        by_type=dict(by_type.most_common()),
+        convergence=conv,
+        slowest=timed[:top],
+        sample_runtimes=sample_runtimes,
+    )
+
+
+def _bar(count: int, peak: int, width: int = 32) -> str:
+    if peak <= 0:
+        return ""
+    return "#" * max(1, round(width * count / peak)) if count else ""
+
+
+def _event_label(e: dict) -> str:
+    """Compact context string for a timed event."""
+    skip = {"ev", "ts", "seq", "wall_ms"}
+    keys = ("app", "mode", "sample", "phase", "interval", "flows", "converged", "residual")
+    parts = []
+    for k in keys:
+        if k in e and k not in skip:
+            v = e[k]
+            parts.append(f"{k}={v:.3g}" if isinstance(v, float) else f"{k}={v}")
+    return " ".join(parts)
+
+
+def format_summary(s: TraceSummary) -> str:
+    """Render a summary as the CLI's plain-text report."""
+    lines: list[str] = [f"trace: {s.source}  ({s.n_events} events)"]
+    for ev, n in s.by_type.items():
+        lines.append(f"  {ev:<20s} {n:6d}")
+
+    c = s.convergence
+    if c.n_solves:
+        lines.append("")
+        lines.append(f"fluid solver: {c.n_solves} solves")
+        pct = 100.0 * c.n_converged / c.n_solves
+        lines.append(
+            f"  converged {c.n_converged}/{c.n_solves} ({pct:.1f}%)"
+            + (
+                f"   residual p50 {_percentile(c.residuals, 50):.2e}"
+                f"  p95 {_percentile(c.residuals, 95):.2e}"
+                f"  max {max(c.residuals):.2e}"
+                if c.residuals
+                else ""
+            )
+        )
+        hist = TallyCounter(
+            it if it is not None else -1 for it in c.iters_to_tol
+        )
+        if hist:
+            lines.append("  iterations to tolerance:")
+            peak = max(hist.values())
+            for it in sorted(hist, key=lambda v: (v < 0, v)):
+                label = f"{it:>4d}" if it >= 0 else " cap"
+                n = hist[it]
+                lines.append(f"    {label} | {_bar(n, peak)} {n}")
+        for e in c.worst:
+            lines.append(
+                f"  NON-CONVERGED: residual {e.get('residual', float('nan')):.2e}"
+                f"  flows {e.get('flows', '?')}  iterations {e.get('iterations', '?')}"
+            )
+
+    if s.slowest:
+        lines.append("")
+        lines.append("slowest instrumented spans:")
+        for e in s.slowest:
+            lines.append(
+                f"  {float(e['wall_ms']):9.2f} ms  {e['ev']:<18s} {_event_label(e)}"
+            )
+
+    if s.sample_runtimes:
+        lines.append("")
+        lines.append("campaign samples:")
+        for mode, runs in sorted(s.sample_runtimes.items()):
+            mean = sum(runs) / len(runs)
+            lines.append(
+                f"  {mode:<6s} n={len(runs):<3d} mean {mean:10.1f} s"
+                f"  min {min(runs):10.1f}  max {max(runs):10.1f}"
+            )
+    return "\n".join(lines)

@@ -30,7 +30,7 @@ cost of a few unused array entries and O(1) id arithmetic in return.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
 
 import numpy as np

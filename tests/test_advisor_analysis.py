@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.apps import BisectionBound, ComputeBound, InjectionBound, LatencyBound, MILC, HACC
+from repro.apps import BisectionBound, ComputeBound, LatencyBound, MILC, HACC
 from repro.core.advisor import classify, recommend
 from repro.core.analysis import (
     breakdown_rows,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.apps import MILC, LatencyBound
+from repro.apps import MILC
 from repro.core.awr import AwrConfig, AwrRunResult, run_app_awr, run_app_static
 from repro.core.biases import AD0, AD3
 from repro.topology.systems import slingshot

@@ -6,7 +6,7 @@ import pytest
 from repro.core.biases import AD3
 from repro.core.facility import WindowConfig, simulate_production_window
 from repro.mpi.env import RoutingEnv
-from repro.scheduler.simulator import BatchScheduler, ScheduleTrace
+from repro.scheduler.simulator import BatchScheduler
 
 
 @pytest.fixture(scope="module")

@@ -94,3 +94,58 @@ class TestCalibrateCommand:
         assert main(["calibrate", "--samples", "2"]) == 0
         out = capsys.readouterr().out
         assert "milc_improvement_pct" in out
+
+
+class TestSweepModes:
+    def test_sweep_has_own_modes_default(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.modes == "AD0,AD1,AD2,AD3"
+
+    def test_sweep_modes_honored(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--app",
+                "latencybound",
+                "--nodes",
+                "64",
+                "--samples",
+                "1",
+                "--modes",
+                "AD0,AD2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "AD2" in out and "AD1" not in out and "AD3" not in out
+
+    def test_sweep_does_not_mutate_compare_defaults(self):
+        # regression: sweep used to overwrite args.modes unconditionally
+        args = build_parser().parse_args(["sweep", "--modes", "AD1,AD3"])
+        assert args.modes == "AD1,AD3"
+
+
+class TestObservabilityFlags:
+    def test_flags_on_every_subcommand(self):
+        for cmd in ("describe", "compare", "sweep", "advise", "facility",
+                    "calibrate", "ensemble"):
+            args = build_parser().parse_args([cmd])
+            assert args.verbose == 0
+            assert args.trace is None
+            assert args.metrics is None
+
+    def test_verbose_counts(self):
+        args = build_parser().parse_args(["describe", "-vv"])
+        assert args.verbose == 2
+
+    def test_trace_written_and_closed(self, tmp_path, capsys):
+        trace = tmp_path / "d.jsonl"
+        assert main(["facility", "--intervals", "2", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        from repro.telemetry import read_trace
+
+        events = read_trace(trace)
+        kinds = {e["ev"] for e in events}
+        assert "facility.interval" in kinds
+        assert "fluid.solve" in kinds
+        assert "facility.window" in kinds

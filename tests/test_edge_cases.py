@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.apps import MILC, PRODUCTION_APPS, LatencyBound
+from repro.apps import MILC, PRODUCTION_APPS
 from repro.core.biases import AD0, AD3
 from repro.core.experiment import run_app_once
 from repro.mpi.env import RoutingEnv

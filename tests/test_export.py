@@ -91,3 +91,24 @@ class TestRecordsExport:
         # every row parses to the right column count
         ncols = lines[0].count(",")
         assert all(l.count(",") == ncols for l in lines[1:])
+
+
+class TestEmptyExports:
+    """Empty collectors/snapshots must yield header-only CSVs, not crash."""
+
+    def test_ldms_csv_no_samples(self, toy_top):
+        ldms = LdmsCollector(CounterBank(toy_top), interval=60.0)
+        text = ldms_series_to_csv(ldms)
+        assert text == "time_s,flits,stalls,ratio\n"
+
+    def test_counters_csv_empty_snapshot(self):
+        from repro.network.counters import CounterSnapshot
+
+        text = counters_to_csv(CounterSnapshot(flits={}, stalls={}))
+        lines = text.splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("router,rank1_flits")
+
+    def test_records_csv_no_records(self):
+        text = records_to_csv([])
+        assert text.count("\n") == 1  # header only

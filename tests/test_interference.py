@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.apps import MILC, LatencyBound
+from repro.apps import MILC
 from repro.core.biases import AD0, AD3
 from repro.core.interference import (
     DEFAULT_AGGRESSORS,

@@ -1,7 +1,6 @@
 """Tests for blocked-packet re-routing in the packet simulator."""
 
 import numpy as np
-import pytest
 
 from repro.core.biases import AD0, AD1, AD3
 from repro.network.packet_sim import InjectionSpec, PacketSimConfig, PacketSimulator

@@ -178,3 +178,30 @@ class TestBandwidth:
         nic_rate = toy_top.params.nic_bw_bidir / 2
         # an uncontended stream should achieve most of the line rate
         assert nbytes / elapsed >= 0.5 * nic_rate
+
+
+class TestPacketTelemetry:
+    def test_run_event_and_step_stats(self, toy_top):
+        from repro.telemetry import MemoryTraceWriter, Telemetry
+
+        mem = MemoryTraceWriter()
+        tel = Telemetry(trace=mem)
+        sim = PacketSimulator(
+            toy_top,
+            PacketSimConfig(trace_every=2),
+            rng=np.random.default_rng(0),
+            telemetry=tel,
+        )
+        sim.add_message(InjectionSpec(src=0, dst=17, nbytes=4096, mode=AD0))
+        sim.run()
+        (run_ev,) = mem.of_type("packet.run")
+        assert run_ev["messages_done"] == 1
+        assert run_ev["steps"] > 0
+        assert run_ev["flits"] > 0
+        assert mem.of_type("packet.step")  # periodic queue stats
+        assert tel.metrics.counter("packet_steps_total").value == run_ev["steps"]
+
+    def test_no_telemetry_no_events(self, toy_top):
+        sim = PacketSimulator(toy_top, rng=np.random.default_rng(0))
+        sim.add_message(InjectionSpec(src=0, dst=17, nbytes=1024, mode=AD0))
+        sim.run()  # ambient telemetry is the null sink: nothing to assert, must not raise

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core.biases import AD0, AD1, AD2, AD3, RoutingMode
 from repro.core.metrics import ccdf, percentile_summary, remove_outliers, zscore
-from repro.core.policy import PolicyParams, minimal_preferred, split_fraction
+from repro.core.policy import minimal_preferred, split_fraction
 from repro.network.congestion import CongestionModel
 from repro.network.fluid import FlowSet, solve_fluid
 from repro.topology.dragonfly import DragonflyParams, DragonflyTopology

@@ -12,7 +12,7 @@ from repro.mpi.collectives import (
     barrier_flows,
     bcast_flows,
 )
-from repro.network.counters import CounterBank, TILE_CLASSES
+from repro.network.counters import CounterBank
 
 
 class TestCollectiveProperties:

@@ -1,7 +1,6 @@
 """Tests for the terminal figure rendering."""
 
 import numpy as np
-import pytest
 
 from repro.core.reporting import (
     bar_chart,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.topology.dragonfly import DragonflyParams, DragonflyTopology, LinkClass
+from repro.topology.dragonfly import DragonflyParams, LinkClass
 
 
 class TestParams:
