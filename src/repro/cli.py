@@ -28,6 +28,7 @@ for reproducibility, plus the observability flags:
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import sys
 from pathlib import Path
@@ -42,6 +43,7 @@ from repro.core.ensembles import EnsembleConfig, run_ensemble
 from repro.core.experiment import CampaignConfig, run_app_once, run_campaign, stats_by_mode
 from repro.core.facility import run_default_change_study
 from repro.core.metrics import LATENCY_PERCENTILES
+from repro.faults import FaultSchedule, NetworkPartitionedError
 from repro.mpi.env import RoutingEnv
 from repro.telemetry import (
     JsonlTraceWriter,
@@ -63,8 +65,16 @@ logger = logging.getLogger("repro.cli")
 
 def _system(name: str):
     if name not in SYSTEMS:
-        raise SystemExit(f"unknown system {name!r}; choose from {sorted(SYSTEMS)}")
+        raise ValueError(f"unknown system {name!r}; choose from {sorted(SYSTEMS)}")
     return SYSTEMS[name]()
+
+
+def _faults_from_args(args) -> FaultSchedule | None:
+    """Parse ``--faults`` (see docs/FAULTS.md for the mini-language)."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    return FaultSchedule.parse(spec, seed=args.seed)
 
 
 def cmd_describe(args) -> int:
@@ -82,15 +92,36 @@ def cmd_compare(args) -> int:
     top = _system(args.system)
     app = app_by_name(args.app)()
     modes = tuple(mode_by_name(m) for m in args.modes.split(","))
+    faults = _faults_from_args(args)
     print(f"{app.describe()} on {top.params.name}, {args.samples} samples per mode ...")
+    if faults:
+        print(f"  degraded network: {faults.describe()}")
     records = run_campaign(
         top,
         CampaignConfig(
-            app=app, n_nodes=args.nodes, modes=modes, samples=args.samples, seed=args.seed
+            app=app,
+            n_nodes=args.nodes,
+            modes=modes,
+            samples=args.samples,
+            seed=args.seed,
+            faults=faults,
+            max_attempts=args.max_attempts,
         ),
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
     )
-    for mode, st in sorted(stats_by_mode(records).items(), key=lambda kv: kv[1].mean):
-        print(f"  {mode:6s} mean {st.mean:8.1f} s  std {st.std:7.1f}  p95 {st.p95:8.1f}  (n={st.n})")
+    failed = [r for r in records if not r.ok]
+    if failed:
+        print(f"  {len(failed)}/{len(records)} runs failed (first: {failed[0].error})")
+    for mode, st in sorted(
+        stats_by_mode(records).items(),
+        key=lambda kv: kv[1].mean if np.isfinite(kv[1].mean) else float("inf"),
+    ):
+        flag = "" if st.reliable else "  [unreliable: too few samples]"
+        print(
+            f"  {mode:6s} mean {st.mean:8.1f} s  std {st.std:7.1f}  "
+            f"p95 {st.p95:8.1f}  (n={st.n}){flag}"
+        )
     for row in improvement_table(records, base_mode=modes[0].name, test_mode=modes[-1].name):
         print(
             f"\n{row.test_mode} over {row.base_mode}: "
@@ -166,6 +197,29 @@ def cmd_ensemble(args) -> int:
     top = _system(args.system)
     app = app_by_name(args.app)()
     mode = mode_by_name(args.mode)
+    faults = _faults_from_args(args)
+    fingerprint = {
+        "kind": "ensemble",
+        "system": args.system,
+        "app": app.name,
+        "jobs": args.jobs,
+        "nodes": args.nodes,
+        "mode": mode.name,
+        "placement": args.placement,
+        "seed": args.seed,
+        "faults": faults.describe() if faults else "",
+    }
+    ck = Path(args.checkpoint) if args.checkpoint else None
+    if ck is not None and args.resume and ck.exists():
+        saved = json.loads(ck.read_text())
+        if saved.get("config") != fingerprint:
+            raise ValueError(
+                f"checkpoint {ck} was written by a different ensemble config"
+            )
+        print(f"(resumed from {ck})")
+        for line in saved["output"]:
+            print(line)
+        return 0
     res = run_ensemble(
         top,
         EnsembleConfig(
@@ -175,17 +229,25 @@ def cmd_ensemble(args) -> int:
             mode=mode,
             placement=args.placement,
             seed=args.seed,
+            faults=faults,
         ),
     )
     snap = res.bank.snapshot()
-    print(f"{args.jobs} x {args.nodes}-node {app.name} jobs under {mode.name}:")
-    print(f"  job runtimes: {res.job_runtimes.min():.0f} - {res.job_runtimes.max():.0f} s")
+    lines = [f"{args.jobs} x {args.nodes}-node {app.name} jobs under {mode.name}:"]
+    if faults:
+        lines.append(f"  degraded network: {faults.describe()}")
+    lines.append(
+        f"  job runtimes: {res.job_runtimes.min():.0f} - {res.job_runtimes.max():.0f} s"
+    )
     for cls in ("rank1", "rank2", "rank3", "proc_req"):
-        print(
+        lines.append(
             f"  {cls:9s} flits {snap.flits[cls].sum():.3e}  "
             f"stalls {snap.stalls[cls].sum():.3e}  ratio {snap.class_ratio(cls):.3f}"
         )
-    print(f"  network stalls/flits: {snap.network_ratio():.3f}")
+    lines.append(f"  network stalls/flits: {snap.network_ratio():.3f}")
+    print("\n".join(lines))
+    if ck is not None:
+        ck.write_text(json.dumps({"config": fingerprint, "output": lines}) + "\n")
     return 0
 
 
@@ -229,6 +291,25 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--seed", type=int, default=2021)
         observability(sp)
 
+    def campaign_flags(sp):
+        sp.add_argument(
+            "--faults",
+            default=None,
+            metavar="SPEC",
+            help='degraded-network spec, e.g. "rank3:0.05; router:3" (docs/FAULTS.md)',
+        )
+        sp.add_argument(
+            "--checkpoint",
+            default=None,
+            metavar="PATH",
+            help="append finished runs to a JSONL checkpoint file",
+        )
+        sp.add_argument(
+            "--resume",
+            action="store_true",
+            help="skip runs already completed in --checkpoint",
+        )
+
     sp = sub.add_parser("describe", help="print a system's structure and the routing modes")
     common(sp)
     sp.set_defaults(func=cmd_describe)
@@ -239,6 +320,13 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--nodes", type=int, default=256)
     sp.add_argument("--samples", type=int, default=8)
     sp.add_argument("--modes", default="AD0,AD3", help="comma-separated, e.g. AD0,AD3")
+    sp.add_argument(
+        "--max-attempts",
+        type=int,
+        default=1,
+        help="retries per run on transient solver non-convergence",
+    )
+    campaign_flags(sp)
     sp.set_defaults(func=cmd_compare)
 
     sp = sub.add_parser("sweep", help="campaign over all four vendor modes")
@@ -251,6 +339,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="AD0,AD1,AD2,AD3",
         help="comma-separated mode subset to sweep (default: all four)",
     )
+    sp.add_argument(
+        "--max-attempts",
+        type=int,
+        default=1,
+        help="retries per run on transient solver non-convergence",
+    )
+    campaign_flags(sp)
     sp.set_defaults(func=cmd_sweep)
 
     sp = sub.add_parser("advise", help="profile an app and recommend a bias")
@@ -278,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--nodes", type=int, default=512)
     sp.add_argument("--mode", default="AD3")
     sp.add_argument("--placement", default="dispersed")
+    campaign_flags(sp)
     sp.set_defaults(func=cmd_ensemble)
 
     sp = sub.add_parser("report", help="summarize a recorded JSONL trace")
@@ -326,6 +422,13 @@ def main(argv: list[str] | None = None) -> int:
     try:
         with use_telemetry(tel):
             rc = args.func(args)
+    except NetworkPartitionedError as e:
+        print(f"error: network partitioned: {e}", file=sys.stderr)
+        return 2
+    except ValueError as e:
+        # bad config/topology/fault-spec values are user errors, not bugs
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     finally:
         tel.close()
     metrics_path = getattr(args, "metrics", None)

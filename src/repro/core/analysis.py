@@ -62,10 +62,10 @@ def improvement_table(
         base = SampleStats.from_values(by_mode[base_mode])
         test = SampleStats.from_values(by_mode[test_mode])
         mpi_base = remove_outliers(
-            np.array([r.mpi_time for r in app_recs if r.mode == base_mode])
+            np.array([r.mpi_time for r in app_recs if r.mode == base_mode and r.ok])
         )
         mpi_test = remove_outliers(
-            np.array([r.mpi_time for r in app_recs if r.mode == test_mode])
+            np.array([r.mpi_time for r in app_recs if r.mode == test_mode and r.ok])
         )
         mpi_imp = (
             100.0 * (mpi_base.mean() - mpi_test.mean()) / mpi_base.mean()

@@ -24,6 +24,7 @@ import numpy as np
 from repro.apps.base import Application
 from repro.core.biases import AD0, RoutingMode
 from repro.core.experiment import PhaseTiming, phase_slices, phase_times_from_result
+from repro.faults import FaultSchedule
 from repro.monitoring.ldms import LdmsCollector
 from repro.mpi.env import RoutingEnv
 from repro.network.counters import CounterBank
@@ -46,6 +47,8 @@ class EnsembleConfig:
     seed: int = 7
     ldms_interval: float = 60.0
     params: FluidParams | None = None
+    #: degraded-network state for the whole ensemble (empty = no-op)
+    faults: "FaultSchedule | None" = None
 
     def __post_init__(self) -> None:
         if self.n_jobs < 1:
@@ -65,6 +68,9 @@ class EnsembleResult:
 
     @property
     def makespan(self) -> float:
+        """Slowest job's runtime; 0.0 for a (degenerate) empty ensemble."""
+        if self.job_runtimes.size == 0:
+            return 0.0
         return float(self.job_runtimes.max())
 
     def stalls_to_flits(self, cls: str) -> float:
@@ -104,6 +110,9 @@ def run_ensemble(
         )
     rng = rng or derive_rng(cfg.seed, "ensemble", app.name, cfg.n_jobs, cfg.n_nodes, cfg.mode.name)
     env = RoutingEnv.uniform(cfg.mode)
+    # placement/counters stay on the pristine structure; the joint solve
+    # sees the degraded capacities (strict no-op for an empty schedule)
+    solve_top = top.with_faults(cfg.faults) if cfg.faults is not None else top
 
     pool = FreeNodePool(top)
     job_nodes = [
@@ -138,7 +147,7 @@ def run_ensemble(
         flows = FlowSet.concat(parts)
         t0 = time.perf_counter() if tel.enabled else 0.0
         res = solve_fluid(
-            top,
+            solve_top,
             flows,
             modes,
             rng=rng,

@@ -13,14 +13,17 @@ same four-month production window aimed to be.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.apps.base import Application
+from repro.core import checkpoint as ckpt
 from repro.core.biases import AD0, AD3, RoutingMode
 from repro.core.metrics import SampleStats, remove_outliers
+from repro.faults import FaultSchedule, NetworkPartitionedError
 from repro.monitoring.autoperf import AutoPerf, AutoPerfReport
 from repro.mpi.env import RoutingEnv
 from repro.mpi.patterns import Phase, TrafficOp
@@ -222,6 +225,14 @@ class RunRecord:
     report: AutoPerfReport
     background_intensity: float
     sample_index: int
+    #: ``"ok"`` or ``"error"``; error records carry a NaN runtime, an
+    #: empty report, and the exception text in :attr:`error`, so one
+    #: failed run never aborts its campaign.
+    status: str = "ok"
+    error: str = ""
+    #: executions it took to produce this record (>1 after transient
+    #: solver-non-convergence retries)
+    attempts: int = 1
     #: fluid-solver diagnostics aggregated over the run's phases: did
     #: every phase solve converge, how many did not, and the worst final
     #: residuals (max / mean |Δx|) seen across them.
@@ -230,6 +241,10 @@ class RunRecord:
     solver_max_residual: float = 0.0
     solver_max_residual_mean: float = 0.0
     solver_iterations: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     @property
     def mpi_time(self) -> float:
@@ -329,6 +344,65 @@ class CampaignConfig:
     scenario_pool: int = 12
     uniform_env: bool = True  # set both routing env vars to the mode
     params: FluidParams | None = None
+    #: degraded-network state the whole campaign runs under (an empty
+    #: schedule is a strict no-op: byte-identical results)
+    faults: FaultSchedule | None = None
+    #: executions allowed per run; >1 retries transient solver
+    #: non-convergence with a freshly-derived RNG stream.  Partition
+    #: errors are deterministic and never retried.
+    max_attempts: int = 1
+    #: seconds slept before retry ``k`` (scaled by ``k``); 0 = no sleep
+    retry_backoff: float = 0.0
+
+
+def campaign_fingerprint(top: DragonflyTopology, cfg: CampaignConfig) -> dict:
+    """Identity of a campaign for checkpoint compatibility checks.
+
+    Everything that changes the produced records is included; retry and
+    checkpointing knobs themselves are not (they only change *how* the
+    records get produced).
+    """
+    return {
+        "system": top.params.name,
+        "app": cfg.app.name,
+        "n_nodes": cfg.n_nodes,
+        "modes": [m.name for m in cfg.modes],
+        "samples": cfg.samples,
+        "placement": cfg.placement,
+        "background": cfg.background,
+        "seed": cfg.seed,
+        "scenario_pool": cfg.scenario_pool,
+        "uniform_env": cfg.uniform_env,
+        "faults": cfg.faults.describe() if cfg.faults else "",
+    }
+
+
+def _error_record(
+    cfg: CampaignConfig,
+    mode: RoutingMode,
+    sample: int,
+    groups: int,
+    intensity: float,
+    exc: BaseException,
+    attempts: int,
+) -> RunRecord:
+    """Degenerate record for a run that raised: NaN runtime, empty report."""
+    return RunRecord(
+        app=cfg.app.name,
+        mode=mode.name,
+        n_nodes=cfg.n_nodes,
+        placement=cfg.placement,
+        groups=groups,
+        runtime=float("nan"),
+        report=AutoPerfReport(
+            app=cfg.app.name, n_nodes=cfg.n_nodes, ops={}, total_time=0.0
+        ),
+        background_intensity=intensity,
+        sample_index=sample,
+        status="error",
+        error=f"{type(exc).__name__}: {exc}",
+        attempts=attempts,
+    )
 
 
 def run_campaign(
@@ -338,9 +412,36 @@ def run_campaign(
     background_model: BackgroundModel | None = None,
     scenarios: list[BackgroundScenario] | None = None,
     telemetry: Telemetry | None = None,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
 ) -> list[RunRecord]:
-    """Run the campaign; returns one RunRecord per (mode, sample)."""
+    """Run the campaign; returns one RunRecord per (mode, sample).
+
+    A run that raises is isolated into an error-status record instead of
+    aborting the sweep.  With ``checkpoint_path`` set, finished runs are
+    appended to a JSONL file; ``resume=True`` loads compatible completed
+    runs from it and skips re-executing them (records come out identical
+    to an uninterrupted campaign, because each run's RNG stream is
+    derived independently).
+    """
     app = cfg.app
+    # background scenarios are built against the pristine fabric (ambient
+    # traffic predates the fault window); the job itself routes on the
+    # degraded view
+    run_top = top.with_faults(cfg.faults) if cfg.faults is not None else top
+    done: dict[tuple[int, str], RunRecord] = {}
+    if checkpoint_path is not None:
+        fp = campaign_fingerprint(top, cfg)
+        if resume and os.path.exists(checkpoint_path):
+            done = ckpt.load_records(checkpoint_path, fp)
+            # rewrite cleanly: drops any crash-truncated tail line (new
+            # appends would otherwise concatenate onto it) plus error
+            # and superseded records
+            ckpt.write_header(checkpoint_path, fp)
+            for rec in done.values():
+                ckpt.append_record(checkpoint_path, rec)
+        else:
+            ckpt.write_header(checkpoint_path, fp)
     tel = resolve_telemetry(telemetry)
     tel.event(
         "campaign.start",
@@ -351,6 +452,8 @@ def run_campaign(
         placement=cfg.placement,
         background=cfg.background,
         seed=cfg.seed,
+        faults=cfg.faults.describe() if cfg.faults else "",
+        resumed_runs=len(done),
     )
     if cfg.background == "production":
         if scenarios is None:
@@ -373,43 +476,83 @@ def run_campaign(
         else:
             bg, intensity = None, 0.0
         for mode in cfg.modes:
+            prior = done.get((i, mode.name))
+            if prior is not None:
+                records.append(prior)
+                continue
             env = (
                 RoutingEnv.uniform(mode)
                 if cfg.uniform_env
                 else RoutingEnv(p2p_mode=mode)
             )
-            run_rng = derive_rng(cfg.seed, app.name, cfg.n_nodes, i, mode.name)
             t0 = time.perf_counter() if tel.enabled else 0.0
-            runtime, report, timings = run_app_once(
-                top,
-                app,
-                nodes,
-                env,
-                background_util=bg,
-                rng=run_rng,
-                params=cfg.params,
-                telemetry=tel,
-            )
-            diag = solver_diagnostics(timings)
-            records.append(
-                RunRecord(
-                    app=app.name,
-                    mode=mode.name,
-                    n_nodes=cfg.n_nodes,
-                    placement=cfg.placement,
-                    groups=groups_spanned(top, nodes),
-                    runtime=runtime,
-                    report=report,
-                    background_intensity=intensity,
-                    sample_index=i,
-                    **diag,
+            rec: RunRecord | None = None
+            attempt = 0
+            while rec is None:
+                attempt += 1
+                # attempt 1 uses the canonical paired stream; retries use
+                # a fresh derivation so the transient draw changes
+                key = (cfg.seed, app.name, cfg.n_nodes, i, mode.name)
+                run_rng = (
+                    derive_rng(*key)
+                    if attempt == 1
+                    else derive_rng(*key, "retry", attempt)
                 )
-            )
+                try:
+                    runtime, report, timings = run_app_once(
+                        run_top,
+                        app,
+                        nodes,
+                        env,
+                        background_util=bg,
+                        rng=run_rng,
+                        params=cfg.params,
+                        telemetry=tel,
+                    )
+                except NetworkPartitionedError as exc:
+                    # deterministic: retrying cannot help
+                    rec = _error_record(
+                        cfg, mode, i, groups_spanned(top, nodes), intensity, exc, attempt
+                    )
+                except Exception as exc:
+                    if attempt < cfg.max_attempts:
+                        if cfg.retry_backoff > 0:
+                            time.sleep(cfg.retry_backoff * attempt)
+                        continue
+                    rec = _error_record(
+                        cfg, mode, i, groups_spanned(top, nodes), intensity, exc, attempt
+                    )
+                else:
+                    diag = solver_diagnostics(timings)
+                    if not diag["solver_converged"] and attempt < cfg.max_attempts:
+                        if cfg.retry_backoff > 0:
+                            time.sleep(cfg.retry_backoff * attempt)
+                        continue
+                    rec = RunRecord(
+                        app=app.name,
+                        mode=mode.name,
+                        n_nodes=cfg.n_nodes,
+                        placement=cfg.placement,
+                        groups=groups_spanned(top, nodes),
+                        runtime=runtime,
+                        report=report,
+                        background_intensity=intensity,
+                        sample_index=i,
+                        attempts=attempt,
+                        **diag,
+                    )
+            records.append(rec)
+            if checkpoint_path is not None:
+                ckpt.append_record(checkpoint_path, rec)
             if tel.enabled:
                 wall = time.perf_counter() - t0
                 m = tel.metrics
                 if m.enabled:
                     m.counter("campaign_samples_total", "campaign runs executed").inc()
+                    if not rec.ok:
+                        m.counter(
+                            "campaign_failures_total", "campaign runs ending in error"
+                        ).inc()
                     m.histogram(
                         "campaign_sample_seconds", "wall time per campaign run"
                     ).observe(wall)
@@ -418,28 +561,39 @@ def run_campaign(
                     app=app.name,
                     mode=mode.name,
                     sample=i,
-                    runtime_s=runtime,
-                    mpi_time_s=report.mpi_time,
+                    status=rec.status,
+                    error=rec.error,
+                    attempts=rec.attempts,
+                    runtime_s=rec.runtime,
+                    mpi_time_s=rec.report.mpi_time,
                     background_intensity=intensity,
-                    solver_converged=diag["solver_converged"],
-                    solver_nonconverged_phases=diag["solver_nonconverged_phases"],
-                    solver_max_residual=diag["solver_max_residual"],
+                    solver_converged=rec.solver_converged,
+                    solver_nonconverged_phases=rec.solver_nonconverged_phases,
+                    solver_max_residual=rec.solver_max_residual,
                     wall_ms=wall * 1e3,
                 )
     tel.event(
         "campaign.end",
         app=app.name,
         records=len(records),
+        failed_runs=sum(1 for r in records if not r.ok),
         nonconverged_runs=sum(1 for r in records if not r.solver_converged),
     )
     return records
 
 
 def runtimes_by_mode(records: list[RunRecord], *, filter_outliers: bool = True) -> dict[str, np.ndarray]:
-    """Group runtimes by mode name, with the paper's outlier filter."""
+    """Group runtimes by mode name, with the paper's outlier filter.
+
+    Error-status records (NaN runtime) are excluded — a mode whose runs
+    all failed still appears, with an empty array.
+    """
     out: dict[str, np.ndarray] = {}
     for mode in sorted({r.mode for r in records}):
-        v = np.array([r.runtime for r in records if r.mode == mode])
+        v = np.array(
+            [r.runtime for r in records if r.mode == mode and r.ok], dtype=np.float64
+        )
+        v = v[np.isfinite(v)]
         out[mode] = remove_outliers(v) if filter_outliers else v
     return out
 

@@ -27,6 +27,7 @@ from repro.core.metrics import (
     percent_change,
     percentile_summary,
 )
+from repro.faults import FaultSchedule
 from repro.monitoring.ldms import LdmsCollector
 from repro.monitoring.nic import NicLatencyCounters
 from repro.mpi.env import RoutingEnv
@@ -51,6 +52,10 @@ class WindowConfig:
     target_fill: float = 0.88
     seed: int = 1234
     params: FluidParams | None = None
+    #: degraded-network state over the window.  Timed specs flip as the
+    #: window's simulated clock (``interval`` seconds per step) crosses
+    #: their start/end; an empty schedule is a strict no-op.
+    faults: "FaultSchedule | None" = None
 
 
 @dataclass
@@ -129,8 +134,13 @@ def simulate_production_window(
         level = float(rng.lognormal(np.log(0.45), 0.35))
         flows = FlowSet.concat(p2p_parts + a2a_parts).scaled(level * cfg.interval)
 
+        solve_top = (
+            top.with_faults(cfg.faults, at_time=i * cfg.interval)
+            if cfg.faults is not None
+            else top
+        )
         res = solve_fluid(
-            top,
+            solve_top,
             flows,
             cfg.env.modes_list(),
             rng=rng,

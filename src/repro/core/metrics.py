@@ -118,9 +118,24 @@ class SampleStats:
     n: int
     p95: float
 
+    #: fewer finite samples than this and the summary is flagged
+    #: unreliable (outlier filtering + failed runs can hollow a mode out)
+    MIN_RELIABLE_N = 4
+
+    @property
+    def reliable(self) -> bool:
+        return self.n >= self.MIN_RELIABLE_N and np.isfinite(self.mean)
+
     @classmethod
     def from_values(cls, values: np.ndarray) -> "SampleStats":
+        """Summarize a sample; NaN/inf entries (failed runs) are dropped.
+
+        Empty input yields an all-NaN, ``n=0`` summary rather than a
+        numpy warning/crash; check :attr:`reliable` before leaning on
+        the numbers.
+        """
         v = np.asarray(values, dtype=np.float64)
+        v = v[np.isfinite(v)]
         if v.size == 0:
             return cls(float("nan"), float("nan"), 0, float("nan"))
         return cls(

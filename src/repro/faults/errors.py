@@ -1,0 +1,16 @@
+"""Typed fault errors (leaf module: imports nothing from the package).
+
+Kept free of topology imports so :mod:`repro.topology.paths` can raise
+:class:`NetworkPartitionedError` without an import cycle.
+"""
+
+from __future__ import annotations
+
+
+class NetworkPartitionedError(RuntimeError):
+    """A flow's endpoints have no surviving path between them.
+
+    Raised by the path layer when fault repair exhausts every candidate
+    (direct cables, local detours, and two-global-hop detours) for at
+    least one flow, or when a flow's NIC link itself is dead.
+    """

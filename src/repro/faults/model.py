@@ -1,0 +1,475 @@
+"""Fault model: dead links, degraded cables, down routers, timed events.
+
+Production dragonfly fabrics are never pristine: Aries systems run for
+weeks with failed rank-3 cables, cables degraded to a subset of their
+optical lanes, and quiesced (down) routers.  This module describes such
+states declaratively so both network engines — and the campaign harness
+above them — can ask "what does the network look like at time ``t``?"
+
+Two layers:
+
+* :class:`FaultSpec` — one fault: an explicit set of directed links, a
+  physical rank-3 cable (both directions), a router (all attached
+  links), or a random fraction of a link class.  A spec is either
+  *dead* (capacity multiplier 0) or *degraded* (multiplier in (0, 1),
+  e.g. surviving-lane fraction of a rank-3 cable), and carries an
+  optional ``[start, end)`` activity window in engine seconds so
+  mid-window fault/recovery events can be scheduled.
+* :class:`FaultSchedule` — an ordered collection of specs plus a seed.
+  Random specs (class + fraction) resolve deterministically from the
+  schedule seed via :func:`repro.util.rng.derive_rng`, so two runs with
+  the same schedule see byte-identical failures.
+
+The schedule's only product is a per-link **capacity multiplier** field
+(:meth:`FaultSchedule.capacity_scale`); the topology turns that into a
+masked view (:meth:`repro.topology.dragonfly.DragonflyTopology.with_faults`)
+and the packet simulator re-reads it at every activity-window boundary.
+An empty schedule is a strict no-op by construction: engines never see
+a scale field at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.faults.errors import NetworkPartitionedError
+from repro.topology.dragonfly import LinkClass
+from repro.util import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.topology.dragonfly import DragonflyTopology
+
+__all__ = ["FaultSpec", "FaultSchedule", "NetworkPartitionedError", "NO_FAULTS"]
+
+_CLASS_NAMES = {
+    "rank1": LinkClass.RANK1,
+    "rank2": LinkClass.RANK2,
+    "rank3": LinkClass.RANK3,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: what is broken, how badly, and when.
+
+    Use the classmethod constructors rather than filling fields by hand;
+    they validate the per-kind field combinations.
+
+    Attributes
+    ----------
+    kind:
+        ``"links"`` (explicit directed link ids), ``"cable"`` (one
+        rank-3 cable, both directions), ``"router"`` (every link the
+        router transmits or receives on, including its nodes' NICs), or
+        ``"class_fraction"`` (a random fraction of a link class, failed
+        in bidirectional pairs).
+    scale:
+        Per-link capacity multiplier while active: 0 = dead, (0, 1) =
+        degraded.  For ``cable`` specs with ``lanes_lost`` set the
+        multiplier is derived from the topology's ``lanes_per_cable``
+        geometry at resolve time instead.
+    start, end:
+        Activity window in engine seconds; ``end=None`` means forever.
+        The static (campaign) view of a schedule is its state at t=0.
+    """
+
+    kind: str
+    links: tuple[int, ...] = ()
+    group_a: int = -1
+    group_b: int = -1
+    cable: int = -1
+    router: int = -1
+    link_class: int = -1
+    fraction: float = 0.0
+    lanes_lost: int = 0
+    scale: float = 0.0
+    start: float = 0.0
+    end: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("links", "cable", "router", "class_fraction"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not (0.0 <= self.scale < 1.0):
+            raise ValueError("fault scale must be in [0, 1) (1.0 would be a no-op)")
+        if self.start < 0:
+            raise ValueError("fault start must be >= 0")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("fault end must be > start")
+        if self.kind == "class_fraction" and not (0.0 < self.fraction <= 1.0):
+            raise ValueError("fault fraction must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def dead_links(
+        cls, link_ids: Iterable[int], *, start: float = 0.0, end: float | None = None
+    ) -> "FaultSpec":
+        """Explicit directed links, dead."""
+        return cls(kind="links", links=tuple(int(i) for i in link_ids), start=start, end=end)
+
+    @classmethod
+    def degraded_links(
+        cls,
+        link_ids: Iterable[int],
+        scale: float,
+        *,
+        start: float = 0.0,
+        end: float | None = None,
+    ) -> "FaultSpec":
+        """Explicit directed links at ``scale`` of their capacity."""
+        return cls(
+            kind="links",
+            links=tuple(int(i) for i in link_ids),
+            scale=scale,
+            start=start,
+            end=end,
+        )
+
+    @classmethod
+    def dead_cable(
+        cls,
+        group_a: int,
+        group_b: int,
+        cable: int,
+        *,
+        start: float = 0.0,
+        end: float | None = None,
+    ) -> "FaultSpec":
+        """One rank-3 optical cable cut — both directions go dark."""
+        return cls(
+            kind="cable",
+            group_a=int(group_a),
+            group_b=int(group_b),
+            cable=int(cable),
+            start=start,
+            end=end,
+        )
+
+    @classmethod
+    def degraded_cable(
+        cls,
+        group_a: int,
+        group_b: int,
+        cable: int,
+        *,
+        lanes_lost: int = 1,
+        start: float = 0.0,
+        end: float | None = None,
+    ) -> "FaultSpec":
+        """A rank-3 cable running on fewer optical lanes.
+
+        The capacity multiplier is ``(lanes_per_cable - lanes_lost) /
+        lanes_per_cable`` from the topology's geometry; losing every
+        lane is equivalent to :meth:`dead_cable`.
+        """
+        if lanes_lost < 1:
+            raise ValueError("lanes_lost must be >= 1")
+        return cls(
+            kind="cable",
+            group_a=int(group_a),
+            group_b=int(group_b),
+            cable=int(cable),
+            lanes_lost=int(lanes_lost),
+            start=start,
+            end=end,
+        )
+
+    @classmethod
+    def dead_router(
+        cls, router: int, *, start: float = 0.0, end: float | None = None
+    ) -> "FaultSpec":
+        """A quiesced router: every attached link (incl. its NICs) dies."""
+        return cls(kind="router", router=int(router), start=start, end=end)
+
+    @classmethod
+    def random_link_failures(
+        cls,
+        link_class: str | LinkClass,
+        fraction: float,
+        *,
+        start: float = 0.0,
+        end: float | None = None,
+    ) -> "FaultSpec":
+        """Fail a random ``fraction`` of a link class, in (i, j)/(j, i) pairs.
+
+        The draw is deterministic from the owning schedule's seed and
+        the spec's position in the schedule.
+        """
+        if isinstance(link_class, str):
+            if link_class not in _CLASS_NAMES:
+                raise ValueError(
+                    f"unknown link class {link_class!r}; choose from {sorted(_CLASS_NAMES)}"
+                )
+            link_class = _CLASS_NAMES[link_class]
+        return cls(
+            kind="class_fraction",
+            link_class=int(link_class),
+            fraction=float(fraction),
+            start=start,
+            end=end,
+        )
+
+    # ------------------------------------------------------------------
+    def active_at(self, t: float) -> bool:
+        """Whether this fault is present at engine time ``t``."""
+        return self.start <= t and (self.end is None or t < self.end)
+
+    def resolve_links(self, top: "DragonflyTopology", rng: np.random.Generator) -> np.ndarray:
+        """Directed link ids this fault touches on ``top``.
+
+        ``rng`` drives ``class_fraction`` sampling only; other kinds
+        never draw from it.
+        """
+        if self.kind == "links":
+            ids = np.asarray(self.links, dtype=np.int64)
+            if ids.size and (ids.min() < 0 or ids.max() >= top.n_links):
+                raise ValueError(f"link id out of range 0..{top.n_links - 1}")
+            return ids
+        if self.kind == "cable":
+            G = top.params.n_groups
+            K = top.params.cables_per_group_pair
+            ga, gb, c = self.group_a, self.group_b, self.cable
+            if not (0 <= ga < G and 0 <= gb < G) or ga == gb:
+                raise ValueError(f"invalid group pair ({ga}, {gb}) for {top.params.name}")
+            if not (0 <= c < K):
+                raise ValueError(f"cable index {c} out of range 0..{K - 1}")
+            return np.asarray(
+                [int(top.rank3_link(ga, gb, c)), int(top.rank3_link(gb, ga, c))],
+                dtype=np.int64,
+            )
+        if self.kind == "router":
+            r = self.router
+            if not (0 <= r < top.n_routers):
+                raise ValueError(f"router index {r} out of range 0..{top.n_routers - 1}")
+            mask = (top.link_src_router == r) | (top.link_dst_router == r)
+            return np.flatnonzero(mask).astype(np.int64)
+        # class_fraction: sample canonical (lower, upper) pairs, kill both
+        # directions, mirroring how physical link failures present.
+        fwd, rev = _class_link_pairs(top, LinkClass(self.link_class))
+        n_fail = int(round(self.fraction * fwd.size))
+        if n_fail == 0 and self.fraction > 0:
+            n_fail = 1
+        pick = rng.choice(fwd.size, size=min(n_fail, fwd.size), replace=False)
+        return np.concatenate([fwd[pick], rev[pick]])
+
+    def capacity_multiplier(self, top: "DragonflyTopology") -> float:
+        """The per-link capacity factor this fault applies while active."""
+        if self.kind == "cable" and self.lanes_lost > 0:
+            lanes = top.params.lanes_per_cable
+            return max(lanes - self.lanes_lost, 0) / lanes
+        return self.scale
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if self.kind == "links":
+            what = f"{len(self.links)} link(s)"
+        elif self.kind == "cable":
+            what = f"cable {self.cable} of groups ({self.group_a}, {self.group_b})"
+            if self.lanes_lost:
+                what += f" -{self.lanes_lost} lane(s)"
+        elif self.kind == "router":
+            what = f"router {self.router}"
+        else:
+            what = f"{self.fraction:.1%} of {LinkClass(self.link_class).name.lower()}"
+        state = "degraded" if (self.scale > 0 or self.lanes_lost) else "dead"
+        window = "" if self.start == 0 and self.end is None else f" @[{self.start:g}, {self.end if self.end is not None else 'inf'})"
+        return f"{what} {state}{window}"
+
+
+def _class_link_pairs(
+    top: "DragonflyTopology", link_class: LinkClass
+) -> tuple[np.ndarray, np.ndarray]:
+    """Canonical (forward, reverse) directed-link id pairs of one class."""
+    p = top.params
+    G, C, R, K = p.n_groups, p.chassis_per_group, p.routers_per_chassis, p.cables_per_group_pair
+    if link_class == LinkClass.RANK1:
+        g, c, i, j = np.meshgrid(
+            np.arange(G), np.arange(C), np.arange(R), np.arange(R), indexing="ij"
+        )
+        keep = (i < j).ravel()
+        fwd = np.asarray(top.rank1_link(g, c, i, j)).ravel()[keep]
+        rev = np.asarray(top.rank1_link(g, c, j, i)).ravel()[keep]
+    elif link_class == LinkClass.RANK2:
+        g, s, a, b = np.meshgrid(
+            np.arange(G), np.arange(R), np.arange(C), np.arange(C), indexing="ij"
+        )
+        keep = (a < b).ravel()
+        fwd = np.asarray(top.rank2_link(g, s, a, b)).ravel()[keep]
+        rev = np.asarray(top.rank2_link(g, s, b, a)).ravel()[keep]
+    elif link_class == LinkClass.RANK3:
+        g, h, k = np.meshgrid(np.arange(G), np.arange(G), np.arange(K), indexing="ij")
+        keep = (g < h).ravel()
+        fwd = np.asarray(top.rank3_link(g, h, k)).ravel()[keep]
+        rev = np.asarray(top.rank3_link(h, g, k)).ravel()[keep]
+    else:
+        raise ValueError(f"cannot sample failures over {link_class!r}")
+    return fwd.astype(np.int64), rev.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered set of faults plus the seed that resolves random ones.
+
+    Falsy when empty; an empty schedule is guaranteed to be a strict
+    no-op everywhere (engines receive the pristine topology object
+    itself, not a copy).
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def with_spec(self, spec: FaultSpec) -> "FaultSchedule":
+        """Copy with one more fault appended."""
+        return replace(self, specs=self.specs + (spec,))
+
+    def capacity_scale(
+        self, top: "DragonflyTopology", *, at_time: float = 0.0
+    ) -> np.ndarray | None:
+        """Per-link capacity multiplier field at engine time ``at_time``.
+
+        Multipliers of overlapping faults compose multiplicatively (a
+        degraded link inside a down router is simply down).  Returns
+        ``None`` when no fault is active, so callers can keep the
+        pristine fast path allocation-free.
+        """
+        scale: np.ndarray | None = None
+        for idx, spec in enumerate(self.specs):
+            if not spec.active_at(at_time):
+                continue
+            rng = derive_rng(self.seed, "faults", idx, spec.kind)
+            ids = spec.resolve_links(top, rng)
+            if ids.size == 0:
+                continue
+            if scale is None:
+                scale = np.ones(top.n_links, dtype=np.float64)
+            scale[ids] *= spec.capacity_multiplier(top)
+        return scale
+
+    def change_times(self) -> list[float]:
+        """Sorted times (> 0) at which the active fault set changes.
+
+        The packet simulator re-reads :meth:`capacity_scale` at each of
+        these instants; a schedule with only static (t=0, open-ended)
+        faults returns an empty list.
+        """
+        times = set()
+        for spec in self.specs:
+            if spec.start > 0:
+                times.add(float(spec.start))
+            if spec.end is not None:
+                times.add(float(spec.end))
+        return sorted(times)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        if not self.specs:
+            return "no faults"
+        return "; ".join(s.describe() for s in self.specs)
+
+    # ------------------------------------------------------------------
+    # CLI mini-language
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str, *, seed: int = 0) -> "FaultSchedule":
+        """Parse the CLI fault mini-language into a schedule.
+
+        Grammar (specs separated by ``;``, window suffix optional)::
+
+            rank1:F | rank2:F | rank3:F     random fraction F of the class dead
+            router:R                        router R down
+            cable:GA-GB:C                   rank-3 cable C of the group pair cut
+            cable:GA-GB:C*S                 ... degraded to S of its capacity
+            link:ID[*S]                     one directed link dead (or at S)
+            <spec>@T1,T2                    active only during [T1, T2) seconds
+            <spec>@T1                       active from T1 onward
+
+        Examples: ``"rank3:0.05"``, ``"router:17;cable:0-1:3"``,
+        ``"cable:0-1:0@1e-4,5e-4"``.
+        """
+        specs: list[FaultSpec] = []
+        for raw in text.split(";"):
+            raw = raw.strip()
+            if not raw:
+                continue
+            start, end = 0.0, None
+            if "@" in raw:
+                raw, _, window = raw.partition("@")
+                w1, _, w2 = window.partition(",")
+                try:
+                    start = float(w1)
+                    end = float(w2) if w2 else None
+                except ValueError:
+                    raise ValueError(f"bad fault window {window!r} (expected T1[,T2])")
+            head, _, rest = raw.partition(":")
+            head = head.strip().lower()
+            if head in _CLASS_NAMES:
+                try:
+                    frac = float(rest)
+                except ValueError:
+                    raise ValueError(f"bad fraction {rest!r} in fault spec {raw!r}")
+                specs.append(
+                    FaultSpec.random_link_failures(head, frac, start=start, end=end)
+                )
+            elif head == "router":
+                try:
+                    r = int(rest)
+                except ValueError:
+                    raise ValueError(f"bad router index {rest!r} in fault spec {raw!r}")
+                specs.append(FaultSpec.dead_router(r, start=start, end=end))
+            elif head == "cable":
+                pair, _, cable = rest.partition(":")
+                ga, _, gb = pair.partition("-")
+                cable, _, scale = cable.partition("*")
+                try:
+                    ga_i, gb_i, c_i = int(ga), int(gb), int(cable)
+                except ValueError:
+                    raise ValueError(
+                        f"bad cable spec {raw!r} (expected cable:GA-GB:C[*S])"
+                    )
+                if scale:
+                    spec = FaultSpec(
+                        kind="cable",
+                        group_a=ga_i,
+                        group_b=gb_i,
+                        cable=c_i,
+                        scale=float(scale),
+                        start=start,
+                        end=end,
+                    )
+                else:
+                    spec = FaultSpec.dead_cable(ga_i, gb_i, c_i, start=start, end=end)
+                specs.append(spec)
+            elif head == "link":
+                lid, _, scale = rest.partition("*")
+                try:
+                    lid_i = int(lid)
+                except ValueError:
+                    raise ValueError(f"bad link id {lid!r} in fault spec {raw!r}")
+                if scale:
+                    specs.append(
+                        FaultSpec.degraded_links([lid_i], float(scale), start=start, end=end)
+                    )
+                else:
+                    specs.append(FaultSpec.dead_links([lid_i], start=start, end=end))
+            else:
+                raise ValueError(
+                    f"unknown fault spec {raw!r} (expected rank1|rank2|rank3|router|cable|link)"
+                )
+        return cls(specs=tuple(specs), seed=seed)
+
+
+#: the canonical "nothing is broken" schedule
+NO_FAULTS = FaultSchedule()

@@ -36,10 +36,25 @@ import numpy as np
 
 from repro.core.biases import RoutingMode
 from repro.core.policy import minimal_preferred
+from repro.faults.model import FaultSchedule
 from repro.network.congestion import PACKET_BYTES, FLIT_BYTES
 from repro.telemetry import Telemetry, resolve_telemetry
 from repro.topology.dragonfly import DragonflyTopology, LinkClass
 from repro.topology.paths import minimal_paths, valiant_paths
+
+#: per-packet state arrays compacted together when packets leave the sim
+_STATE_ARRAYS = (
+    "_p_msg",
+    "_p_row",
+    "_p_hop",
+    "_p_link",
+    "_p_seq",
+    "_p_birth",
+    "_p_flits",
+    "_p_wait",
+    "_p_retry",
+    "_p_drop",
+)
 
 
 @dataclass(frozen=True)
@@ -71,6 +86,11 @@ class PacketSimConfig:
     #: blocked; AD1's per-hop shift schedule applies at the retry).
     #: 0 disables re-routing.
     reroute_patience: int = 8
+    #: times a packet stranded on a **dead** link may be retransmitted
+    #: from its source NIC before it is dropped.  Independent of
+    #: ``reroute_patience``: survivability retries still run when
+    #: adaptive re-routing is disabled (patience 0).
+    max_reroute_attempts: int = 4
     k_min: int = 2
     k_nonmin: int = 2
     max_steps: int = 200_000
@@ -84,6 +104,8 @@ class PacketSimConfig:
             raise ValueError("step_time must be > 0")
         if self.occupancy_credit_unit <= 0:
             raise ValueError("occupancy_credit_unit must be > 0")
+        if self.max_reroute_attempts < 0:
+            raise ValueError("max_reroute_attempts must be >= 0")
 
 
 @dataclass
@@ -106,10 +128,18 @@ class MessageStats:
     finish_step: int = -1
     min_packets: int = 0
     nonmin_packets: int = 0
+    #: packets abandoned after exhausting dead-link retransmits; a
+    #: message with drops still *finishes* (the sim would otherwise
+    #: never drain) but is not fully delivered.
+    dropped_packets: int = 0
 
     @property
     def done(self) -> bool:
         return self.finish_step >= 0
+
+    @property
+    def delivered(self) -> bool:
+        return self.done and self.dropped_packets == 0
 
     def latency(self, step_time: float) -> float:
         """Message completion time in seconds (start -> last packet out)."""
@@ -134,14 +164,26 @@ class PacketSimulator:
         *,
         rng: np.random.Generator | None = None,
         telemetry: Telemetry | None = None,
+        faults: FaultSchedule | None = None,
     ) -> None:
-        self.top = top
         self.config = config or PacketSimConfig()
         self.rng = rng or np.random.default_rng(0)
         self.telemetry = telemetry
         c = self.config
 
+        # Faults: ``top`` is the pristine fabric; the simulator derives
+        # the degraded view itself so timed specs can flip mid-run.
+        self.faults = faults if faults else None
+        self._base_top = top
+        if self.faults is not None:
+            top = top.with_faults(self.faults, at_time=0.0)
+        self.top = top
+        self._fault_changes: list[float] = (
+            list(self.faults.change_times()) if self.faults is not None else []
+        )
+
         # per-link service rate, packets per step
+        self._base_rate = self._base_top.capacity * c.step_time / PACKET_BYTES
         self.rate = top.capacity * c.step_time / PACKET_BYTES
         self.credit = np.zeros(top.n_links)
         self.flits = np.zeros(top.n_links)
@@ -149,6 +191,12 @@ class PacketSimulator:
 
         self.step = 0
         self._seq = 0
+        #: adaptive re-route decisions re-run for blocked packets
+        self.reroutes = 0
+        #: packets retransmitted from their source NIC off a dead link
+        self.retries = 0
+        #: packets dropped after exhausting ``max_reroute_attempts``
+        self.dropped = 0
 
         # message bookkeeping
         self.messages: list[MessageStats] = []
@@ -170,6 +218,8 @@ class PacketSimulator:
         self._p_birth = np.zeros(0, dtype=np.int64)
         self._p_flits = np.zeros(0, dtype=np.float64)
         self._p_wait = np.zeros(0, dtype=np.int64)
+        self._p_retry = np.zeros(0, dtype=np.int64)
+        self._p_drop = np.zeros(0, dtype=bool)
         self._pkt_latencies: list[np.ndarray] = []
 
     # ------------------------------------------------------------------
@@ -246,6 +296,8 @@ class PacketSimulator:
         self._p_birth = np.concatenate([self._p_birth, np.full(n, self.step, dtype=np.int64)])
         self._p_flits = np.concatenate([self._p_flits, flits])
         self._p_wait = np.concatenate([self._p_wait, np.zeros(n, dtype=np.int64)])
+        self._p_retry = np.concatenate([self._p_retry, np.zeros(n, dtype=np.int64)])
+        self._p_drop = np.concatenate([self._p_drop, np.zeros(n, dtype=bool)])
 
     # ------------------------------------------------------------------
     # stepping
@@ -267,6 +319,10 @@ class PacketSimulator:
 
     def advance(self) -> None:
         """Execute one simulation step."""
+        if self._fault_changes and self.now >= self._fault_changes[0]:
+            while self._fault_changes and self.now >= self._fault_changes[0]:
+                self._fault_changes.pop(0)
+            self._apply_fault_state()
         self._activate_pending()
         n = self.n_active
         if n == 0:
@@ -308,19 +364,112 @@ class PacketSimulator:
         # advance: completion there compacts the state arrays and would
         # invalidate the waiting indices.
         patience = self.config.reroute_patience
+
+        # packets stranded on a link that died mid-run can never be
+        # served there: retransmit them from their source NIC (bounded
+        # by max_reroute_attempts, then dropped).  This runs even with
+        # reroute_patience=0 — survivability is not adaptivity.
+        if waiting.size and self.faults is not None:
+            on_dead = waiting[self.rate[self._p_link[waiting]] <= 0.0]
+            if on_dead.size:
+                due = on_dead[self._p_wait[on_dead] >= max(1, patience)]
+                if due.size:
+                    self._retry_dead(due)
+
+        # a packet stuck at its first router-output queue gets its
+        # adaptive decision re-run (with hops_taken=1, so AD1's schedule
+        # has started ramping).  This must run before the served packets
+        # advance: completion there compacts the state arrays and would
+        # invalidate the waiting indices.
         if patience > 0 and waiting.size:
             stuck = waiting[
-                (self._p_hop[waiting] == 1) & (self._p_wait[waiting] >= patience)
+                (self._p_hop[waiting] == 1)
+                & (self._p_wait[waiting] >= patience)
+                & ~self._p_drop[waiting]
+                & (self.rate[self._p_link[waiting]] > 0.0)
             ]
             if stuck.size:
                 self._route(stuck, hops_taken=1, at_hop=1)
                 self._p_wait[stuck] = 0
+                self.reroutes += int(stuck.size)
 
         if served.size:
             self._p_wait[served] = 0
             self._advance_served(served)
+        self._flush_drops()
         self.step += 1
         self._maybe_trace_step()
+
+    def _apply_fault_state(self) -> None:
+        """Recompute per-link rates after a timed fault/recovery edge."""
+        assert self.faults is not None
+        scale = self.faults.capacity_scale(self._base_top, at_time=self.now)
+        new_rate = self._base_rate if scale is None else self._base_rate * scale
+        newly_dead = (new_rate <= 0.0) & (self.rate > 0.0)
+        recovered = (new_rate > 0.0) & (self.rate <= 0.0) & (self._base_rate > 0.0)
+        self.rate = new_rate
+        if newly_dead.any():
+            self.credit[newly_dead] = 0.0
+        # later add_message calls should route around the current state
+        self.top = self._base_top.with_faults(self.faults, at_time=self.now)
+        tel = resolve_telemetry(self.telemetry)
+        if tel.trace.enabled:
+            tel.event(
+                "packet.fault",
+                step=self.step,
+                t=self.now,
+                links_died=int(newly_dead.sum()),
+                links_recovered=int(recovered.sum()),
+            )
+
+    def _retry_dead(self, pkts: np.ndarray) -> None:
+        """Retransmit packets stranded on dead links; drop repeat offenders."""
+        self._p_retry[pkts] += 1
+        give_up = pkts[self._p_retry[pkts] > self.config.max_reroute_attempts]
+        retry = pkts[self._p_retry[pkts] <= self.config.max_reroute_attempts]
+        if give_up.size:
+            self._p_drop[give_up] = True
+        if retry.size == 0:
+            return
+        mids = self._p_msg[retry]
+        for mid in np.unique(mids):
+            mid = int(mid)
+            sel = retry[mids == mid]
+            rows = self._p_row[sel]
+            routed = rows >= 0
+            if routed.any():
+                # un-attribute: the packet will be re-routed from scratch
+                start = self._cand_msg_start[mid]
+                prev_min = rows[routed] - start < self._n_min_cand
+                self.messages[mid].min_packets -= int(prev_min.sum())
+                self.messages[mid].nonmin_packets -= int((~prev_min).sum())
+            inj = int(self.top.injection_link(self.messages[mid].spec.src))
+            self._p_link[sel] = inj
+        self._p_row[retry] = -1
+        self._p_hop[retry] = 0
+        self._p_wait[retry] = 0
+        self._p_seq[retry] = np.arange(self._seq, self._seq + retry.size)
+        self._seq += retry.size
+        self.retries += int(retry.size)
+
+    def _flush_drops(self) -> None:
+        """Remove packets flagged for dropping and settle their messages."""
+        if not self._p_drop.any():
+            return
+        drop = np.flatnonzero(self._p_drop)
+        self.dropped += int(drop.size)
+        for mid, cnt in zip(*np.unique(self._p_msg[drop], return_counts=True)):
+            mid = int(mid)
+            self.messages[mid].dropped_packets += int(cnt)
+            self._msg_remaining[mid] -= int(cnt)
+            if self._msg_remaining[mid] == 0:
+                self.messages[mid].finish_step = self.step + 1
+        tel = resolve_telemetry(self.telemetry)
+        if tel.trace.enabled:
+            tel.event("packet.drop", step=self.step, dropped=int(drop.size))
+        keep = ~self._p_drop
+        for name in _STATE_ARRAYS:
+            setattr(self, name, getattr(self, name)[keep])
 
     def _maybe_trace_step(self) -> None:
         """Periodic queue-state event (``trace_every`` steps apart)."""
@@ -343,14 +492,23 @@ class PacketSimulator:
 
     def _advance_served(self, served: np.ndarray) -> None:
         top = self.top
-        link_cls = top.link_class[self._p_link[served]]
+        is_inj = top.link_class[self._p_link[served]] == int(LinkClass.INJECTION)
 
-        # 1. packets leaving their injection link: route them now
-        entering = served[link_cls == int(LinkClass.INJECTION)]
+        # 1. packets leaving their injection link: route them now.  The
+        # chosen row's first link (column 1) is where they queue next,
+        # so they advance no further this step — otherwise the first
+        # router-output queue would be skipped entirely and the hop-1
+        # re-route window could never open.
+        entering = served[is_inj]
         if entering.size:
             self._route(entering)
+            # join the back of the new link's FIFO queue
+            routed = entering[~self._p_drop[entering]]
+            self._p_seq[routed] = np.arange(self._seq, self._seq + routed.size)
+            self._seq += routed.size
+            served = served[~is_inj]
 
-        # 2. all served packets advance one hop along their chosen row
+        # 2. all other served packets advance one hop along their row
         hop = self._p_hop[served] + 1
         rows = self._p_row[served]
         assert (rows >= 0).all(), "served packet without a routed path"
@@ -370,16 +528,7 @@ class PacketSimulator:
         if done.size:
             keep = np.ones(self.n_active, dtype=bool)
             keep[done] = False
-            for name in (
-                "_p_msg",
-                "_p_row",
-                "_p_hop",
-                "_p_link",
-                "_p_seq",
-                "_p_birth",
-                "_p_flits",
-                "_p_wait",
-            ):
+            for name in _STATE_ARRAYS:
                 setattr(self, name, getattr(self, name)[keep])
 
     def _route(self, packets: np.ndarray, *, hops_taken: int = 0, at_hop: int = 1) -> None:
@@ -392,6 +541,7 @@ class PacketSimulator:
         """
         occ = self.occupancy()
         unit = self.config.occupancy_credit_unit
+        dead = self.rate <= 0.0 if self.faults is not None else None
         mids = self._p_msg[packets]
         # score every candidate row of the affected messages
         for mid in np.unique(mids):
@@ -404,12 +554,27 @@ class PacketSimulator:
             validm = self._cand_valid[rows, 1:]
             scores = np.where(validm, occ[np.where(validm, links, 0)], 0.0).sum(axis=1) / unit
             scores = scores + self.config.hop_bias_credits * validm.sum(axis=1)
+            if dead is not None:
+                # a row crossing a dead link can never drain: rule it out
+                row_dead = (validm & dead[np.where(validm, links, 0)]).any(axis=1)
+                if row_dead.all():
+                    # no surviving candidate at all — drop these packets
+                    self._p_drop[packets[mids == mid]] = True
+                    continue
+                scores = np.where(row_dead, np.inf, scores)
             smin = scores[: self._n_min_cand]
             snon = scores[self._n_min_cand:]
             best_min = int(np.argmin(smin))
             best_non = int(np.argmin(snon)) + self._n_min_cand
             mode = self._msg_mode[mid]
-            take_min = bool(minimal_preferred(mode, smin.min(), snon.min(), hops_taken))
+            if not np.isfinite(smin.min()):
+                take_min = False
+            elif not np.isfinite(snon.min()):
+                take_min = True
+            else:
+                take_min = bool(
+                    minimal_preferred(mode, smin.min(), snon.min(), hops_taken)
+                )
             row = start + (best_min if take_min else best_non)
             sel = packets[mids == mid]
             rerouted = self._p_row[sel] >= 0
@@ -460,6 +625,10 @@ class PacketSimulator:
                 m.histogram("packet_run_seconds", "wall time per packet-sim run").observe(
                     wall
                 )
+                if self.dropped:
+                    m.counter(
+                        "packet_drops_total", "packets dropped on dead links"
+                    ).inc(self.dropped)
             tel.event(
                 "packet.run",
                 steps=steps,
@@ -469,6 +638,9 @@ class PacketSimulator:
                 flits=float(self.flits.sum()),
                 stalls=float(self.stalls.sum()),
                 stall_ratio=self.stall_to_flit_ratio(),
+                reroutes=self.reroutes,
+                retries=self.retries,
+                dropped=self.dropped,
                 wall_ms=wall * 1e3,
             )
         return steps

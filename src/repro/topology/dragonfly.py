@@ -30,6 +30,7 @@ cost of a few unused array entries and O(1) id arithmetic in return.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from enum import IntEnum
 
@@ -165,6 +166,11 @@ class DragonflyTopology:
         self.link_src_router = src_router
         self.link_dst_router = dst_router
         self.tiles = TileInventory.aries()
+        #: per-link capacity multiplier of an applied fault view, or
+        #: ``None`` on a pristine topology (see :meth:`with_faults`)
+        self.fault_scale: np.ndarray | None = None
+        #: the unmasked capacities; identical to ``capacity`` when pristine
+        self.base_capacity = cap
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -295,6 +301,42 @@ class DragonflyTopology:
         """Global router index of the gateway in ``group_a`` for the cable."""
         gw_local = self.cable_gateway[group_a, group_b, cable]
         return np.asarray(group_a) * self.routers_per_group + gw_local
+
+    # ------------------------------------------------------------------
+    # degraded operation
+    # ------------------------------------------------------------------
+    @property
+    def has_faults(self) -> bool:
+        """Whether this topology is a fault-masked view."""
+        return self.fault_scale is not None
+
+    def with_faults(self, schedule, *, at_time: float = 0.0) -> "DragonflyTopology":
+        """A capacity-masked view of this topology under ``schedule``.
+
+        Parameters
+        ----------
+        schedule:
+            A :class:`repro.faults.FaultSchedule` (or ``None``).  An
+            empty (or ``None``) schedule returns ``self`` unchanged — a
+            strict no-op, so pristine runs stay byte-identical.
+        at_time:
+            Engine time at which to evaluate the schedule's activity
+            windows; campaign-level (static) views use t=0.
+
+        The view shares every structural array with the original and
+        replaces only ``capacity`` (scaled per link).  Applying faults
+        to an already-masked view composes the multipliers.
+        """
+        if schedule is None or not schedule:
+            return self
+        scale = schedule.capacity_scale(self, at_time=at_time)
+        if scale is None:
+            return self
+        view = copy.copy(self)
+        view.capacity = self.capacity * scale
+        view.fault_scale = scale if self.fault_scale is None else self.fault_scale * scale
+        view.base_capacity = self.base_capacity
+        return view
 
     # ------------------------------------------------------------------
     # summary / sanity

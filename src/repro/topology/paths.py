@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.faults.errors import NetworkPartitionedError
 from repro.topology.dragonfly import DragonflyTopology
 
 #: fixed path width (see module docstring for the column layout)
@@ -202,6 +203,8 @@ def minimal_paths(
         _local_route(top, gw_b, dst_r[idx], ~rank1_first[idx], sub, _COL_LOCAL_B)
         links[idx] = sub
 
+    if top.fault_scale is not None:
+        links = _repair_faulted(top, links, flow, src, dst, rng, prefer_minimal=True)
     return PathBundle(links=links, flow=flow, kind="minimal")
 
 
@@ -297,4 +300,228 @@ def valiant_paths(
         _local_route(top, gw2_b, dst_r[idx], rank1_first[idx], sub, _COL_LOCAL_C)
         links[idx] = sub
 
+    if top.fault_scale is not None:
+        links = _repair_faulted(top, links, flow, src, dst, rng, prefer_minimal=False)
     return PathBundle(links=links, flow=flow, kind="nonminimal")
+
+
+# ----------------------------------------------------------------------
+# fault-aware repair (only reached on a fault-masked topology view)
+# ----------------------------------------------------------------------
+
+def _scalar_local(
+    top: DragonflyTopology,
+    r_a: int,
+    r_b: int,
+    dead: np.ndarray,
+    rng: np.random.Generator,
+) -> list[int] | None:
+    """An alive intra-group route of at most 2 hops, or ``None``.
+
+    Tries the direct link / both two-hop dimension orders first, then
+    same-dimension detours through a third slot or chassis.  Routes of
+    3+ local hops do not fit the fixed path layout and are treated as
+    unreachable (the surviving-gateway search above compensates).
+    """
+    if r_a == r_b:
+        return []
+    g = int(top.router_group(r_a))
+    c1, s1 = int(top.router_chassis(r_a)), int(top.router_slot(r_a))
+    c2, s2 = int(top.router_chassis(r_b)), int(top.router_slot(r_b))
+    R = top.params.routers_per_chassis
+    C = top.params.chassis_per_group
+    if c1 == c2:
+        direct = int(top.rank1_link(g, c1, s1, s2))
+        if not dead[direct]:
+            return [direct]
+        for k in rng.permutation(R):
+            k = int(k)
+            if k == s1 or k == s2:
+                continue
+            l1 = int(top.rank1_link(g, c1, s1, k))
+            l2 = int(top.rank1_link(g, c1, k, s2))
+            if not dead[l1] and not dead[l2]:
+                return [l1, l2]
+        return None
+    if s1 == s2:
+        direct = int(top.rank2_link(g, s1, c1, c2))
+        if not dead[direct]:
+            return [direct]
+        for m in rng.permutation(C):
+            m = int(m)
+            if m == c1 or m == c2:
+                continue
+            l1 = int(top.rank2_link(g, s1, c1, m))
+            l2 = int(top.rank2_link(g, s1, m, c2))
+            if not dead[l1] and not dead[l2]:
+                return [l1, l2]
+        return None
+    orders = [
+        (int(top.rank1_link(g, c1, s1, s2)), int(top.rank2_link(g, s2, c1, c2))),
+        (int(top.rank2_link(g, s1, c1, c2)), int(top.rank1_link(g, c2, s1, s2))),
+    ]
+    if rng.integers(0, 2):
+        orders.reverse()
+    for l1, l2 in orders:
+        if not dead[l1] and not dead[l2]:
+            return [l1, l2]
+    return None
+
+
+def _place(row: list[int], col0: int, legs: list[int]) -> None:
+    for off, link in enumerate(legs):
+        row[col0 + off] = link
+
+
+def _scalar_route(
+    top: DragonflyTopology,
+    s_node: int,
+    d_node: int,
+    dead: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    prefer_minimal: bool,
+    max_detour_groups: int = 8,
+    max_detour_cables: int = 4,
+) -> list[int] | None:
+    """Rebuild one candidate sub-path around dead links.
+
+    Returns a ``MAX_HOPS`` row or ``None`` when the bounded search finds
+    no surviving route.  Raises :class:`NetworkPartitionedError`
+    immediately when an endpoint's own NIC link is dead (its router is
+    down): no route can exist.
+    """
+    inj = int(top.injection_link(s_node))
+    eje = int(top.ejection_link(d_node))
+    if dead[inj] or dead[eje]:
+        downed = s_node if dead[inj] else d_node
+        raise NetworkPartitionedError(
+            f"node {downed} sits on a dead router/NIC; "
+            f"flow {s_node}->{d_node} cannot be routed"
+        )
+    src_r = int(top.node_router(s_node))
+    dst_r = int(top.node_router(d_node))
+    g_s = src_r // top.routers_per_group
+    g_d = dst_r // top.routers_per_group
+    G, K = top.n_groups, top.params.cables_per_group_pair
+    row = [-1] * MAX_HOPS
+    row[_COL_INJ] = inj
+    row[_COL_EJE] = eje
+
+    if g_s == g_d:
+        legs = _scalar_local(top, src_r, dst_r, dead, rng)
+        if legs is not None:
+            _place(row, _COL_LOCAL_A, legs)
+            return row
+        Rg = top.routers_per_group
+        for v in rng.permutation(Rg)[: max(8, Rg // 4)]:
+            via = g_s * Rg + int(v)
+            if via == src_r or via == dst_r:
+                continue
+            a = _scalar_local(top, src_r, via, dead, rng)
+            b = _scalar_local(top, via, dst_r, dead, rng)
+            if a is not None and b is not None:
+                _place(row, _COL_LOCAL_A, a)
+                _place(row, _COL_LOCAL_B, b)
+                return row
+        return None
+
+    def _direct() -> list[int] | None:
+        for c in rng.permutation(K):
+            c = int(c)
+            l3 = int(top.rank3_link(g_s, g_d, c))
+            if dead[l3]:
+                continue
+            gw_a = int(top.gateway_router(g_s, g_d, c))
+            gw_b = int(top.gateway_router(g_d, g_s, c))
+            a = _scalar_local(top, src_r, gw_a, dead, rng)
+            b = _scalar_local(top, gw_b, dst_r, dead, rng)
+            if a is not None and b is not None:
+                out = list(row)
+                _place(out, _COL_LOCAL_A, a)
+                out[_COL_GLOBAL_1] = l3
+                _place(out, _COL_LOCAL_B, b)
+                return out
+        return None
+
+    def _detour() -> list[int] | None:
+        others = [g for g in range(G) if g != g_s and g != g_d]
+        if not others:
+            return None
+        for oi in rng.permutation(len(others))[:max_detour_groups]:
+            g_int = others[int(oi)]
+            for c1 in rng.permutation(K)[:max_detour_cables]:
+                c1 = int(c1)
+                l3a = int(top.rank3_link(g_s, g_int, c1))
+                if dead[l3a]:
+                    continue
+                gw1_a = int(top.gateway_router(g_s, g_int, c1))
+                gw1_b = int(top.gateway_router(g_int, g_s, c1))
+                a = _scalar_local(top, src_r, gw1_a, dead, rng)
+                if a is None:
+                    continue
+                for c2 in rng.permutation(K)[:max_detour_cables]:
+                    c2 = int(c2)
+                    l3b = int(top.rank3_link(g_int, g_d, c2))
+                    if dead[l3b]:
+                        continue
+                    gw2_a = int(top.gateway_router(g_int, g_d, c2))
+                    gw2_b = int(top.gateway_router(g_d, g_int, c2))
+                    b = _scalar_local(top, gw1_b, gw2_a, dead, rng)
+                    tail = _scalar_local(top, gw2_b, dst_r, dead, rng)
+                    if b is not None and tail is not None:
+                        out = list(row)
+                        _place(out, _COL_LOCAL_A, a)
+                        out[_COL_GLOBAL_1] = l3a
+                        _place(out, _COL_LOCAL_B, b)
+                        out[_COL_GLOBAL_2] = l3b
+                        _place(out, _COL_LOCAL_C, tail)
+                        return out
+        return None
+
+    first, second = (_direct, _detour) if prefer_minimal else (_detour, _direct)
+    return first() or second()
+
+
+def _repair_faulted(
+    top: DragonflyTopology,
+    links: np.ndarray,
+    flow: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    prefer_minimal: bool,
+) -> np.ndarray:
+    """Replace sub-paths that traverse zero-capacity links.
+
+    Rows whose links all survive are left untouched (and consume no
+    extra RNG draws), so a fault that spares a flow cannot perturb it.
+    Broken rows are rebuilt by the scalar fallback search; rows the
+    search cannot rebuild are replaced with a duplicate of a surviving
+    row of the same flow.  A flow left with no surviving row raises
+    :class:`NetworkPartitionedError` — the fabric is partitioned for
+    that flow.
+    """
+    dead = top.capacity <= 0.0
+    used = links >= 0
+    broken = (used & dead[np.where(used, links, 0)]).any(axis=1)
+    if not broken.any():
+        return links
+    alive_row = ~broken
+    for i in np.flatnonzero(broken):
+        row = _scalar_route(
+            top, int(src[i]), int(dst[i]), dead, rng, prefer_minimal=prefer_minimal
+        )
+        if row is not None:
+            links[i] = row
+            alive_row[i] = True
+    for i in np.flatnonzero(~alive_row):
+        same = np.flatnonzero((flow == flow[i]) & alive_row)
+        if same.size == 0:
+            raise NetworkPartitionedError(
+                f"flow {int(src[i])}->{int(dst[i])} has no surviving path "
+                f"(all candidates and detours traverse dead links)"
+            )
+        links[i] = links[same[0]]
+    return links

@@ -41,9 +41,15 @@ class TestCommands:
         assert main(["describe", "--system", "slingshot"]) == 0
         assert "slingshot" in capsys.readouterr().out
 
-    def test_unknown_system(self):
-        with pytest.raises(SystemExit, match="unknown system"):
-            main(["describe", "--system", "summit"])
+    def test_unknown_system(self, capsys):
+        # config errors exit 2 with a one-line message, not a traceback
+        assert main(["describe", "--system", "summit"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown system" in err and "\n" == err[-1]
+
+    def test_bad_fault_spec(self, capsys):
+        assert main(["compare", "--faults", "bogus:1", "--samples", "1"]) == 2
+        assert "unknown fault spec" in capsys.readouterr().err
 
     def test_compare_small(self, capsys):
         rc = main(

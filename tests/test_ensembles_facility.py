@@ -50,6 +50,16 @@ class TestEnsembles:
         assert (r.job_runtimes > 0).all()
         assert r.makespan == r.job_runtimes.max()
 
+    def test_empty_makespan_is_zero(self, small_ensembles):
+        # degenerate zero-job result (e.g. every job filtered out) must
+        # not crash .max() on an empty array
+        import dataclasses
+
+        _, ens = small_ensembles
+        r = ens["AD0"]
+        empty = dataclasses.replace(r, job_runtimes=np.array([]), job_nodes=[], job_timings=[])
+        assert empty.makespan == 0.0
+
     def test_counters_populated(self, small_ensembles):
         _, ens = small_ensembles
         snap = ens["AD0"].bank.snapshot()

@@ -1,0 +1,373 @@
+"""Tests for the fault-injection subsystem (``repro.faults``).
+
+Covers the acceptance criteria of the robustness milestone: strict
+no-op empty schedules, fault-avoiding path construction, partition
+detection at the path layer, load shift onto surviving cables, fluid
+safety on degraded capacities, per-run failure isolation, and JSONL
+checkpoint/resume identity.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.experiment as experiment
+from repro.apps import LatencyBound
+from repro.core import checkpoint as ckpt
+from repro.core.biases import AD0, AD3
+from repro.core.experiment import CampaignConfig, campaign_fingerprint, run_campaign
+from repro.faults import NO_FAULTS, FaultSchedule, FaultSpec, NetworkPartitionedError
+from repro.network.fluid import FlowSet, solve_fluid
+from repro.network.packet_sim import InjectionSpec, PacketSimConfig, PacketSimulator
+from repro.topology.paths import minimal_paths, valiant_paths
+
+
+class TestFaultModel:
+    def test_empty_schedule_is_falsy_and_scale_free(self, mini_top):
+        assert not NO_FAULTS
+        assert len(NO_FAULTS) == 0
+        assert NO_FAULTS.capacity_scale(mini_top, at_time=0.0) is None
+
+    def test_dead_cable_kills_both_directions(self, mini_top):
+        sched = FaultSchedule(specs=(FaultSpec.dead_cable(0, 1, 2),))
+        scale = sched.capacity_scale(mini_top, at_time=0.0)
+        assert scale[mini_top.rank3_link(0, 1, 2)] == 0.0
+        assert scale[mini_top.rank3_link(1, 0, 2)] == 0.0
+        # everything else untouched
+        assert (np.delete(scale, [mini_top.rank3_link(0, 1, 2),
+                                  mini_top.rank3_link(1, 0, 2)]) == 1.0).all()
+
+    def test_degraded_cable_uses_lane_geometry(self, mini_top):
+        # mini has 3 lanes/cable: losing one leaves 2/3 of the capacity
+        sched = FaultSchedule(specs=(FaultSpec.degraded_cable(0, 1, 0, lanes_lost=1),))
+        scale = sched.capacity_scale(mini_top, at_time=0.0)
+        assert scale[mini_top.rank3_link(0, 1, 0)] == pytest.approx(2.0 / 3.0)
+
+    def test_composition_is_multiplicative(self, mini_top):
+        link = int(mini_top.rank3_link(0, 1, 0))
+        sched = FaultSchedule(
+            specs=(
+                FaultSpec.degraded_links([link], 0.5),
+                FaultSpec.degraded_links([link], 0.5),
+            )
+        )
+        scale = sched.capacity_scale(mini_top, at_time=0.0)
+        assert scale[link] == pytest.approx(0.25)
+
+    def test_timed_window(self, mini_top):
+        sched = FaultSchedule(
+            specs=(FaultSpec.dead_cable(0, 1, 0, start=10.0, end=20.0),)
+        )
+        assert sched.capacity_scale(mini_top, at_time=0.0) is None
+        assert sched.capacity_scale(mini_top, at_time=15.0) is not None
+        assert sched.capacity_scale(mini_top, at_time=25.0) is None
+        assert sched.change_times() == [10.0, 20.0]
+
+    def test_random_failures_deterministic_from_seed(self, mini_top):
+        a = FaultSchedule.parse("rank3:0.25", seed=7).capacity_scale(mini_top, at_time=0.0)
+        b = FaultSchedule.parse("rank3:0.25", seed=7).capacity_scale(mini_top, at_time=0.0)
+        c = FaultSchedule.parse("rank3:0.25", seed=8).capacity_scale(mini_top, at_time=0.0)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_parse_grammar(self, mini_top):
+        sched = FaultSchedule.parse("cable:0-1:2;link:5*0.5;router:3@10,20", seed=1)
+        assert len(sched) == 3
+        scale = sched.capacity_scale(mini_top, at_time=0.0)
+        assert scale[mini_top.rank3_link(0, 1, 2)] == 0.0
+        assert scale[5] == pytest.approx(0.5)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unknown fault spec"):
+            FaultSchedule.parse("bogus:1")
+
+
+class TestWithFaults:
+    def test_empty_schedule_returns_self(self, mini_top):
+        assert mini_top.with_faults(NO_FAULTS) is mini_top
+        assert mini_top.with_faults(None) is mini_top
+        assert mini_top.with_faults(FaultSchedule()) is mini_top
+
+    def test_view_masks_capacity_without_mutating_base(self, mini_top):
+        sched = FaultSchedule(specs=(FaultSpec.dead_cable(0, 1, 0),))
+        view = mini_top.with_faults(sched)
+        assert view is not mini_top
+        assert view.has_faults and not mini_top.has_faults
+        dead = mini_top.rank3_link(0, 1, 0)
+        assert view.capacity[dead] == 0.0
+        assert mini_top.capacity[dead] > 0.0
+        np.testing.assert_array_equal(view.base_capacity, mini_top.capacity)
+
+
+class TestFaultAwarePaths:
+    def test_paths_avoid_dead_links(self, mini_top):
+        sched = FaultSchedule.parse("cable:0-1:0;cable:0-1:1", seed=3)
+        view = mini_top.with_faults(sched)
+        rng = np.random.default_rng(0)
+        src = np.arange(0, 8)
+        dst = src + 40  # group 0 -> group 1 on mini
+        for builder in (minimal_paths, valiant_paths):
+            bundle = builder(view, src, dst, k=4, rng=rng)
+            used = bundle.links[bundle.links >= 0]
+            assert (view.capacity[used] > 0.0).all()
+
+    def test_partition_raises_typed_error(self, toy_top):
+        # toy has exactly 2 groups: cutting every 0-1 cable partitions it
+        K = toy_top.params.cables_per_group_pair
+        sched = FaultSchedule(
+            specs=tuple(FaultSpec.dead_cable(0, 1, c) for c in range(K))
+        )
+        view = toy_top.with_faults(sched)
+        src = np.array([0])
+        dst = np.array([toy_top.n_nodes - 1])  # other group
+        with pytest.raises(NetworkPartitionedError):
+            minimal_paths(view, src, dst, k=2, rng=np.random.default_rng(0))
+
+    def test_intra_group_paths_survive_partition(self, toy_top):
+        # the cut only separates the groups; local traffic still routes
+        K = toy_top.params.cables_per_group_pair
+        sched = FaultSchedule(
+            specs=tuple(FaultSpec.dead_cable(0, 1, c) for c in range(K))
+        )
+        view = toy_top.with_faults(sched)
+        bundle = minimal_paths(
+            view, np.array([0]), np.array([5]), k=2, rng=np.random.default_rng(0)
+        )
+        used = bundle.links[bundle.links >= 0]
+        assert (view.capacity[used] > 0.0).all()
+
+
+class TestLoadShift:
+    def cross_group_sim(self, top, faults):
+        sim = PacketSimulator(
+            top,
+            PacketSimConfig(reroute_patience=4),
+            rng=np.random.default_rng(11),
+            faults=faults,
+        )
+        N = top.n_nodes
+        for s in range(8):
+            sim.add_message(
+                InjectionSpec(src=s, dst=(s + N // 2) % N, nbytes=64 * 400, mode=AD0)
+            )
+        sim.run()
+        return sim
+
+    def test_surviving_cable_absorbs_the_load(self, toy_top):
+        # toy has 2 cables between its two groups; killing cable 0 must
+        # push the flits it would have carried onto cable 1 (the paper's
+        # degraded-operation premise), visible at the counter level
+        pristine = self.cross_group_sim(toy_top, None)
+        faulted = self.cross_group_sim(
+            toy_top, FaultSchedule(specs=(FaultSpec.dead_cable(0, 1, 0),), seed=2)
+        )
+        assert all(m.delivered for m in faulted.messages)
+        dead_links = [toy_top.rank3_link(0, 1, 0), toy_top.rank3_link(1, 0, 0)]
+        live_links = [toy_top.rank3_link(0, 1, 1), toy_top.rank3_link(1, 0, 1)]
+        assert sum(faulted.flits[link] for link in dead_links) == 0.0
+        live_flits = sum(faulted.flits[link] for link in live_links)
+        live_flits_pristine = sum(pristine.flits[link] for link in live_links)
+        assert live_flits > live_flits_pristine
+        # total rank-3 traffic is conserved, not dropped
+        total_pristine = sum(
+            pristine.flits[link] for link in dead_links + live_links
+        )
+        assert live_flits == pytest.approx(total_pristine, rel=0.35)
+
+
+class TestFluidDegraded:
+    def cross_flows(self, top):
+        src = np.arange(0, 12)
+        dst = src + top.n_nodes // 2
+        nbytes = np.full(src.size, 1 << 20, dtype=np.float64)
+        return FlowSet(src, dst, nbytes, np.zeros(src.size, dtype=np.int64))
+
+    def test_finite_on_dead_and_degraded_caps(self, mini_top):
+        sched = FaultSchedule.parse("cable:0-2:0;cable:0-2:1*0.25", seed=5)
+        view = mini_top.with_faults(sched)
+        res = solve_fluid(
+            view, self.cross_flows(mini_top), [AD0], rng=np.random.default_rng(0)
+        )
+        assert np.isfinite(res.phase_time) and res.phase_time > 0
+        assert np.isfinite(res.flow_time).all()
+        assert np.isfinite(res.link_load).all()
+
+    def test_dead_links_carry_no_load(self, mini_top):
+        sched = FaultSchedule(specs=(FaultSpec.dead_cable(0, 2, 0),), seed=5)
+        view = mini_top.with_faults(sched)
+        res = solve_fluid(
+            view, self.cross_flows(mini_top), [AD0], rng=np.random.default_rng(0)
+        )
+        for link in (mini_top.rank3_link(0, 2, 0), mini_top.rank3_link(2, 0, 0)):
+            assert res.link_load[link] == 0.0
+
+
+def small_campaign(faults=None, *, samples=3, max_attempts=1, placement="dispersed"):
+    return CampaignConfig(
+        app=LatencyBound(),
+        n_nodes=48,
+        modes=(AD0, AD3),
+        samples=samples,
+        placement=placement,
+        background="isolated",
+        seed=77,
+        faults=faults,
+        max_attempts=max_attempts,
+    )
+
+
+class TestCampaignRobustness:
+    def test_empty_schedule_is_byte_identical(self, mini_top):
+        # the regression the tentpole hinges on: an empty FaultSchedule
+        # must not perturb a single RNG draw anywhere in the stack
+        base = run_campaign(mini_top, small_campaign(None))
+        empty = run_campaign(mini_top, small_campaign(FaultSchedule()))
+        assert [ckpt.record_to_dict(r) for r in base] == [
+            ckpt.record_to_dict(r) for r in empty
+        ]
+
+    def test_faults_change_results(self, mini_top):
+        base = run_campaign(mini_top, small_campaign(None))
+        hurt = run_campaign(
+            mini_top,
+            small_campaign(FaultSchedule.parse("cable:0-1:0;cable:0-1:1", seed=1)),
+        )
+        assert any(
+            b.runtime != h.runtime for b, h in zip(base, hurt)
+        )
+        assert all(h.ok for h in hurt)
+
+    def test_partition_isolated_into_error_records(self, mini_top):
+        # cut every cable out of group 0: runs placed there cannot route,
+        # but the campaign must finish and report them as error records
+        K = mini_top.params.cables_per_group_pair
+        specs = tuple(
+            FaultSpec.dead_cable(0, g, c)
+            for g in range(1, mini_top.n_groups)
+            for c in range(K)
+        )
+        recs = run_campaign(
+            mini_top, small_campaign(FaultSchedule(specs=specs), samples=2)
+        )
+        assert len(recs) == 4  # nothing aborted the sweep
+        failed = [r for r in recs if not r.ok]
+        assert failed, "dispersed jobs must have crossed the cut"
+        for r in failed:
+            assert r.status == "error"
+            assert np.isnan(r.runtime)
+            assert "partition" in r.error.lower()
+
+    def test_single_failing_run_does_not_abort(self, mini_top, monkeypatch):
+        real = experiment.run_app_once
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("injected transient failure")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(experiment, "run_app_once", flaky)
+        recs = run_campaign(mini_top, small_campaign(None, samples=2))
+        assert len(recs) == 4
+        bad = [r for r in recs if not r.ok]
+        assert len(bad) == 1
+        assert "injected transient failure" in bad[0].error
+        assert all(np.isfinite(r.runtime) for r in recs if r.ok)
+
+    def test_transient_failure_retried(self, mini_top, monkeypatch):
+        real = experiment.run_app_once
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("boom once")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(experiment, "run_app_once", flaky)
+        recs = run_campaign(mini_top, small_campaign(None, samples=1, max_attempts=2))
+        assert all(r.ok for r in recs)
+        assert recs[0].attempts == 2
+
+    def test_failed_runs_excluded_from_stats(self, mini_top, monkeypatch):
+        real = experiment.run_app_once
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("boom")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(experiment, "run_app_once", flaky)
+        recs = run_campaign(mini_top, small_campaign(None, samples=2))
+        by_mode = experiment.runtimes_by_mode(recs)
+        assert all(np.isfinite(v).all() for v in by_mode.values())
+        assert sum(v.size for v in by_mode.values()) == 3
+
+
+class TestCheckpointResume:
+    def test_resume_after_truncation_is_identical(self, mini_top, tmp_path, monkeypatch):
+        # the headline crash-tolerance criterion: kill a campaign
+        # mid-sweep (simulated by truncating its checkpoint mid-line),
+        # resume, and get records identical to an uninterrupted run
+        path = tmp_path / "ck.jsonl"
+        cfg = small_campaign(None)
+        full = run_campaign(mini_top, cfg, checkpoint_path=str(path))
+        blob = path.read_bytes()
+        lines = blob.splitlines(keepends=True)
+        assert len(lines) == 1 + len(full)
+        # keep header + 3 records + half of the 4th (crash mid-append)
+        path.write_bytes(b"".join(lines[:4]) + lines[4][: len(lines[4]) // 2])
+
+        real = experiment.run_app_once
+        calls = {"n": 0}
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(experiment, "run_app_once", counting)
+        resumed = run_campaign(mini_top, cfg, checkpoint_path=str(path), resume=True)
+        assert [ckpt.record_to_dict(r) for r in resumed] == [
+            ckpt.record_to_dict(r) for r in full
+        ]
+        # only the lost runs were re-executed
+        assert calls["n"] == len(full) - 3
+
+    def test_double_resume_from_clean_file(self, mini_top, tmp_path):
+        # resuming rewrites the file cleanly, so a second resume works
+        path = tmp_path / "ck.jsonl"
+        cfg = small_campaign(None, samples=2)
+        full = run_campaign(mini_top, cfg, checkpoint_path=str(path))
+        again = run_campaign(mini_top, cfg, checkpoint_path=str(path), resume=True)
+        once_more = run_campaign(mini_top, cfg, checkpoint_path=str(path), resume=True)
+        assert [ckpt.record_to_dict(r) for r in once_more] == [
+            ckpt.record_to_dict(r) for r in full
+        ]
+        assert [ckpt.record_to_dict(r) for r in again] == [
+            ckpt.record_to_dict(r) for r in full
+        ]
+
+    def test_fingerprint_mismatch_rejected(self, mini_top, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        cfg = small_campaign(None, samples=1)
+        run_campaign(mini_top, cfg, checkpoint_path=str(path))
+        other = small_campaign(None, samples=1)
+        other = CampaignConfig(**{**other.__dict__, "seed": 78})
+        with pytest.raises(ValueError, match="fingerprint|config"):
+            ckpt.load_records(str(path), campaign_fingerprint(mini_top, other))
+
+    def test_record_roundtrip(self, mini_top):
+        recs = run_campaign(mini_top, small_campaign(None, samples=1))
+        for r in recs:
+            d = ckpt.record_to_dict(r)
+            back = ckpt.record_from_dict(d)
+            assert ckpt.record_to_dict(back) == d
+
+    def test_faults_in_fingerprint(self, mini_top):
+        a = campaign_fingerprint(mini_top, small_campaign(None))
+        b = campaign_fingerprint(
+            mini_top, small_campaign(FaultSchedule.parse("cable:0-1:0", seed=1))
+        )
+        assert a != b

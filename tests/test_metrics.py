@@ -132,3 +132,20 @@ class TestSampleStats:
     def test_empty(self):
         s = SampleStats.from_values(np.array([]))
         assert np.isnan(s.mean) and s.n == 0
+        assert not s.reliable
+
+    def test_failed_runs_filtered(self):
+        # NaN runtimes (error-status records) must not poison the stats
+        s = SampleStats.from_values(np.array([10.0, np.nan, 12.0, np.inf]))
+        assert s.mean == pytest.approx(11.0)
+        assert s.n == 2
+
+    def test_all_nan_is_unreliable_not_crash(self):
+        s = SampleStats.from_values(np.full(5, np.nan))
+        assert s.n == 0 and not s.reliable
+
+    def test_reliable_needs_min_samples(self):
+        few = SampleStats.from_values(np.array([1.0, 2.0, 3.0]))
+        enough = SampleStats.from_values(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert not few.reliable
+        assert enough.reliable

@@ -3,6 +3,7 @@
 import numpy as np
 
 from repro.core.biases import AD0, AD1, AD3
+from repro.faults import FaultSchedule, FaultSpec
 from repro.network.packet_sim import InjectionSpec, PacketSimConfig, PacketSimulator
 
 
@@ -77,3 +78,100 @@ class TestReroute:
         nb = sum(m.nonmin_packets for m in b.messages)
         total = sum(m.n_packets for m in a.messages)
         assert na / total < 0.1 and nb / total < 0.1
+
+    def test_zero_patience_actually_disables_rerouting(self, toy_top):
+        # not just determinism: with patience=0 the adaptive decision
+        # must never re-run, while the same traffic with patience>0 does
+        off = incast_sim(toy_top, AD0, patience=0)
+        on = incast_sim(toy_top, AD0, patience=1)
+        assert off.reroutes == 0
+        assert on.reroutes > 0
+
+
+def fault_sim(top, faults, *, patience=4, n_src=6, nbytes=64 * 500, seed=3):
+    cfg = PacketSimConfig(reroute_patience=patience)
+    sim = PacketSimulator(top, cfg, rng=np.random.default_rng(seed), faults=faults)
+    N = top.n_nodes
+    for s in range(n_src):
+        sim.add_message(InjectionSpec(src=s, dst=(s + N // 2) % N, nbytes=nbytes, mode=AD0))
+    sim.run()
+    return sim
+
+
+class TestFaultReroute:
+    def test_midrun_link_death_retries_and_drains(self, toy_top):
+        # a cable dying mid-run strands in-flight packets; they must be
+        # retransmitted around the dead link and the sim must still drain
+        cfg = PacketSimConfig(reroute_patience=4)
+        t_fault = 20 * cfg.step_time
+        faults = FaultSchedule(
+            specs=(FaultSpec.dead_cable(0, 1, 0, start=t_fault),), seed=5
+        )
+        sim = fault_sim(toy_top, faults)
+        assert all(m.delivered for m in sim.messages)
+        assert sim.retries > 0
+        assert sim.dropped == 0
+        # no served traffic on the dead pair after it died: the dead
+        # links' flit counters stop growing (checked via final rate mask)
+        dead = sim.rate <= 0.0
+        assert dead.any()
+
+    def test_static_fault_routes_around(self, toy_top):
+        # fault active from t=0: initial paths avoid it, nothing retries
+        faults = FaultSchedule(specs=(FaultSpec.dead_cable(0, 1, 0),), seed=5)
+        sim = fault_sim(toy_top, faults)
+        assert all(m.delivered for m in sim.messages)
+        assert sim.retries == 0 and sim.dropped == 0
+
+    def test_partition_drops_bounded_and_finishes(self, toy_top):
+        # killing every cable mid-run partitions toy's two groups: cross
+        # packets are dropped after bounded retries and every message
+        # still finishes (with drops recorded) instead of livelocking
+        cfg = PacketSimConfig(reroute_patience=4)
+        t_fault = 20 * cfg.step_time
+        K = toy_top.params.cables_per_group_pair
+        faults = FaultSchedule(
+            specs=tuple(FaultSpec.dead_cable(0, 1, c, start=t_fault) for c in range(K)),
+            seed=5,
+        )
+        sim = fault_sim(toy_top, faults)
+        assert all(m.done for m in sim.messages)
+        assert sim.dropped > 0
+        assert any(m.dropped_packets > 0 for m in sim.messages)
+        assert not any(m.delivered for m in sim.messages if m.dropped_packets)
+
+    def test_recovery_restores_delivery(self, toy_top):
+        cfg = PacketSimConfig(reroute_patience=4)
+        t = 20 * cfg.step_time
+        faults = FaultSchedule(
+            specs=(FaultSpec.dead_cable(0, 1, 0, start=t, end=3 * t),), seed=9
+        )
+        sim = fault_sim(toy_top, faults)
+        assert all(m.delivered for m in sim.messages)
+        # after recovery no link is dead anymore
+        assert (sim.rate[toy_top.capacity > 0] > 0).all()
+
+    def test_dead_retry_works_with_zero_patience(self, toy_top):
+        # survivability retries are independent of adaptive re-routing
+        cfg = PacketSimConfig(reroute_patience=0)
+        t_fault = 20 * cfg.step_time
+        faults = FaultSchedule(
+            specs=(FaultSpec.dead_cable(0, 1, 0, start=t_fault),), seed=5
+        )
+        sim = PacketSimulator(
+            toy_top, cfg, rng=np.random.default_rng(3), faults=faults
+        )
+        N = toy_top.n_nodes
+        for s in range(6):
+            sim.add_message(
+                InjectionSpec(src=s, dst=(s + N // 2) % N, nbytes=64 * 500, mode=AD0)
+            )
+        sim.run()
+        assert sim.reroutes == 0
+        assert all(m.done for m in sim.messages)
+
+    def test_empty_schedule_is_noop(self, toy_top):
+        a = fault_sim(toy_top, None)
+        b = fault_sim(toy_top, FaultSchedule())
+        np.testing.assert_array_equal(a.packet_latencies(), b.packet_latencies())
+        assert b.faults is None
