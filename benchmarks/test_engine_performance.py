@@ -7,13 +7,18 @@ and a full application run.  Regressions here directly multiply every
 campaign's wall-clock.
 """
 
+import json
+import os
+import time
+
 import numpy as np
 import pytest
 
-from _harness import theta_top
+from _harness import RESULTS_DIR, SEED, background_pool, n_samples, theta_top
 from repro.apps import MILC
-from repro.core.biases import AD0
-from repro.core.experiment import run_app_once
+from repro.core.biases import AD0, AD1, AD2, AD3
+from repro.core.checkpoint import record_to_dict
+from repro.core.experiment import CampaignConfig, run_app_once, run_campaign
 from repro.mpi.env import RoutingEnv
 from repro.network.fluid import FlowSet, FluidParams, solve_fluid
 from repro.network.packet_sim import InjectionSpec, PacketSimulator
@@ -97,3 +102,67 @@ def test_perf_full_milc_run(benchmark):
 
     rt = benchmark(run)
     assert rt > 0
+
+
+def _usable_cpus() -> int:
+    # cpu_count() reports the machine; sched_getaffinity respects the
+    # cpuset/affinity mask containers actually grant us
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_perf_parallel_campaign_speedup():
+    """Paper-scale routing-mode sweep: 4 workers vs serial.
+
+    Times the same theta/MILC campaign under ``jobs=1`` and ``jobs=4``,
+    checks the records are identical (the parallel dispatcher's core
+    contract), and records the measured speedup into
+    ``benchmarks/results/parallel_speedup.json``.  The >=2x floor is
+    asserted only where four cores are actually schedulable.  Timed by
+    hand rather than through the ``benchmark`` fixture: one round is
+    ~20 s of solver work, and the serial/parallel pair must share a
+    process so the fork-inherited context sees identical pre-built
+    scenarios.
+    """
+    top = theta_top()
+    bm, scenarios = background_pool("theta")
+    cfg = CampaignConfig(
+        app=MILC(),
+        n_nodes=256,
+        modes=(AD0, AD1, AD2, AD3),
+        samples=n_samples(24),
+        seed=SEED,
+    )
+    common = dict(background_model=bm, scenarios=scenarios)
+
+    t0 = time.perf_counter()
+    serial = run_campaign(top, cfg, jobs=1, **common)
+    t1 = time.perf_counter()
+    parallel = run_campaign(top, cfg, jobs=4, **common)
+    t2 = time.perf_counter()
+
+    assert [record_to_dict(r) for r in parallel] == [
+        record_to_dict(r) for r in serial
+    ]
+
+    serial_s, parallel_s = t1 - t0, t2 - t1
+    speedup = serial_s / parallel_s
+    payload = {
+        "runs": len(serial),
+        "jobs": 4,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "usable_cpus": _usable_cpus(),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "parallel_speedup.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print(f"\nserial {serial_s:.1f}s  4 workers {parallel_s:.1f}s  "
+          f"speedup {speedup:.2f}x over {len(serial)} runs "
+          f"({payload['usable_cpus']} usable cpus)")
+    if payload["usable_cpus"] >= 4:
+        assert speedup >= 2.0, payload

@@ -4,7 +4,7 @@ Usage (``python -m repro <command>``)::
 
     python -m repro describe --system theta
     python -m repro compare  --app milc --nodes 256 --samples 8
-    python -m repro sweep    --app milc --samples 6
+    python -m repro sweep    --app milc --samples 6 --jobs 4
     python -m repro advise   --app hacc
     python -m repro facility --intervals 12
     python -m repro ensemble --app milc --jobs 8 --nodes 512 --mode AD3
@@ -39,8 +39,14 @@ from repro.apps import app_by_name
 from repro.core.advisor import recommend
 from repro.core.analysis import improvement_table
 from repro.core.biases import VENDOR_MODES, mode_by_name
-from repro.core.ensembles import EnsembleConfig, run_ensemble
-from repro.core.experiment import CampaignConfig, run_app_once, run_campaign, stats_by_mode
+from repro.core.ensembles import EnsembleConfig
+from repro.core.experiment import (
+    CampaignConfig,
+    _effective_jobs,
+    run_app_once,
+    run_campaign,
+    stats_by_mode,
+)
 from repro.core.facility import run_default_change_study
 from repro.core.metrics import LATENCY_PERCENTILES
 from repro.faults import FaultSchedule, NetworkPartitionedError
@@ -109,6 +115,7 @@ def cmd_compare(args) -> int:
         ),
         checkpoint_path=args.checkpoint,
         resume=args.resume,
+        jobs=args.jobs,
     )
     failed = [r for r in records if not r.ok]
     if failed:
@@ -179,7 +186,14 @@ def cmd_calibrate(args) -> int:
     if args.param:
         values = [float(v) for v in args.values.split(",")]
         print(f"sweeping {args.param} over {values} ...")
-        out = sweep_parameter(top, args.param, values, samples=args.samples, seed=args.seed)
+        out = sweep_parameter(
+            top,
+            args.param,
+            values,
+            samples=args.samples,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
         for v, obs in out.items():
             print(
                 f"  {args.param}={v:g}: milc_imp {obs['milc_improvement_pct']:+.1f}%  "
@@ -188,50 +202,12 @@ def cmd_calibrate(args) -> int:
             )
     else:
         print("scoring the shipped constants against the paper anchors ...")
-        obs = probe_observables(top, samples=args.samples, seed=args.seed)
+        obs = probe_observables(top, samples=args.samples, seed=args.seed, jobs=args.jobs)
         print(format_score(score_against_paper(obs)))
     return 0
 
 
-def cmd_ensemble(args) -> int:
-    top = _system(args.system)
-    app = app_by_name(args.app)()
-    mode = mode_by_name(args.mode)
-    faults = _faults_from_args(args)
-    fingerprint = {
-        "kind": "ensemble",
-        "system": args.system,
-        "app": app.name,
-        "jobs": args.jobs,
-        "nodes": args.nodes,
-        "mode": mode.name,
-        "placement": args.placement,
-        "seed": args.seed,
-        "faults": faults.describe() if faults else "",
-    }
-    ck = Path(args.checkpoint) if args.checkpoint else None
-    if ck is not None and args.resume and ck.exists():
-        saved = json.loads(ck.read_text())
-        if saved.get("config") != fingerprint:
-            raise ValueError(
-                f"checkpoint {ck} was written by a different ensemble config"
-            )
-        print(f"(resumed from {ck})")
-        for line in saved["output"]:
-            print(line)
-        return 0
-    res = run_ensemble(
-        top,
-        EnsembleConfig(
-            app=app,
-            n_jobs=args.jobs,
-            n_nodes=args.nodes,
-            mode=mode,
-            placement=args.placement,
-            seed=args.seed,
-            faults=faults,
-        ),
-    )
+def _ensemble_lines(args, app, mode, faults, res) -> list[str]:
     snap = res.bank.snapshot()
     lines = [f"{args.jobs} x {args.nodes}-node {app.name} jobs under {mode.name}:"]
     if faults:
@@ -245,9 +221,75 @@ def cmd_ensemble(args) -> int:
             f"stalls {snap.stalls[cls].sum():.3e}  ratio {snap.class_ratio(cls):.3f}"
         )
     lines.append(f"  network stalls/flits: {snap.network_ratio():.3f}")
-    print("\n".join(lines))
-    if ck is not None:
-        ck.write_text(json.dumps({"config": fingerprint, "output": lines}) + "\n")
+    return lines
+
+
+def cmd_ensemble(args) -> int:
+    from repro.parallel import run_ensembles
+
+    top = _system(args.system)
+    app = app_by_name(args.app)()
+    modes = [
+        mode_by_name(m)
+        for m in (args.modes.split(",") if args.modes else [args.mode])
+    ]
+    faults = _faults_from_args(args)
+    fingerprint = {
+        "kind": "ensemble",
+        "system": args.system,
+        "app": app.name,
+        "jobs": args.jobs,
+        "nodes": args.nodes,
+        "mode": ",".join(m.name for m in modes),
+        "placement": args.placement,
+        "seed": args.seed,
+        "faults": faults.describe() if faults else "",
+    }
+    ck = Path(args.checkpoint) if args.checkpoint else None
+    outputs: dict[str, list[str]] = {}
+    if ck is not None and args.resume and ck.exists():
+        saved = json.loads(ck.read_text())
+        if saved.get("config") != fingerprint:
+            raise ValueError(
+                f"checkpoint {ck} was written by a different ensemble config"
+            )
+        if "outputs" in saved:
+            outputs = {k: list(v) for k, v in saved["outputs"].items()}
+        elif "output" in saved:
+            # single-mode format written before mode sweeps existed
+            outputs = {modes[0].name: list(saved["output"])}
+        print(f"(resumed from {ck})")
+        for mode in modes:
+            if mode.name in outputs:
+                print("\n".join(outputs[mode.name]))
+    remaining = [m for m in modes if m.name not in outputs]
+    if not remaining:
+        return 0
+    cfgs = [
+        EnsembleConfig(
+            app=app,
+            n_jobs=args.jobs,
+            n_nodes=args.nodes,
+            mode=mode,
+            placement=args.placement,
+            seed=args.seed,
+            faults=faults,
+        )
+        for mode in remaining
+    ]
+
+    def on_result(idx, res):
+        lines = _ensemble_lines(args, app, remaining[idx], faults, res)
+        print("\n".join(lines))
+        outputs[remaining[idx].name] = lines
+        if ck is not None:
+            # rewritten after every completed ensemble, so an interrupt
+            # leaves a resumable prefix of the sweep
+            ck.write_text(
+                json.dumps({"config": fingerprint, "outputs": outputs}) + "\n"
+            )
+
+    run_ensembles(top, cfgs, jobs=_effective_jobs(args.workers), on_result=on_result)
     return 0
 
 
@@ -291,6 +333,17 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--seed", type=int, default=2021)
         observability(sp)
 
+    def jobs_flag(sp):
+        sp.add_argument(
+            "-j",
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker processes for the campaign runs (default: $REPRO_JOBS "
+            "or 1; results are identical for any value)",
+        )
+
     def campaign_flags(sp):
         sp.add_argument(
             "--faults",
@@ -327,6 +380,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="retries per run on transient solver non-convergence",
     )
     campaign_flags(sp)
+    jobs_flag(sp)
     sp.set_defaults(func=cmd_compare)
 
     sp = sub.add_parser("sweep", help="campaign over all four vendor modes")
@@ -346,6 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="retries per run on transient solver non-convergence",
     )
     campaign_flags(sp)
+    jobs_flag(sp)
     sp.set_defaults(func=cmd_sweep)
 
     sp = sub.add_parser("advise", help="profile an app and recommend a bias")
@@ -364,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--param", default=None, help="congestion constant to sweep")
     sp.add_argument("--values", default="", help="comma-separated sweep values")
     sp.add_argument("--samples", type=int, default=14)
+    jobs_flag(sp)
     sp.set_defaults(func=cmd_calibrate)
 
     sp = sub.add_parser("ensemble", help="controlled full-reservation ensemble")
@@ -372,7 +428,20 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--jobs", type=int, default=8)
     sp.add_argument("--nodes", type=int, default=512)
     sp.add_argument("--mode", default="AD3")
+    sp.add_argument(
+        "--modes",
+        default=None,
+        help="comma-separated mode sweep (one ensemble per mode); overrides --mode",
+    )
     sp.add_argument("--placement", default="dispersed")
+    sp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes when sweeping multiple --modes "
+        "(default: $REPRO_JOBS or 1); --jobs is the ensemble's job count",
+    )
     campaign_flags(sp)
     sp.set_defaults(func=cmd_ensemble)
 

@@ -54,8 +54,14 @@ def probe_observables(
     samples: int = 14,
     seed: int = 4242,
     params: FluidParams | None = None,
+    jobs: int | None = None,
 ) -> dict[str, float]:
-    """Run the probe campaigns and extract the calibration observables."""
+    """Run the probe campaigns and extract the calibration observables.
+
+    ``jobs`` fans the probe campaigns' runs over worker processes (see
+    :func:`repro.core.experiment.run_campaign`); the observables are
+    identical for any value.
+    """
     bm = BackgroundModel(top)
     scenarios = bm.build_pool(
         6, derive_rng(seed, "calibration-pool"), reserve_nodes=512
@@ -63,7 +69,9 @@ def probe_observables(
     out: dict[str, float] = {}
     for app_cls, tag in ((MILC, "milc"), (HACC, "hacc")):
         cfg = CampaignConfig(app=app_cls(), samples=samples, seed=seed, params=params)
-        recs = run_campaign(top, cfg, background_model=bm, scenarios=scenarios)
+        recs = run_campaign(
+            top, cfg, background_model=bm, scenarios=scenarios, jobs=jobs
+        )
         st = stats_by_mode(recs)
         out[f"{tag}_ad0_mean_s"] = st["AD0"].mean
         # improvement as the *median paired* delta: sample i of both
@@ -125,6 +133,7 @@ def sweep_parameter(
     *,
     samples: int = 6,
     seed: int = 4242,
+    jobs: int | None = None,
 ) -> dict[float, dict[str, float]]:
     """Probe observables across values of one congestion constant.
 
@@ -137,5 +146,7 @@ def sweep_parameter(
     for value in values:
         cm = dataclasses.replace(CongestionModel(), **{name: value})
         params = FluidParams(congestion=cm)
-        out[value] = probe_observables(top, samples=samples, seed=seed, params=params)
+        out[value] = probe_observables(
+            top, samples=samples, seed=seed, params=params, jobs=jobs
+        )
     return out

@@ -405,6 +405,225 @@ def _error_record(
     )
 
 
+def resolve_scenarios(
+    top: DragonflyTopology,
+    cfg: CampaignConfig,
+    background_model: BackgroundModel | None,
+    scenarios: list[BackgroundScenario] | None,
+) -> tuple[BackgroundModel | None, list[BackgroundScenario] | None]:
+    """The ``(model, scenario pool)`` a campaign samples its background from.
+
+    Pure function of ``(top, cfg)`` when no explicit model/pool is given
+    (the pool RNG is derived from the campaign seed), so a worker process
+    can rebuild the identical pool from the config alone.
+    """
+    if cfg.background == "production":
+        bm = background_model or BackgroundModel(top)
+        if scenarios is None:
+            pool_rng = derive_rng(cfg.seed, "bgpool", cfg.app.name, cfg.n_nodes)
+            scenarios = bm.build_pool(
+                cfg.scenario_pool, pool_rng, reserve_nodes=cfg.n_nodes
+            )
+        return bm, scenarios
+    if cfg.background != "isolated":
+        raise ValueError(f"unknown background kind {cfg.background!r}")
+    return None, None
+
+
+def sample_draws(
+    top: DragonflyTopology,
+    cfg: CampaignConfig,
+    i: int,
+    bm: BackgroundModel | None,
+    scenarios: list[BackgroundScenario] | None,
+) -> tuple[np.ndarray, np.ndarray | None, float]:
+    """Per-sample shared draws (paired across modes): placement, background.
+
+    The sample stream is derived fresh from ``(seed, app, size,
+    placement, i)`` on every call, so any process can reproduce sample
+    ``i``'s context without replaying samples ``0..i-1``.
+    """
+    sample_rng = derive_rng(cfg.seed, cfg.app.name, cfg.n_nodes, cfg.placement, i)
+    nodes = make_placement(cfg.placement, top, cfg.n_nodes, sample_rng)
+    if cfg.background == "production":
+        scenario = scenarios[int(sample_rng.integers(0, len(scenarios)))]
+        intensity = bm.sample_intensity(sample_rng)
+        bg = mask_endpoint_background(top, scenario.at_intensity(intensity), nodes)
+    else:
+        bg, intensity = None, 0.0
+    return nodes, bg, intensity
+
+
+def execute_run(
+    top: DragonflyTopology,
+    run_top: DragonflyTopology,
+    cfg: CampaignConfig,
+    i: int,
+    mode: RoutingMode,
+    nodes: np.ndarray,
+    bg: np.ndarray | None,
+    intensity: float,
+    tel: Telemetry,
+) -> RunRecord:
+    """One campaign run: the retry loop, error isolation, and telemetry.
+
+    This is the unit the parallel dispatcher fans out; its RNG stream is
+    derived solely from ``(seed, app, size, sample, mode)``, so the
+    record is identical no matter which process executes it or when.
+    """
+    app = cfg.app
+    env = RoutingEnv.uniform(mode) if cfg.uniform_env else RoutingEnv(p2p_mode=mode)
+    t0 = time.perf_counter() if tel.enabled else 0.0
+    rec: RunRecord | None = None
+    attempt = 0
+    while rec is None:
+        attempt += 1
+        # attempt 1 uses the canonical paired stream; retries use
+        # a fresh derivation so the transient draw changes
+        key = (cfg.seed, app.name, cfg.n_nodes, i, mode.name)
+        run_rng = (
+            derive_rng(*key)
+            if attempt == 1
+            else derive_rng(*key, "retry", attempt)
+        )
+        try:
+            runtime, report, timings = run_app_once(
+                run_top,
+                app,
+                nodes,
+                env,
+                background_util=bg,
+                rng=run_rng,
+                params=cfg.params,
+                telemetry=tel,
+            )
+        except NetworkPartitionedError as exc:
+            # deterministic: retrying cannot help
+            rec = _error_record(
+                cfg, mode, i, groups_spanned(top, nodes), intensity, exc, attempt
+            )
+        except Exception as exc:
+            if attempt < cfg.max_attempts:
+                if cfg.retry_backoff > 0:
+                    time.sleep(cfg.retry_backoff * attempt)
+                continue
+            rec = _error_record(
+                cfg, mode, i, groups_spanned(top, nodes), intensity, exc, attempt
+            )
+        else:
+            diag = solver_diagnostics(timings)
+            if not diag["solver_converged"] and attempt < cfg.max_attempts:
+                if cfg.retry_backoff > 0:
+                    time.sleep(cfg.retry_backoff * attempt)
+                continue
+            rec = RunRecord(
+                app=app.name,
+                mode=mode.name,
+                n_nodes=cfg.n_nodes,
+                placement=cfg.placement,
+                groups=groups_spanned(top, nodes),
+                runtime=runtime,
+                report=report,
+                background_intensity=intensity,
+                sample_index=i,
+                attempts=attempt,
+                **diag,
+            )
+    if tel.enabled:
+        wall = time.perf_counter() - t0
+        m = tel.metrics
+        if m.enabled:
+            m.counter("campaign_samples_total", "campaign runs executed").inc()
+            if not rec.ok:
+                m.counter(
+                    "campaign_failures_total", "campaign runs ending in error"
+                ).inc()
+            m.histogram(
+                "campaign_sample_seconds", "wall time per campaign run"
+            ).observe(wall)
+        tel.event(
+            "campaign.sample",
+            app=app.name,
+            mode=mode.name,
+            sample=i,
+            status=rec.status,
+            error=rec.error,
+            attempts=rec.attempts,
+            runtime_s=rec.runtime,
+            mpi_time_s=rec.report.mpi_time,
+            background_intensity=intensity,
+            solver_converged=rec.solver_converged,
+            solver_nonconverged_phases=rec.solver_nonconverged_phases,
+            solver_max_residual=rec.solver_max_residual,
+            wall_ms=wall * 1e3,
+        )
+    return rec
+
+
+def prepare_checkpoint(
+    checkpoint_path: str | None,
+    top: DragonflyTopology,
+    cfg: CampaignConfig,
+    resume: bool,
+) -> dict[tuple[int, str], RunRecord]:
+    """Open (or resume) a campaign checkpoint; returns completed runs."""
+    done: dict[tuple[int, str], RunRecord] = {}
+    if checkpoint_path is None:
+        return done
+    fp = campaign_fingerprint(top, cfg)
+    if resume and os.path.exists(checkpoint_path):
+        done = ckpt.load_records(checkpoint_path, fp)
+        # rewrite cleanly: drops any crash-truncated tail line (new
+        # appends would otherwise concatenate onto it) plus error
+        # and superseded records
+        ckpt.write_header(checkpoint_path, fp)
+        for rec in done.values():
+            ckpt.append_record(checkpoint_path, rec)
+    else:
+        ckpt.write_header(checkpoint_path, fp)
+    return done
+
+
+def emit_campaign_start(
+    tel: Telemetry, cfg: CampaignConfig, done: dict, **extra
+) -> None:
+    """The ``campaign.start`` trace event (shared with the parallel path)."""
+    tel.event(
+        "campaign.start",
+        app=cfg.app.name,
+        n_nodes=cfg.n_nodes,
+        modes=[m.name for m in cfg.modes],
+        samples=cfg.samples,
+        placement=cfg.placement,
+        background=cfg.background,
+        seed=cfg.seed,
+        faults=cfg.faults.describe() if cfg.faults else "",
+        resumed_runs=len(done),
+        **extra,
+    )
+
+
+def emit_campaign_end(tel: Telemetry, cfg: CampaignConfig, records: list[RunRecord]) -> None:
+    """The ``campaign.end`` trace event (shared with the parallel path)."""
+    tel.event(
+        "campaign.end",
+        app=cfg.app.name,
+        records=len(records),
+        failed_runs=sum(1 for r in records if not r.ok),
+        nonconverged_runs=sum(1 for r in records if not r.solver_converged),
+    )
+
+
+def _effective_jobs(jobs: int | None) -> int:
+    """Resolve the worker count: explicit argument, else ``$REPRO_JOBS``."""
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+        except ValueError:
+            jobs = 1
+    return max(1, int(jobs))
+
+
 def run_campaign(
     top: DragonflyTopology,
     cfg: CampaignConfig,
@@ -414,6 +633,7 @@ def run_campaign(
     telemetry: Telemetry | None = None,
     checkpoint_path: str | None = None,
     resume: bool = False,
+    jobs: int | None = None,
 ) -> list[RunRecord]:
     """Run the campaign; returns one RunRecord per (mode, sample).
 
@@ -423,162 +643,49 @@ def run_campaign(
     runs from it and skips re-executing them (records come out identical
     to an uninterrupted campaign, because each run's RNG stream is
     derived independently).
+
+    ``jobs`` > 1 dispatches the runs over that many worker processes via
+    :mod:`repro.parallel`; records, checkpoint bytes, and the resume
+    behaviour are identical to serial execution (see docs/PARALLEL.md).
+    ``jobs=None`` reads ``$REPRO_JOBS`` (default 1).
     """
-    app = cfg.app
+    n_jobs = _effective_jobs(jobs)
+    if n_jobs > 1:
+        from repro.parallel.campaign import run_campaign_parallel
+
+        return run_campaign_parallel(
+            top,
+            cfg,
+            jobs=n_jobs,
+            background_model=background_model,
+            scenarios=scenarios,
+            telemetry=telemetry,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+        )
+
     # background scenarios are built against the pristine fabric (ambient
     # traffic predates the fault window); the job itself routes on the
     # degraded view
     run_top = top.with_faults(cfg.faults) if cfg.faults is not None else top
-    done: dict[tuple[int, str], RunRecord] = {}
-    if checkpoint_path is not None:
-        fp = campaign_fingerprint(top, cfg)
-        if resume and os.path.exists(checkpoint_path):
-            done = ckpt.load_records(checkpoint_path, fp)
-            # rewrite cleanly: drops any crash-truncated tail line (new
-            # appends would otherwise concatenate onto it) plus error
-            # and superseded records
-            ckpt.write_header(checkpoint_path, fp)
-            for rec in done.values():
-                ckpt.append_record(checkpoint_path, rec)
-        else:
-            ckpt.write_header(checkpoint_path, fp)
+    done = prepare_checkpoint(checkpoint_path, top, cfg, resume)
     tel = resolve_telemetry(telemetry)
-    tel.event(
-        "campaign.start",
-        app=app.name,
-        n_nodes=cfg.n_nodes,
-        modes=[m.name for m in cfg.modes],
-        samples=cfg.samples,
-        placement=cfg.placement,
-        background=cfg.background,
-        seed=cfg.seed,
-        faults=cfg.faults.describe() if cfg.faults else "",
-        resumed_runs=len(done),
-    )
-    if cfg.background == "production":
-        if scenarios is None:
-            bm = background_model or BackgroundModel(top)
-            pool_rng = derive_rng(cfg.seed, "bgpool", app.name, cfg.n_nodes)
-            scenarios = bm.build_pool(cfg.scenario_pool, pool_rng, reserve_nodes=cfg.n_nodes)
-        bm = background_model or BackgroundModel(top)
-    elif cfg.background != "isolated":
-        raise ValueError(f"unknown background kind {cfg.background!r}")
+    emit_campaign_start(tel, cfg, done)
+    bm, scenarios = resolve_scenarios(top, cfg, background_model, scenarios)
 
     records: list[RunRecord] = []
     for i in range(cfg.samples):
-        # shared per-sample draws (paired across modes)
-        sample_rng = derive_rng(cfg.seed, app.name, cfg.n_nodes, cfg.placement, i)
-        nodes = make_placement(cfg.placement, top, cfg.n_nodes, sample_rng)
-        if cfg.background == "production":
-            scenario = scenarios[int(sample_rng.integers(0, len(scenarios)))]
-            intensity = bm.sample_intensity(sample_rng)
-            bg = mask_endpoint_background(top, scenario.at_intensity(intensity), nodes)
-        else:
-            bg, intensity = None, 0.0
+        nodes, bg, intensity = sample_draws(top, cfg, i, bm, scenarios)
         for mode in cfg.modes:
             prior = done.get((i, mode.name))
             if prior is not None:
                 records.append(prior)
                 continue
-            env = (
-                RoutingEnv.uniform(mode)
-                if cfg.uniform_env
-                else RoutingEnv(p2p_mode=mode)
-            )
-            t0 = time.perf_counter() if tel.enabled else 0.0
-            rec: RunRecord | None = None
-            attempt = 0
-            while rec is None:
-                attempt += 1
-                # attempt 1 uses the canonical paired stream; retries use
-                # a fresh derivation so the transient draw changes
-                key = (cfg.seed, app.name, cfg.n_nodes, i, mode.name)
-                run_rng = (
-                    derive_rng(*key)
-                    if attempt == 1
-                    else derive_rng(*key, "retry", attempt)
-                )
-                try:
-                    runtime, report, timings = run_app_once(
-                        run_top,
-                        app,
-                        nodes,
-                        env,
-                        background_util=bg,
-                        rng=run_rng,
-                        params=cfg.params,
-                        telemetry=tel,
-                    )
-                except NetworkPartitionedError as exc:
-                    # deterministic: retrying cannot help
-                    rec = _error_record(
-                        cfg, mode, i, groups_spanned(top, nodes), intensity, exc, attempt
-                    )
-                except Exception as exc:
-                    if attempt < cfg.max_attempts:
-                        if cfg.retry_backoff > 0:
-                            time.sleep(cfg.retry_backoff * attempt)
-                        continue
-                    rec = _error_record(
-                        cfg, mode, i, groups_spanned(top, nodes), intensity, exc, attempt
-                    )
-                else:
-                    diag = solver_diagnostics(timings)
-                    if not diag["solver_converged"] and attempt < cfg.max_attempts:
-                        if cfg.retry_backoff > 0:
-                            time.sleep(cfg.retry_backoff * attempt)
-                        continue
-                    rec = RunRecord(
-                        app=app.name,
-                        mode=mode.name,
-                        n_nodes=cfg.n_nodes,
-                        placement=cfg.placement,
-                        groups=groups_spanned(top, nodes),
-                        runtime=runtime,
-                        report=report,
-                        background_intensity=intensity,
-                        sample_index=i,
-                        attempts=attempt,
-                        **diag,
-                    )
+            rec = execute_run(top, run_top, cfg, i, mode, nodes, bg, intensity, tel)
             records.append(rec)
             if checkpoint_path is not None:
                 ckpt.append_record(checkpoint_path, rec)
-            if tel.enabled:
-                wall = time.perf_counter() - t0
-                m = tel.metrics
-                if m.enabled:
-                    m.counter("campaign_samples_total", "campaign runs executed").inc()
-                    if not rec.ok:
-                        m.counter(
-                            "campaign_failures_total", "campaign runs ending in error"
-                        ).inc()
-                    m.histogram(
-                        "campaign_sample_seconds", "wall time per campaign run"
-                    ).observe(wall)
-                tel.event(
-                    "campaign.sample",
-                    app=app.name,
-                    mode=mode.name,
-                    sample=i,
-                    status=rec.status,
-                    error=rec.error,
-                    attempts=rec.attempts,
-                    runtime_s=rec.runtime,
-                    mpi_time_s=rec.report.mpi_time,
-                    background_intensity=intensity,
-                    solver_converged=rec.solver_converged,
-                    solver_nonconverged_phases=rec.solver_nonconverged_phases,
-                    solver_max_residual=rec.solver_max_residual,
-                    wall_ms=wall * 1e3,
-                )
-    tel.event(
-        "campaign.end",
-        app=app.name,
-        records=len(records),
-        failed_runs=sum(1 for r in records if not r.ok),
-        nonconverged_runs=sum(1 for r in records if not r.solver_converged),
-    )
+    emit_campaign_end(tel, cfg, records)
     return records
 
 

@@ -54,7 +54,8 @@ from repro.network.congestion import (
 from repro.network.counters import CounterBank
 from repro.telemetry import Telemetry, resolve_telemetry
 from repro.topology.dragonfly import DragonflyTopology
-from repro.topology.paths import PathBundle, minimal_paths, valiant_paths
+from repro.topology.paths import PathBundle
+from repro.topology.pathcache import cached_minimal_paths, cached_valiant_paths
 
 
 class NonConvergenceWarning(RuntimeWarning):
@@ -378,8 +379,8 @@ def solve_fluid(
     if max(flows.cls.max(), 0) >= len(modes):
         raise ValueError("flow class index out of range of modes list")
 
-    pmin = minimal_paths(top, flows.src, flows.dst, k=params.k_min, rng=rng)
-    pnon = valiant_paths(top, flows.src, flows.dst, k=params.k_nonmin, rng=rng)
+    pmin = cached_minimal_paths(top, flows.src, flows.dst, k=params.k_min, rng=rng)
+    pnon = cached_valiant_paths(top, flows.src, flows.dst, k=params.k_nonmin, rng=rng)
     vmin, lmin, cnt_min = _side_arrays(pmin, n)
     vnon, lnon, cnt_non = _side_arrays(pnon, n)
     hops_sub_min = pmin.router_hops.astype(np.float64)

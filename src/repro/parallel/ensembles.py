@@ -1,0 +1,133 @@
+"""Parallel execution of independent controlled ensembles.
+
+Each :class:`~repro.core.ensembles.EnsembleConfig` already derives its
+RNG purely from its own fields (``derive_rng(cfg.seed, "ensemble",
+...)``), so a list of ensembles is embarrassingly parallel and the
+results are identical to running them in a serial loop — the same
+determinism-by-construction contract the campaign dispatcher relies on.
+
+Results are delivered to ``on_result`` in **canonical list order**
+(index 0 first), regardless of completion order, so callers can stream
+output or persist a resumable checkpoint: after Ctrl-C, everything
+delivered is a clean prefix of the serial output.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.core.ensembles import EnsembleConfig, EnsembleResult, run_ensemble
+from repro.parallel.executor import run_tasks
+from repro.telemetry import (
+    MemoryTraceWriter,
+    MetricsRegistry,
+    NULL_TRACE,
+    Telemetry,
+    resolve_telemetry,
+)
+from repro.topology.dragonfly import DragonflyTopology
+
+_CTX = None
+
+
+class _EnsembleContext:
+    def __init__(self, top, cfgs, trace_enabled, metrics_enabled):
+        self.top = top
+        self.cfgs = cfgs
+        self.trace_enabled = trace_enabled
+        self.metrics_enabled = metrics_enabled
+
+
+def _init_worker(ctx: _EnsembleContext) -> None:
+    global _CTX
+    _CTX = ctx
+
+
+def _run_one(idx: int):
+    ctx = _CTX
+    trace = MemoryTraceWriter() if ctx.trace_enabled else NULL_TRACE
+    tel = Telemetry(trace=trace, metrics=MetricsRegistry(enabled=ctx.metrics_enabled))
+    res = run_ensemble(ctx.top, ctx.cfgs[idx], telemetry=tel)
+    return (
+        idx,
+        os.getpid(),
+        res,
+        trace.events if ctx.trace_enabled else [],
+        tel.metrics if ctx.metrics_enabled else None,
+    )
+
+
+def run_ensembles(
+    top: DragonflyTopology,
+    cfgs: list[EnsembleConfig],
+    *,
+    jobs: int = 1,
+    telemetry: Telemetry | None = None,
+    on_result: Callable[[int, EnsembleResult], None] | None = None,
+    scramble_seed: int | None = None,
+) -> list[EnsembleResult]:
+    """Run every ensemble config; returns results in list order.
+
+    With ``jobs`` > 1 the ensembles run on a worker pool; worker trace
+    events are forwarded with ``worker``/``ensemble_index`` tags and
+    worker metrics are merged into the parent registry in canonical
+    order.  A worker process dying repeatedly raises — an ensemble has
+    no per-run error-record to degrade into.
+    """
+    tel = resolve_telemetry(telemetry)
+    if jobs <= 1:
+        results: list[EnsembleResult] = []
+        for idx, cfg in enumerate(cfgs):
+            res = run_ensemble(top, cfg, telemetry=tel)
+            results.append(res)
+            if on_result is not None:
+                on_result(idx, res)
+        return results
+
+    ctx = _EnsembleContext(
+        top, list(cfgs), tel.trace.enabled, tel.metrics.enabled
+    )
+    slots: list[EnsembleResult | None] = [None] * len(cfgs)
+    buffered: dict[int, tuple] = {}
+    worker_ids: dict[int, int] = {}
+    flush_pos = 0
+
+    def _finalize_ready() -> None:
+        nonlocal flush_pos
+        while flush_pos < len(cfgs):
+            item = buffered.pop(flush_pos, None)
+            if item is None:
+                return
+            idx, pid, res, events, metrics = item
+            slots[idx] = res
+            if events:
+                wid = worker_ids.setdefault(pid, len(worker_ids))
+                for ev in events:
+                    fields = {k: v for k, v in ev.items() if k != "ev"}
+                    fields["worker"] = wid
+                    fields["ensemble_index"] = idx
+                    tel.trace.emit(ev["ev"], **fields)
+            if metrics is not None:
+                tel.metrics.merge(metrics)
+            if on_result is not None:
+                on_result(idx, res)
+            flush_pos += 1
+
+    for outcome in run_tasks(
+        list(range(len(cfgs))),
+        _run_one,
+        jobs=jobs,
+        initializer=_init_worker,
+        initargs=(ctx,),
+        scramble_seed=scramble_seed,
+    ):
+        if not outcome.ok:
+            raise RuntimeError(
+                f"ensemble {outcome.task} lost its worker process "
+                f"{outcome.attempts} times"
+            ) from outcome.error
+        buffered[outcome.task] = outcome.result
+        _finalize_ready()
+
+    return [res for res in slots if res is not None]

@@ -1,0 +1,128 @@
+"""ProcessPoolExecutor dispatch with bounded retries and test hooks.
+
+:func:`run_tasks` is the one place worker pools are created.  Its
+contract with callers:
+
+* Results are yielded **as tasks complete** (or, with ``scramble_seed``
+  set, in a deterministically shuffled order — the equivalence suite
+  uses this to prove the consumer is completion-order independent).
+* An exception raised *inside* the worker function propagates to the
+  caller immediately, matching the serial loop's abort semantics.
+  (Campaign workers isolate per-run failures into error-status records
+  themselves, so anything escaping them is a harness bug.)
+* A **dead worker** (``os._exit``, OOM-kill, segfault) breaks the whole
+  pool; the dispatcher rebuilds it and resubmits every unfinished task,
+  up to ``max_retries`` extra rounds per task.  Tasks still failing then
+  are yielded as failures rather than raised, so one poisonous run
+  cannot sink a campaign.
+* ``KeyboardInterrupt`` tears the pool down (without waiting) and
+  propagates, leaving whatever the caller already consumed intact —
+  this is what makes Ctrl-C during a checkpointed campaign resumable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+#: start method for worker pools; ``fork`` lets workers inherit the
+#: campaign context (topology, apps, scenario pool) without pickling
+DEFAULT_MP_CONTEXT = "fork"
+
+
+@dataclass
+class TaskOutcome:
+    """One finished (or given-up-on) task."""
+
+    task: Any
+    result: Any = None
+    error: BaseException | None = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def run_tasks(
+    tasks: Sequence[Any],
+    worker_fn: Callable[[Any], Any],
+    *,
+    jobs: int,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
+    max_retries: int = 2,
+    scramble_seed: int | None = None,
+    mp_context: str = DEFAULT_MP_CONTEXT,
+) -> Iterator[TaskOutcome]:
+    """Fan ``tasks`` over ``jobs`` worker processes; yield outcomes.
+
+    See the module docstring for the full contract.
+    """
+    ctx = mp.get_context(mp_context)
+    scramble = (
+        np.random.default_rng(scramble_seed) if scramble_seed is not None else None
+    )
+    pending: list[tuple[int, Any]] = list(enumerate(tasks))
+    attempts = {pos: 0 for pos, _ in pending}
+    round_ready: list[TaskOutcome] = []
+
+    while pending:
+        for pos, _ in pending:
+            attempts[pos] += 1
+        pool = ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=ctx,
+            initializer=initializer,
+            initargs=initargs,
+        )
+        broken: list[tuple[int, Any]] = []
+        try:
+            futs = {}
+            for pos, task in pending:
+                try:
+                    futs[pool.submit(worker_fn, task)] = (pos, task)
+                except BrokenProcessPool:
+                    broken.append((pos, task))
+            not_done = set(futs)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    pos, task = futs[fut]
+                    exc = fut.exception()
+                    if isinstance(exc, BrokenProcessPool):
+                        broken.append((pos, task))
+                        continue
+                    if exc is not None:
+                        raise exc
+                    outcome = TaskOutcome(
+                        task=task, result=fut.result(), attempts=attempts[pos]
+                    )
+                    if scramble is None:
+                        yield outcome
+                    else:
+                        round_ready.append(outcome)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        pending = []
+        for pos, task in broken:
+            if attempts[pos] > max_retries:
+                yield TaskOutcome(
+                    task=task,
+                    error=BrokenProcessPool(
+                        f"worker died {attempts[pos]} times executing this task"
+                    ),
+                    attempts=attempts[pos],
+                )
+            else:
+                pending.append((pos, task))
+
+    if scramble is not None:
+        for j in scramble.permutation(len(round_ready)):
+            yield round_ready[int(j)]

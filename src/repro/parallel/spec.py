@@ -1,0 +1,59 @@
+"""Pickle-safe specifications for parallel dispatch.
+
+Workers receive a :class:`TopologySpec` (or, under the ``fork`` start
+method, the topology object itself) plus tiny per-run :class:`RunTask`
+tuples; everything heavyweight is rebuilt or inherited, never streamed
+per task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.topology.dragonfly import DragonflyParams, DragonflyTopology
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Hashable, pickle-friendly identity of a pristine topology.
+
+    ``(params, seed)`` fully determine a :class:`DragonflyTopology`'s
+    structure — including the seeded global-cable assignment — so
+    :meth:`build` reconstructs a byte-identical system in any process.
+    """
+
+    params: DragonflyParams
+    seed: int = 0
+
+    @classmethod
+    def of(cls, top: DragonflyTopology) -> "TopologySpec":
+        return cls(params=top.params, seed=top.seed)
+
+    def build(self) -> DragonflyTopology:
+        return DragonflyTopology(self.params, seed=self.seed)
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One campaign run to execute: canonical index + its identity.
+
+    ``index`` is the run's position in the canonical (sample-major,
+    mode-minor) order — the order the serial loop executes and the
+    order checkpoint records are flushed in.
+    """
+
+    index: int
+    sample: int
+    mode: str
+
+
+@dataclass
+class TaskResult:
+    """What a worker sends back for one completed run."""
+
+    index: int
+    pid: int
+    record: Any
+    events: list[dict] = field(default_factory=list)
+    metrics: Any = None

@@ -38,6 +38,7 @@ from repro.telemetry.report import (
     ConvergenceSummary,
     TraceSummary,
     format_summary,
+    order_events,
     summarize_trace,
 )
 from repro.telemetry.trace import (
@@ -70,6 +71,7 @@ __all__ = [
     "TraceWriter",
     "current_telemetry",
     "format_summary",
+    "order_events",
     "read_trace",
     "resolve_telemetry",
     "set_current_telemetry",

@@ -196,6 +196,36 @@ class MetricsRegistry:
             span.elapsed = time.perf_counter() - t0
             hist.observe(span.elapsed)
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one.
+
+        This is how the parallel dispatcher combines per-worker
+        registries into the parent's: counters add, gauges take the
+        incoming value (last merge wins), histograms add their bucket
+        counts / count / sum and extend the percentile reservoir up to
+        its cap.  Merging the same registries in the same order is
+        deterministic, so the parallel campaign merges worker snapshots
+        in canonical run order.
+        """
+        for name, m in sorted(other._metrics.items()):
+            if isinstance(m, Counter):
+                self.counter(name, m.help).inc(m.value)
+            elif isinstance(m, Gauge):
+                self.gauge(name, m.help).set(m.value)
+            else:
+                mine = self.histogram(name, m.help, buckets=m.buckets)
+                if mine.buckets != m.buckets:
+                    raise ValueError(
+                        f"histogram {name!r} bucket layout mismatch in merge"
+                    )
+                for i, c in enumerate(m.bucket_counts):
+                    mine.bucket_counts[i] += c
+                mine.count += m.count
+                mine.sum += m.sum
+                room = _RESERVOIR_CAP - len(mine._values)
+                if room > 0:
+                    mine._values.extend(m._values[:room])
+
     # ---- exposition ---------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-ready snapshot of every instrument."""

@@ -54,16 +54,38 @@ def _percentile(values: list[float], q: float) -> float:
     return vals[lo] + (vals[hi] - vals[lo]) * (pos - lo)
 
 
+def order_events(events: list[dict]) -> list[dict]:
+    """Canonical ordering of a possibly multi-worker trace.
+
+    Events forwarded from pool workers carry ``run_index`` (the run's
+    canonical position in the campaign) plus a worker-local ``seq``, so
+    a stable sort by ``(run_index, seq)`` reconstructs the serial event
+    order no matter how the workers' completions interleaved in the
+    file.  Events without a ``run_index`` (parent lifecycle events such
+    as ``campaign.start``) sort before every run, keeping their own
+    relative order.
+    """
+    return sorted(
+        events, key=lambda e: (e.get("run_index", -1), e.get("seq", 0))
+    )
+
+
 def summarize_trace(
     source: str | Path | list[dict], *, top: int = 10
 ) -> TraceSummary:
-    """Digest a trace file (or already-parsed event list)."""
+    """Digest a trace file (or already-parsed event list).
+
+    The events are put in canonical order first (see
+    :func:`order_events`), so a trace written by a multi-worker campaign
+    summarizes identically to its serial twin.
+    """
     if isinstance(source, (str, Path)):
         events = read_trace(source)
         label = str(source)
     else:
         events = source
         label = "<memory>"
+    events = order_events(events)
 
     by_type = TallyCounter(e.get("ev", "?") for e in events)
 

@@ -127,6 +127,10 @@ class DragonflyTopology:
 
     def __init__(self, params: DragonflyParams, *, seed: int = 0) -> None:
         self.params = params
+        #: cable-assignment seed; with ``params`` it fully determines the
+        #: structure, so ``DragonflyTopology(top.params, seed=top.seed)``
+        #: rebuilds an identical system (the parallel workers rely on this)
+        self.seed = seed
         p = params
         G, C, R = p.n_groups, p.chassis_per_group, p.routers_per_chassis
         self.n_groups = G

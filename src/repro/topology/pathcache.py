@@ -1,0 +1,167 @@
+"""Memoized minimal/Valiant path-table construction.
+
+Building path bundles is the single most expensive pure step of a fluid
+solve, and campaign sweeps repeatedly rebuild identical tables — e.g.
+``sweep_parameter`` re-runs the same seeded campaign once per candidate
+constant, so every (placement, flow set, RNG stream) triple recurs
+exactly.  This module wraps :func:`repro.topology.paths.minimal_paths` /
+``valiant_paths`` in a bounded LRU memo that is *provably* transparent:
+
+* The key includes a fingerprint of the topology **structure and fault
+  mask**, the builder kind and ``k``, digests of the ``src``/``dst``
+  arrays, and a digest of the generator's **pre-call bit state**.
+* On a miss, the real builder runs and the generator's **post-call bit
+  state** is recorded alongside the bundle.
+* On a hit, the caller's generator is fast-forwarded to the recorded
+  post-call state and the cached bundle is returned.
+
+Because the bit-generator state fully determines every draw the builder
+would make, a hit returns byte-identical arrays *and* leaves the
+generator byte-identical to a fresh build — downstream draws cannot
+diverge.  Cached arrays are frozen read-only and shared (never copied),
+so a would-be mutation raises instead of poisoning later hits.
+
+Set ``REPRO_PATH_CACHE=0`` to disable, or to an integer to change the
+entry cap (default ``16``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.paths import PathBundle, minimal_paths, valiant_paths
+
+_DEFAULT_MAXSIZE = 16
+
+_lock = threading.Lock()
+_store: OrderedDict[tuple, tuple[PathBundle, dict]] = OrderedDict()
+_stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def _maxsize() -> int:
+    raw = os.environ.get("REPRO_PATH_CACHE", "")
+    if not raw:
+        return _DEFAULT_MAXSIZE
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return _DEFAULT_MAXSIZE
+
+
+def topology_fingerprint(top: DragonflyTopology) -> tuple:
+    """Hashable identity of a topology's structure plus fault mask.
+
+    ``(params, seed)`` fully determine the pristine structure (cable
+    assignment included); a faulted view additionally contributes a
+    digest of its per-link capacity multipliers.  Two topologies with
+    equal fingerprints produce identical path tables for identical
+    ``(src, dst, k, rng)`` inputs.
+    """
+    if top.fault_scale is None:
+        fault_digest = ""
+    else:
+        scale = np.ascontiguousarray(top.fault_scale, dtype=np.float64)
+        fault_digest = hashlib.sha1(scale.tobytes()).hexdigest()
+    return (top.params, top.seed, fault_digest)
+
+
+def _array_digest(a: np.ndarray) -> tuple:
+    a = np.ascontiguousarray(a)
+    return (str(a.dtype), a.shape, hashlib.sha1(a.tobytes()).hexdigest())
+
+
+def _rng_state_digest(rng: np.random.Generator) -> str:
+    # the state dict is a plain nested structure of ints/strings whose
+    # repr is stable for a given bit-generator type
+    return hashlib.sha1(repr(rng.bit_generator.state).encode("utf-8")).hexdigest()
+
+
+def _freeze(bundle: PathBundle) -> PathBundle:
+    bundle.links.flags.writeable = False
+    bundle.flow.flags.writeable = False
+    return bundle
+
+
+def _memoized(
+    kind: str,
+    builder: Callable[..., PathBundle],
+    top: DragonflyTopology,
+    src: np.ndarray,
+    dst: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+) -> PathBundle:
+    maxsize = _maxsize()
+    if maxsize == 0:
+        return builder(top, src, dst, k=k, rng=rng)
+    key = (
+        topology_fingerprint(top),
+        kind,
+        int(k),
+        _array_digest(np.asarray(src)),
+        _array_digest(np.asarray(dst)),
+        type(rng.bit_generator).__name__,
+        _rng_state_digest(rng),
+    )
+    with _lock:
+        hit = _store.get(key)
+        if hit is not None:
+            _store.move_to_end(key)
+            _stats["hits"] += 1
+    if hit is not None:
+        bundle, post_state = hit
+        rng.bit_generator.state = post_state
+        return bundle
+    bundle = _freeze(builder(top, src, dst, k=k, rng=rng))
+    with _lock:
+        _stats["misses"] += 1
+        _store[key] = (bundle, rng.bit_generator.state)
+        _store.move_to_end(key)
+        while len(_store) > maxsize:
+            _store.popitem(last=False)
+            _stats["evictions"] += 1
+    return bundle
+
+
+def cached_minimal_paths(
+    top: DragonflyTopology,
+    src: np.ndarray,
+    dst: np.ndarray,
+    *,
+    k: int = 2,
+    rng: np.random.Generator,
+) -> PathBundle:
+    """Memoizing drop-in for :func:`repro.topology.paths.minimal_paths`."""
+    return _memoized("minimal", minimal_paths, top, src, dst, k, rng)
+
+
+def cached_valiant_paths(
+    top: DragonflyTopology,
+    src: np.ndarray,
+    dst: np.ndarray,
+    *,
+    k: int = 2,
+    rng: np.random.Generator,
+) -> PathBundle:
+    """Memoizing drop-in for :func:`repro.topology.paths.valiant_paths`."""
+    return _memoized("nonminimal", valiant_paths, top, src, dst, k, rng)
+
+
+def path_cache_stats() -> dict[str, int]:
+    """Current hit/miss/eviction counters plus entry count."""
+    with _lock:
+        return {**_stats, "entries": len(_store)}
+
+
+def clear_path_cache() -> None:
+    """Drop all cached path tables and reset counters."""
+    with _lock:
+        _store.clear()
+        _stats.update(hits=0, misses=0, evictions=0)

@@ -16,7 +16,13 @@ from repro.util.units import (
     fmt_bytes,
     fmt_time,
 )
-from repro.util.rng import derive_rng, derive_seeds, spawn_rngs
+from repro.util.rng import (
+    derive_rng,
+    derive_seeds,
+    seed_sequence_for,
+    spawn_rng_streams,
+    spawn_rngs,
+)
 from repro.util.validation import (
     check_positive,
     check_nonnegative,
@@ -37,6 +43,8 @@ __all__ = [
     "fmt_time",
     "derive_rng",
     "derive_seeds",
+    "seed_sequence_for",
+    "spawn_rng_streams",
     "spawn_rngs",
     "check_positive",
     "check_nonnegative",

@@ -39,6 +39,19 @@ def _key_to_ints(key: Iterable[object]) -> list[int]:
     return out
 
 
+def seed_sequence_for(root_seed: int, *key: object) -> np.random.SeedSequence:
+    """The :class:`numpy.random.SeedSequence` behind a derived key.
+
+    This is the single point where run identities become entropy: every
+    derived stream in the library — including the per-run streams the
+    parallel dispatcher hands to workers — comes from a ``SeedSequence``
+    seeded with ``[root, *hashed key]``, so streams for distinct keys are
+    statistically independent and identical regardless of which process
+    (or in which order) they are consumed.
+    """
+    return np.random.SeedSequence([int(root_seed) & 0xFFFFFFFF, *_key_to_ints(key)])
+
+
 def derive_rng(root_seed: int, *key: object) -> np.random.Generator:
     """Derive a child generator from ``root_seed`` and a descriptive key.
 
@@ -47,8 +60,22 @@ def derive_rng(root_seed: int, *key: object) -> np.random.Generator:
     >>> a.integers(1 << 30) == b.integers(1 << 30)
     True
     """
-    ss = np.random.SeedSequence([int(root_seed) & 0xFFFFFFFF, *_key_to_ints(key)])
-    return np.random.default_rng(ss)
+    return np.random.default_rng(seed_sequence_for(root_seed, *key))
+
+
+def spawn_rng_streams(
+    root_seed: int, *key: object, n: int
+) -> list[np.random.Generator]:
+    """``n`` independent child streams of a derived key, via ``SeedSequence.spawn``.
+
+    Unlike :func:`spawn_rngs` this does not consume draws from an
+    existing generator, so the children are a pure function of
+    ``(root_seed, key, index)`` — safe to re-derive in any process.
+    """
+    return [
+        np.random.default_rng(child)
+        for child in seed_sequence_for(root_seed, *key).spawn(n)
+    ]
 
 
 def derive_seeds(root_seed: int, *key: object, n: int = 1) -> list[int]:

@@ -257,6 +257,9 @@ class TestCampaignRobustness:
             assert "partition" in r.error.lower()
 
     def test_single_failing_run_does_not_abort(self, mini_top, monkeypatch):
+        # the flaky counter lives in this process: keep the run in-process
+        # even when the suite executes under REPRO_JOBS>1
+        monkeypatch.setenv("REPRO_JOBS", "1")
         real = experiment.run_app_once
         calls = {"n": 0}
 
@@ -275,6 +278,7 @@ class TestCampaignRobustness:
         assert all(np.isfinite(r.runtime) for r in recs if r.ok)
 
     def test_transient_failure_retried(self, mini_top, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")  # counter is per-process
         real = experiment.run_app_once
         calls = {"n": 0}
 
@@ -290,6 +294,7 @@ class TestCampaignRobustness:
         assert recs[0].attempts == 2
 
     def test_failed_runs_excluded_from_stats(self, mini_top, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")  # counter is per-process
         real = experiment.run_app_once
         calls = {"n": 0}
 
@@ -320,6 +325,7 @@ class TestCheckpointResume:
         # keep header + 3 records + half of the 4th (crash mid-append)
         path.write_bytes(b"".join(lines[:4]) + lines[4][: len(lines[4]) // 2])
 
+        monkeypatch.setenv("REPRO_JOBS", "1")  # counter is per-process
         real = experiment.run_app_once
         calls = {"n": 0}
 

@@ -1,0 +1,192 @@
+"""Fault and crash behaviour of the parallel dispatcher.
+
+Three failure layers, three contracts:
+
+* an exception *inside* a run is isolated into an error-status
+  ``RunRecord`` by the worker, exactly as the serial loop would;
+* a worker process that *dies* (``os._exit``, OOM-kill) breaks the pool;
+  the dispatcher rebuilds it and retries the unfinished runs a bounded
+  number of times before isolating them too;
+* an interrupt (Ctrl-C) mid-campaign leaves the checkpoint as a clean,
+  resumable prefix of the serial file.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+import repro.core.checkpoint as ckpt_mod
+import repro.core.experiment as exp
+from repro.apps import MILC
+from repro.core.biases import AD0, AD3
+from repro.core.checkpoint import record_to_dict
+from repro.core.experiment import CampaignConfig, run_campaign
+from repro.parallel import run_campaign_parallel, run_tasks
+from repro.topology.systems import mini
+
+pytestmark = pytest.mark.filterwarnings("ignore::repro.network.fluid.NonConvergenceWarning")
+
+
+@pytest.fixture(scope="module")
+def top():
+    return mini()
+
+
+def _cfg(**kw):
+    kw.setdefault("samples", 2)
+    return CampaignConfig(
+        app=MILC(), n_nodes=32, modes=(AD0, AD3), seed=11, scenario_pool=4, **kw
+    )
+
+
+def _dicts(records):
+    # via JSON so NaN runtimes of error records compare equal
+    return [json.dumps(record_to_dict(r), sort_keys=True) for r in records]
+
+
+class TestWorkerExceptions:
+    def test_run_exception_becomes_error_record(self, top, monkeypatch):
+        cfg = _cfg()
+
+        def exploding(*a, **kw):
+            raise RuntimeError("solver exploded")
+
+        monkeypatch.setattr(exp, "run_app_once", exploding)
+        serial = run_campaign(top, cfg, jobs=1)
+        parallel = run_campaign_parallel(top, cfg, jobs=2)
+        assert _dicts(parallel) == _dicts(serial)
+        assert all(r.status == "error" for r in parallel)
+        assert "solver exploded" in parallel[0].error
+
+    def test_harness_error_propagates(self, top, monkeypatch):
+        # an exception outside execute_run is a dispatcher bug, not a run
+        # failure: it must abort the campaign like the serial loop would
+        import repro.parallel.campaign as pc
+
+        def boom(*a, **kw):
+            raise RuntimeError("harness bug")
+
+        monkeypatch.setattr(pc, "sample_draws", boom)
+        with pytest.raises(RuntimeError, match="harness bug"):
+            run_campaign_parallel(top, _cfg(), jobs=2)
+
+
+class TestDeadWorkers:
+    def test_killed_worker_retried_and_results_identical(
+        self, top, tmp_path, monkeypatch
+    ):
+        cfg = _cfg()
+        serial = _dicts(run_campaign(top, cfg, jobs=1))
+        marker = tmp_path / "died-once"
+        real = exp.run_app_once
+
+        def die_once(*a, **kw):
+            if not marker.exists():
+                marker.write_text("x")
+                os._exit(17)
+            return real(*a, **kw)
+
+        monkeypatch.setattr(exp, "run_app_once", die_once)
+        parallel = _dicts(run_campaign_parallel(top, cfg, jobs=2))
+        assert marker.exists()
+        assert parallel == serial
+
+    def test_retries_are_bounded(self, top, monkeypatch):
+        cfg = _cfg()
+
+        def always_die(*a, **kw):
+            os._exit(13)
+
+        monkeypatch.setattr(exp, "run_app_once", always_die)
+        records = run_campaign_parallel(top, cfg, jobs=2, max_pool_retries=1)
+        assert len(records) == cfg.samples * 2
+        assert all(r.status == "error" for r in records)
+        assert all(r.attempts == 2 for r in records)
+        assert "worker died" in records[0].error
+        assert all(np.isnan(r.runtime) for r in records)
+
+    def test_run_tasks_retry_accounting(self):
+        outcomes = list(
+            run_tasks([1, 2, 3], _square, jobs=2, max_retries=1)
+        )
+        assert sorted(o.result for o in outcomes) == [1, 4, 9]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+
+
+def _square(x):
+    return x * x
+
+
+class TestInterrupts:
+    def test_ctrl_c_leaves_resumable_checkpoint(self, top, tmp_path, monkeypatch):
+        cfg = _cfg(samples=3)
+        full = tmp_path / "full.jsonl"
+        serial = run_campaign(top, cfg, jobs=1, checkpoint_path=str(full))
+
+        part = tmp_path / "part.jsonl"
+        real_append = ckpt_mod.append_record
+        state = {"appends": 0, "armed": True}
+
+        def interrupting(path, rec):
+            if state["armed"] and state["appends"] >= 2:
+                raise KeyboardInterrupt
+            state["appends"] += 1
+            return real_append(path, rec)
+
+        monkeypatch.setattr(ckpt_mod, "append_record", interrupting)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign_parallel(top, cfg, jobs=3, checkpoint_path=str(part))
+        state["armed"] = False
+
+        # clean prefix: header plus the two flushed records
+        assert full.read_text().startswith(part.read_text())
+        assert len(part.read_text().splitlines()) == 3
+
+        resumed = run_campaign(
+            top, cfg, jobs=3, checkpoint_path=str(part), resume=True
+        )
+        assert _dicts(resumed) == _dicts(serial)
+        assert part.read_bytes() == full.read_bytes()
+
+    def test_ensemble_ctrl_c_resumable_via_cli(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli
+        import repro.parallel as par
+
+        monkeypatch.setitem(cli.SYSTEMS, "mini", mini)
+
+        def argv(ck):
+            return [
+                "ensemble", "--system", "mini", "--app", "milc",
+                "--jobs", "2", "--nodes", "16", "--modes", "AD0,AD3",
+                "--workers", "2", "--checkpoint", str(ck),
+            ]
+
+        ck_full = tmp_path / "full.json"
+        assert cli.main(argv(ck_full)) == 0
+        capsys.readouterr()
+
+        ck = tmp_path / "interrupted.json"
+        real = par.run_ensembles
+
+        def interrupted(topx, cfgs, *, on_result=None, **kw):
+            def wrapper(i, res):
+                on_result(i, res)
+                raise KeyboardInterrupt
+
+            return real(topx, cfgs, on_result=wrapper, **kw)
+
+        monkeypatch.setattr(par, "run_ensembles", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            cli.main(argv(ck))
+        monkeypatch.setattr(par, "run_ensembles", real)
+        capsys.readouterr()
+
+        assert set(json.loads(ck.read_text())["outputs"]) == {"AD0"}
+        assert cli.main([*argv(ck), "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith(f"(resumed from {ck})")
+        assert json.loads(ck.read_text())["outputs"] == (
+            json.loads(ck_full.read_text())["outputs"]
+        )

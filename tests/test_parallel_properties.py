@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) for the parallel subsystem's
+determinism primitives: SeedSequence-based stream derivation, the
+topology/faulted-view LRU cache, and the path-table memo.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultSchedule
+from repro.parallel import (
+    TopologySpec,
+    cached_faulted_view,
+    cached_minimal_paths,
+    cached_topology,
+    clear_path_cache,
+    clear_topology_cache,
+    path_cache_stats,
+    topology_fingerprint,
+)
+from repro.topology.paths import minimal_paths, valiant_paths
+from repro.topology.pathcache import cached_valiant_paths
+from repro.topology.systems import toy
+from repro.util import derive_rng, seed_sequence_for, spawn_rng_streams
+
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+KEY_PARTS = st.one_of(
+    st.integers(0, 2**31 - 1),
+    st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+)
+KEYS = st.lists(KEY_PARTS, min_size=1, max_size=4).map(tuple)
+
+FAULT_SPECS = st.sampled_from(
+    ["rank3:0.25", "rank1:0.1", "link:5*0.5", "cable:0-1:0", "router:3"]
+)
+
+
+class TestSeedDerivation:
+    @given(seed=st.integers(0, 2**31 - 1), key=KEYS)
+    @settings(max_examples=50, deadline=None)
+    def test_spawned_streams_deterministic_and_distinct(self, seed, key):
+        a = spawn_rng_streams(seed, *key, n=4)
+        b = spawn_rng_streams(seed, *key, n=4)
+        draws_a = [tuple(g.integers(0, 2**31, size=4)) for g in a]
+        draws_b = [tuple(g.integers(0, 2**31, size=4)) for g in b]
+        # pure function of (seed, key, index): identical across calls
+        assert draws_a == draws_b
+        # children are pairwise distinct streams
+        assert len(set(draws_a)) == len(draws_a)
+
+    @given(seed=st.integers(0, 2**31 - 1), key=KEYS, n=st.integers(1, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_spawn_count_independent_prefix(self, seed, key, n):
+        # child i is the same stream no matter how many siblings exist
+        small = spawn_rng_streams(seed, *key, n=n)
+        large = spawn_rng_streams(seed, *key, n=n + 3)
+        for g1, g2 in zip(small, large):
+            assert np.array_equal(
+                g1.integers(0, 2**31, size=4), g2.integers(0, 2**31, size=4)
+            )
+
+    @given(seed=st.integers(0, 2**31 - 1), key=KEYS)
+    @settings(max_examples=50, deadline=None)
+    def test_spawn_key_matches_derive_key(self, seed, key):
+        # both stream families hang off the same SeedSequence identity
+        root = seed_sequence_for(seed, *key)
+        child = root.spawn(1)[0]
+        direct = np.random.default_rng(child)
+        again = np.random.default_rng(seed_sequence_for(seed, *key).spawn(1)[0])
+        assert np.array_equal(
+            direct.integers(0, 2**31, size=4), again.integers(0, 2**31, size=4)
+        )
+
+
+class TestTopologyCache:
+    @given(seed=st.integers(0, 40))
+    @SLOW
+    def test_cache_hit_equals_fresh_build(self, seed):
+        clear_topology_cache()
+        spec = TopologySpec.of(toy(seed=seed))
+        cached = cached_topology(spec)
+        fresh = spec.build()
+        for name, value in vars(fresh).items():
+            if isinstance(value, np.ndarray):
+                assert np.array_equal(getattr(cached, name), value), name
+        assert cached_topology(spec) is cached  # second lookup is a hit
+
+    @given(s1=st.integers(0, 40), s2=st.integers(0, 40))
+    @SLOW
+    def test_distinct_specs_never_alias(self, s1, s2):
+        spec1 = TopologySpec.of(toy(seed=s1))
+        spec2 = TopologySpec.of(toy(seed=s2))
+        assert (spec1 == spec2) == (s1 == s2)
+        t1, t2 = cached_topology(spec1), cached_topology(spec2)
+        assert (t1 is t2) == (s1 == s2)
+
+    @given(
+        spec_a=FAULT_SPECS, seed_a=st.integers(0, 5),
+        spec_b=FAULT_SPECS, seed_b=st.integers(0, 5),
+    )
+    @SLOW
+    def test_faulted_view_keys_never_alias(self, spec_a, seed_a, spec_b, seed_b):
+        base = TopologySpec.of(toy())
+        fa = FaultSchedule.parse(spec_a, seed=seed_a)
+        fb = FaultSchedule.parse(spec_b, seed=seed_b)
+        va = cached_faulted_view(base, fa)
+        vb = cached_faulted_view(base, fb)
+        if fa == fb:
+            assert va is vb
+        else:
+            assert va is not vb
+            # equal fingerprints would mean the path memo could serve one
+            # view's tables for the other; only identical masks may match
+            if not np.array_equal(va.capacity, vb.capacity):
+                assert topology_fingerprint(va) != topology_fingerprint(vb)
+
+    @given(fault=FAULT_SPECS, seed=st.integers(0, 5))
+    @SLOW
+    def test_faulted_view_matches_with_faults(self, fault, seed):
+        schedule = FaultSchedule.parse(fault, seed=seed)
+        spec = TopologySpec.of(toy())
+        view = cached_faulted_view(spec, schedule)
+        direct = toy().with_faults(schedule)
+        assert np.array_equal(view.capacity, direct.capacity)
+
+    def test_mutating_cached_topology_raises(self):
+        clear_topology_cache()
+        spec = TopologySpec.of(toy())
+        top = cached_topology(spec)
+        with pytest.raises(ValueError):
+            top.capacity[0] = 99.0
+        view = cached_faulted_view(spec, FaultSchedule.parse("rank3:0.25", seed=1))
+        with pytest.raises(ValueError):
+            view.capacity[0] = 99.0
+        with pytest.raises(ValueError):
+            view.fault_scale[0] = 0.0
+
+
+class TestPathCache:
+    def _flows(self, top, rng):
+        src = rng.integers(0, top.n_nodes, size=24)
+        dst = (src + 1 + rng.integers(0, top.n_nodes - 1, size=24)) % top.n_nodes
+        return src, dst
+
+    @given(seed=st.integers(0, 200))
+    @SLOW
+    def test_hit_equals_fresh_build_and_rng_state(self, seed):
+        top = cached_topology(TopologySpec.of(toy()))
+        src, dst = self._flows(top, derive_rng(seed, "flows"))
+        for cached_fn, fresh_fn in (
+            (cached_minimal_paths, minimal_paths),
+            (cached_valiant_paths, valiant_paths),
+        ):
+            rng_f = derive_rng(seed, "paths")
+            fresh = fresh_fn(top, src, dst, k=2, rng=rng_f)
+            clear_path_cache()
+            rng_m = derive_rng(seed, "paths")
+            miss = cached_fn(top, src, dst, k=2, rng=rng_m)
+            rng_h = derive_rng(seed, "paths")
+            hit = cached_fn(top, src, dst, k=2, rng=rng_h)
+            stats = path_cache_stats()
+            assert stats["hits"] == 1 and stats["misses"] == 1
+            for bundle in (miss, hit):
+                assert np.array_equal(bundle.links, fresh.links)
+                assert np.array_equal(bundle.flow, fresh.flow)
+                assert bundle.kind == fresh.kind
+            # the hit fast-forwards the generator to the post-build state:
+            # downstream draws are identical to a fresh build's
+            assert rng_m.bit_generator.state == rng_f.bit_generator.state
+            assert rng_h.bit_generator.state == rng_f.bit_generator.state
+
+    @given(seed=st.integers(0, 200))
+    @SLOW
+    def test_different_rng_state_is_a_different_key(self, seed):
+        top = cached_topology(TopologySpec.of(toy()))
+        src, dst = self._flows(top, derive_rng(seed, "flows"))
+        clear_path_cache()
+        rng_a = derive_rng(seed, "paths")
+        cached_minimal_paths(top, src, dst, k=2, rng=rng_a)
+        rng_b = derive_rng(seed, "paths")
+        rng_b.integers(0, 10)  # advanced state: must not hit
+        cached_minimal_paths(top, src, dst, k=2, rng=rng_b)
+        assert path_cache_stats()["misses"] == 2
+
+    def test_cached_bundles_are_read_only(self):
+        top = cached_topology(TopologySpec.of(toy()))
+        src, dst = self._flows(top, derive_rng(0, "flows"))
+        clear_path_cache()
+        bundle = cached_minimal_paths(top, src, dst, k=2, rng=derive_rng(0, "p"))
+        with pytest.raises(ValueError):
+            bundle.links[0, 0] = -2
+        with pytest.raises(ValueError):
+            bundle.flow[0] = 0
