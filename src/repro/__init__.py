@@ -43,6 +43,7 @@ from repro.core.ensembles import EnsembleConfig, run_ensemble
 from repro.core.facility import run_default_change_study
 from repro.core.advisor import recommend
 from repro.apps import MILC, MILCReorder, Nek5000, HACC, Qbox, Rayleigh
+from repro.guard import GuardPolicy, InvariantViolation, RunTimeoutError
 from repro.mpi.env import RoutingEnv
 from repro.topology.systems import theta, cori, mini, toy
 
@@ -65,6 +66,9 @@ __all__ = [
     "run_ensemble",
     "run_default_change_study",
     "recommend",
+    "GuardPolicy",
+    "InvariantViolation",
+    "RunTimeoutError",
     "MILC",
     "MILCReorder",
     "Nek5000",

@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import signal
 import sys
 from pathlib import Path
 
@@ -61,10 +62,16 @@ from repro.telemetry import (
     summarize_trace,
     use_telemetry,
 )
-from repro.topology.systems import cori, slingshot, theta
+from repro.topology.systems import cori, mini, slingshot, theta, toy
 from repro.util import derive_rng
 
-SYSTEMS = {"theta": theta, "cori": cori, "slingshot": slingshot}
+SYSTEMS = {
+    "theta": theta,
+    "cori": cori,
+    "slingshot": slingshot,
+    "mini": mini,
+    "toy": toy,
+}
 
 logger = logging.getLogger("repro.cli")
 
@@ -81,6 +88,26 @@ def _faults_from_args(args) -> FaultSchedule | None:
     if not spec:
         return None
     return FaultSchedule.parse(spec, seed=args.seed)
+
+
+def _guard_from_args(args):
+    """Build a :class:`GuardPolicy` from the guard flags (None if unset)."""
+    from repro.guard import GuardPolicy
+
+    deadline = getattr(args, "deadline", None)
+    step_budget = getattr(args, "step_budget", None)
+    invariants = getattr(args, "guard", None)
+    hang_timeout = getattr(args, "hang_timeout", None)
+    bundle_dir = getattr(args, "bundle_dir", None)
+    if not any((deadline, step_budget, invariants, hang_timeout, bundle_dir)):
+        return None
+    return GuardPolicy(
+        deadline=deadline,
+        step_budget=step_budget,
+        invariants="raise" if invariants == "strict" else (invariants or "off"),
+        hang_timeout=hang_timeout,
+        bundle_dir=bundle_dir,
+    )
 
 
 def cmd_describe(args) -> int:
@@ -112,6 +139,7 @@ def cmd_compare(args) -> int:
             seed=args.seed,
             faults=faults,
             max_attempts=args.max_attempts,
+            guard=_guard_from_args(args),
         ),
         checkpoint_path=args.checkpoint,
         resume=args.resume,
@@ -293,6 +321,28 @@ def cmd_ensemble(args) -> int:
     return 0
 
 
+def cmd_doctor(args) -> int:
+    from repro.guard.doctor import exit_code, run_doctor
+
+    findings = run_doctor(
+        system=args.system,
+        dims=args.dims,
+        faults=args.faults,
+        checkpoint=args.checkpoint,
+        selftest=not args.no_selftest,
+        seed=args.seed,
+    )
+    for f in findings:
+        print(f.format())
+    rc = exit_code(findings)
+    failed = sum(1 for f in findings if not f.ok)
+    print(
+        f"doctor: {len(findings) - failed}/{len(findings)} checks passed"
+        + ("" if rc == 0 else f" -- NOT ready (exit {rc})")
+    )
+    return rc
+
+
 def cmd_report(args) -> int:
     path = Path(args.trace_path)
     if not path.exists():
@@ -329,7 +379,9 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     def common(sp):
-        sp.add_argument("--system", default="theta", help="theta | cori | slingshot")
+        sp.add_argument(
+            "--system", default="theta", help="theta | cori | slingshot | mini | toy"
+        )
         sp.add_argument("--seed", type=int, default=2021)
         observability(sp)
 
@@ -361,6 +413,42 @@ def build_parser() -> argparse.ArgumentParser:
             "--resume",
             action="store_true",
             help="skip runs already completed in --checkpoint",
+        )
+        sp.add_argument(
+            "--deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-run wall-clock budget; a run over it becomes an "
+            "error-status record instead of hanging the campaign",
+        )
+        sp.add_argument(
+            "--step-budget",
+            type=int,
+            default=None,
+            metavar="N",
+            help="per-run packet-simulator step budget (docs/GUARDRAILS.md)",
+        )
+        sp.add_argument(
+            "--guard",
+            default=None,
+            choices=["off", "warn", "record", "raise", "strict"],
+            help="invariant-monitor policy (strict == raise); see also "
+            "the REPRO_GUARD environment variable",
+        )
+        sp.add_argument(
+            "--hang-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="with -j: SIGKILL+retry a worker whose heartbeat goes "
+            "stale for this long",
+        )
+        sp.add_argument(
+            "--bundle-dir",
+            default=None,
+            metavar="DIR",
+            help="write a diagnostics bundle per guard-terminated run",
         )
 
     sp = sub.add_parser("describe", help="print a system's structure and the routing modes")
@@ -451,6 +539,37 @@ def build_parser() -> argparse.ArgumentParser:
     observability(sp)
     sp.set_defaults(func=cmd_report)
 
+    sp = sub.add_parser(
+        "doctor",
+        help="validate a campaign's config and self-test the installation",
+    )
+    common(sp)
+    sp.add_argument(
+        "--dims",
+        default=None,
+        metavar="G,C,R,N",
+        help="custom topology dims (groups, chassis/group, routers/chassis, "
+        "nodes/router); overrides --system",
+    )
+    sp.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault schedule to validate against the chosen topology",
+    )
+    sp.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="checkpoint destination to probe for writability",
+    )
+    sp.add_argument(
+        "--no-selftest",
+        action="store_true",
+        help="skip the engine self-test matrix (config checks only)",
+    )
+    sp.set_defaults(func=cmd_doctor)
+
     return p
 
 
@@ -486,6 +605,12 @@ def _telemetry_from_args(args) -> Telemetry:
 
 
 def main(argv: list[str] | None = None) -> int:
+    try:
+        # a batch scheduler's SIGTERM should unwind like SystemExit so
+        # pools reap their workers and checkpoints keep a clean tail
+        signal.signal(signal.SIGTERM, lambda signum, frame: sys.exit(143))
+    except ValueError:
+        pass  # not the main thread (embedded use); keep default handling
     args = build_parser().parse_args(argv)
     tel = _telemetry_from_args(args)
     try:

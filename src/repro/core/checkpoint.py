@@ -148,6 +148,69 @@ def append_record(path: str | os.PathLike, rec: Any) -> None:
         os.fsync(f.fileno())
 
 
+def repair_tail(path: str | os.PathLike) -> bool:
+    """Truncate a crash-torn final line so appends stay crash-atomic.
+
+    A campaign killed mid-append leaves either a line without its
+    trailing newline or a newline-terminated line of partial JSON.
+    ``load_records`` tolerates both on read, but *appending* after a
+    torn tail would concatenate a fresh record onto the fragment and
+    corrupt two records instead of zero.  Returns True when bytes were
+    actually removed.
+    """
+    with open(path, "r+b") as f:
+        data = f.read()
+        if not data:
+            return False
+        keep = len(data)
+        if not data.endswith(b"\n"):
+            # partial line with no terminator: drop back to the last
+            # complete line (the file always starts with the header)
+            keep = data.rfind(b"\n") + 1
+        else:
+            last_nl = data.rfind(b"\n", 0, len(data) - 1)
+            last_line = data[last_nl + 1 :]
+            try:
+                json.loads(last_line)
+            except json.JSONDecodeError:
+                keep = last_nl + 1  # newline landed but the JSON did not
+        if keep == len(data):
+            return False
+        f.truncate(keep)
+        f.flush()
+        os.fsync(f.fileno())
+        return True
+
+
+def rewrite(
+    path: str | os.PathLike,
+    fingerprint: dict[str, Any],
+    records: list[Any],
+) -> None:
+    """Atomically replace a checkpoint with header + the given records.
+
+    Used on ``--resume`` to drop error/superseded records: the new file
+    is built beside the old one and swapped in with ``os.replace``, so
+    a crash during the rewrite leaves the previous checkpoint intact.
+    """
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as f:
+            f.write(
+                json.dumps({"kind": _KIND, "version": _VERSION, "config": fingerprint})
+                + "\n"
+            )
+            for rec in records:
+                f.write(json.dumps(record_to_dict(rec)) + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
 def load_records(
     path: str | os.PathLike, fingerprint: dict[str, Any]
 ) -> dict[tuple[int, str], Any]:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -24,6 +24,9 @@ from repro.core import checkpoint as ckpt
 from repro.core.biases import AD0, AD3, RoutingMode
 from repro.core.metrics import SampleStats, remove_outliers
 from repro.faults import FaultSchedule, NetworkPartitionedError
+from repro.guard import GuardPolicy, InvariantViolation, RunTimeoutError
+from repro.guard.bundle import RingTraceWriter, write_bundle
+from repro.guard.context import RunGuard, use_guard
 from repro.monitoring.autoperf import AutoPerf, AutoPerfReport
 from repro.mpi.env import RoutingEnv
 from repro.mpi.patterns import Phase, TrafficOp
@@ -31,7 +34,7 @@ from repro.network.counters import CounterBank
 from repro.network.fluid import FlowSet, FluidParams, FluidResult, solve_fluid
 from repro.scheduler.background import BackgroundModel, BackgroundScenario
 from repro.scheduler.placement import groups_spanned, make_placement
-from repro.telemetry import Telemetry, resolve_telemetry
+from repro.telemetry import MultiTraceWriter, Telemetry, resolve_telemetry
 from repro.topology.dragonfly import DragonflyTopology
 from repro.util import derive_rng
 
@@ -353,6 +356,13 @@ class CampaignConfig:
     max_attempts: int = 1
     #: seconds slept before retry ``k`` (scaled by ``k``); 0 = no sleep
     retry_backoff: float = 0.0
+    #: run guardrails (deadlines, budgets, invariant checks, watchdog);
+    #: ``None`` or an inactive policy is a strict no-op — results are
+    #: byte-identical to an unguarded campaign (see docs/GUARDRAILS.md).
+    #: Deliberately excluded from :func:`campaign_fingerprint`: guards
+    #: change how failures are *bounded*, never what a healthy run
+    #: produces, so guarded and unguarded checkpoints stay compatible.
+    guard: GuardPolicy | None = None
 
 
 def campaign_fingerprint(top: DragonflyTopology, cfg: CampaignConfig) -> dict:
@@ -454,6 +464,44 @@ def sample_draws(
     return nodes, bg, intensity
 
 
+def _write_guard_bundle(
+    top: DragonflyTopology,
+    cfg: CampaignConfig,
+    policy: GuardPolicy | None,
+    guard: RunGuard | None,
+    ring: RingTraceWriter | None,
+    label: str,
+    sample: int,
+    mode: RoutingMode,
+    attempt: int,
+    exc: BaseException,
+    tel: Telemetry,
+) -> None:
+    """Best-effort diagnostics bundle for a guard-terminated run."""
+    if policy is None or policy.bundle_dir is None:
+        return
+    path = write_bundle(
+        policy.bundle_dir,
+        label=label,
+        reason={"type": type(exc).__name__, "message": str(exc)},
+        fingerprint=campaign_fingerprint(top, cfg),
+        rng_key={
+            "seed": cfg.seed,
+            "app": cfg.app.name,
+            "n_nodes": cfg.n_nodes,
+            "sample": sample,
+            "mode": mode.name,
+            "attempt": attempt,
+        },
+        policy=asdict(policy),
+        events=ring.tail() if ring is not None else [],
+        violations=list(guard.violations) if guard is not None else [],
+        counters=tel.metrics.to_dict() if tel.metrics.enabled else {},
+    )
+    if path is not None:
+        tel.event("guard.bundle", label=label, path=str(path))
+
+
 def execute_run(
     top: DragonflyTopology,
     run_top: DragonflyTopology,
@@ -470,9 +518,16 @@ def execute_run(
     This is the unit the parallel dispatcher fans out; its RNG stream is
     derived solely from ``(seed, app, size, sample, mode)``, so the
     record is identical no matter which process executes it or when.
+
+    With an active :attr:`CampaignConfig.guard`, a :class:`RunGuard` is
+    installed around the engines for the run's duration; budget/invariant
+    failures are deterministic, so they are never retried — they become
+    error-status records (plus a diagnostics bundle when configured).
     """
     app = cfg.app
     env = RoutingEnv.uniform(mode) if cfg.uniform_env else RoutingEnv(p2p_mode=mode)
+    policy = cfg.guard if (cfg.guard is not None and cfg.guard.active) else None
+    label = f"{app.name}-{mode.name}-s{i}"
     t0 = time.perf_counter() if tel.enabled else 0.0
     rec: RunRecord | None = None
     attempt = 0
@@ -486,21 +541,43 @@ def execute_run(
             if attempt == 1
             else derive_rng(*key, "retry", attempt)
         )
+        guard: RunGuard | None = None
+        ring: RingTraceWriter | None = None
+        run_tel = tel
+        if policy is not None:
+            if policy.bundle_dir is not None:
+                # capture the run's trailing events for the bundle without
+                # requiring the campaign to persist full traces
+                ring = RingTraceWriter(policy.bundle_events)
+                run_tel = Telemetry(
+                    trace=MultiTraceWriter([tel.trace, ring]), metrics=tel.metrics
+                )
+            guard = RunGuard(policy, telemetry=run_tel, label=label)
         try:
-            runtime, report, timings = run_app_once(
-                run_top,
-                app,
-                nodes,
-                env,
-                background_util=bg,
-                rng=run_rng,
-                params=cfg.params,
-                telemetry=tel,
-            )
+            with use_guard(guard):
+                runtime, report, timings = run_app_once(
+                    run_top,
+                    app,
+                    nodes,
+                    env,
+                    background_util=bg,
+                    rng=run_rng,
+                    params=cfg.params,
+                    telemetry=run_tel,
+                )
         except NetworkPartitionedError as exc:
             # deterministic: retrying cannot help
             rec = _error_record(
                 cfg, mode, i, groups_spanned(top, nodes), intensity, exc, attempt
+            )
+        except (RunTimeoutError, InvariantViolation) as exc:
+            # budget exhaustion and broken conservation laws are
+            # deterministic too: isolate, bundle, never retry
+            rec = _error_record(
+                cfg, mode, i, groups_spanned(top, nodes), intensity, exc, attempt
+            )
+            _write_guard_bundle(
+                top, cfg, policy, guard, ring, label, i, mode, attempt, exc, tel
             )
         except Exception as exc:
             if attempt < cfg.max_attempts:
@@ -572,13 +649,12 @@ def prepare_checkpoint(
         return done
     fp = campaign_fingerprint(top, cfg)
     if resume and os.path.exists(checkpoint_path):
+        # a crash mid-append may have torn the final line: truncate it
+        # before reading, then atomically rewrite without error and
+        # superseded records (a crash mid-rewrite keeps the old file)
+        ckpt.repair_tail(checkpoint_path)
         done = ckpt.load_records(checkpoint_path, fp)
-        # rewrite cleanly: drops any crash-truncated tail line (new
-        # appends would otherwise concatenate onto it) plus error
-        # and superseded records
-        ckpt.write_header(checkpoint_path, fp)
-        for rec in done.values():
-            ckpt.append_record(checkpoint_path, rec)
+        ckpt.rewrite(checkpoint_path, fp, list(done.values()))
     else:
         ckpt.write_header(checkpoint_path, fp)
     return done

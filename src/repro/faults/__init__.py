@@ -8,7 +8,7 @@ flow has no surviving route.  See ``docs/FAULTS.md`` for the schema,
 the degraded-capacity semantics, and the CLI mini-language.
 """
 
-from repro.faults.errors import NetworkPartitionedError
+from repro.faults.errors import FaultSpecError, NetworkPartitionedError
 from repro.faults.model import (
     NO_FAULTS,
     FaultSchedule,
@@ -19,5 +19,6 @@ __all__ = [
     "NO_FAULTS",
     "FaultSchedule",
     "FaultSpec",
+    "FaultSpecError",
     "NetworkPartitionedError",
 ]

@@ -7,6 +7,21 @@ Kept free of topology imports so :mod:`repro.topology.paths` can raise
 from __future__ import annotations
 
 
+class FaultSpecError(ValueError):
+    """A ``--faults`` spec failed to parse.
+
+    Carries the offending ``token`` and its character ``position`` in
+    the original spec string, so the CLI can point at the exact spot
+    instead of dumping a traceback.  Subclasses ``ValueError`` so
+    existing ``except ValueError`` config-error handling still applies.
+    """
+
+    def __init__(self, message: str, *, token: str = "", position: int = 0) -> None:
+        self.token = token
+        self.position = position
+        super().__init__(f"{message} (token {token!r} at position {position})")
+
+
 class NetworkPartitionedError(RuntimeError):
     """A flow's endpoints have no surviving path between them.
 

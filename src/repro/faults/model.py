@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
-from repro.faults.errors import NetworkPartitionedError
+from repro.faults.errors import FaultSpecError, NetworkPartitionedError
 from repro.topology.dragonfly import LinkClass
 from repro.util import derive_rng
 
@@ -398,12 +398,28 @@ class FaultSchedule:
 
         Examples: ``"rank3:0.05"``, ``"router:17;cable:0-1:3"``,
         ``"cable:0-1:0@1e-4,5e-4"``.
+
+        Raises :class:`repro.faults.FaultSpecError` (a ``ValueError``)
+        carrying the offending token and its character position in
+        ``text``, so CLI errors can point at the exact spot.
         """
         specs: list[FaultSpec] = []
-        for raw in text.split(";"):
-            raw = raw.strip()
+        pos = 0
+        for seg in text.split(";"):
+            seg_start = pos
+            pos += len(seg) + 1  # +1 for the consumed ";"
+            raw = seg.strip()
             if not raw:
                 continue
+
+            def err(message: str, token: str, _seg=seg, _base=seg_start) -> FaultSpecError:
+                offset = _seg.find(token) if token else -1
+                return FaultSpecError(
+                    message,
+                    token=token or _seg.strip(),
+                    position=_base + (offset if offset >= 0 else len(_seg) - len(_seg.lstrip())),
+                )
+
             start, end = 0.0, None
             if "@" in raw:
                 raw, _, window = raw.partition("@")
@@ -412,14 +428,14 @@ class FaultSchedule:
                     start = float(w1)
                     end = float(w2) if w2 else None
                 except ValueError:
-                    raise ValueError(f"bad fault window {window!r} (expected T1[,T2])")
+                    raise err("bad fault window (expected T1[,T2])", window) from None
             head, _, rest = raw.partition(":")
             head = head.strip().lower()
             if head in _CLASS_NAMES:
                 try:
                     frac = float(rest)
                 except ValueError:
-                    raise ValueError(f"bad fraction {rest!r} in fault spec {raw!r}")
+                    raise err(f"bad fraction in {head} fault spec", rest) from None
                 specs.append(
                     FaultSpec.random_link_failures(head, frac, start=start, end=end)
                 )
@@ -427,7 +443,7 @@ class FaultSchedule:
                 try:
                     r = int(rest)
                 except ValueError:
-                    raise ValueError(f"bad router index {rest!r} in fault spec {raw!r}")
+                    raise err("bad router index in fault spec", rest) from None
                 specs.append(FaultSpec.dead_router(r, start=start, end=end))
             elif head == "cable":
                 pair, _, cable = rest.partition(":")
@@ -436,16 +452,20 @@ class FaultSchedule:
                 try:
                     ga_i, gb_i, c_i = int(ga), int(gb), int(cable)
                 except ValueError:
-                    raise ValueError(
-                        f"bad cable spec {raw!r} (expected cable:GA-GB:C[*S])"
-                    )
+                    raise err(
+                        "bad cable spec (expected cable:GA-GB:C[*S])", rest
+                    ) from None
                 if scale:
+                    try:
+                        scale_f = float(scale)
+                    except ValueError:
+                        raise err("bad cable capacity scale", scale) from None
                     spec = FaultSpec(
                         kind="cable",
                         group_a=ga_i,
                         group_b=gb_i,
                         cable=c_i,
-                        scale=float(scale),
+                        scale=scale_f,
                         start=start,
                         end=end,
                     )
@@ -457,16 +477,21 @@ class FaultSchedule:
                 try:
                     lid_i = int(lid)
                 except ValueError:
-                    raise ValueError(f"bad link id {lid!r} in fault spec {raw!r}")
+                    raise err("bad link id in fault spec", lid) from None
                 if scale:
+                    try:
+                        scale_f = float(scale)
+                    except ValueError:
+                        raise err("bad link capacity scale", scale) from None
                     specs.append(
-                        FaultSpec.degraded_links([lid_i], float(scale), start=start, end=end)
+                        FaultSpec.degraded_links([lid_i], scale_f, start=start, end=end)
                     )
                 else:
                     specs.append(FaultSpec.dead_links([lid_i], start=start, end=end))
             else:
-                raise ValueError(
-                    f"unknown fault spec {raw!r} (expected rank1|rank2|rank3|router|cable|link)"
+                raise err(
+                    "unknown fault spec (expected rank1|rank2|rank3|router|cable|link)",
+                    head,
                 )
         return cls(specs=tuple(specs), seed=seed)
 

@@ -1,0 +1,233 @@
+"""The per-run guard state and its ambient installation.
+
+Mirrors :mod:`repro.telemetry.context`: the campaign harness creates a
+:class:`RunGuard` per run and installs it with :func:`use_guard`; the
+engines poll :func:`active_guard` once per solve / run and tick it
+cooperatively from their inner loops.  With no guard installed and no
+``$REPRO_GUARD`` environment override, :func:`active_guard` returns
+``None`` and the engines skip every guard branch — the inactive path
+costs one function call per engine invocation.
+
+Worker processes additionally register a heartbeat sink here
+(:func:`set_worker_heartbeat`): every guard tick feeds it, so the
+parent-side watchdog can tell a *hung* worker (ticks stopped) from a
+merely busy one.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from contextlib import contextmanager
+
+from repro.guard.errors import GuardWarning, InvariantViolation, RunTimeoutError
+from repro.guard.policy import GUARD_ENV, GuardPolicy
+
+import os
+
+
+class RunGuard:
+    """Mutable budget/invariant enforcement state for one run.
+
+    Parameters
+    ----------
+    policy:
+        The frozen :class:`~repro.guard.GuardPolicy` to enforce.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` for ``guard.*``
+        events; ``None`` emits nothing.
+    label:
+        Run identity used in events and bundle names
+        (``"milc-AD0-s3"``).
+    clock:
+        Injectable monotonic clock (tests pin deadlines without
+        sleeping).
+    """
+
+    __slots__ = (
+        "policy",
+        "label",
+        "telemetry",
+        "steps",
+        "iterations",
+        "violations",
+        "_clock",
+        "_deadline_at",
+    )
+
+    def __init__(
+        self,
+        policy: GuardPolicy,
+        *,
+        telemetry=None,
+        label: str = "",
+        clock=time.monotonic,
+    ) -> None:
+        self.policy = policy
+        self.label = label
+        self.telemetry = telemetry
+        self.steps = 0
+        self.iterations = 0
+        #: invariant findings recorded so far (dicts; see ``violation``)
+        self.violations: list[dict] = []
+        self._clock = clock
+        self._deadline_at = (
+            clock() + policy.deadline if policy.deadline is not None else None
+        )
+
+    # ---- budgets -----------------------------------------------------
+    @property
+    def check_invariants(self) -> bool:
+        return self.policy.check_invariants
+
+    def _event(self, name: str, **fields) -> None:
+        tel = self.telemetry
+        if tel is not None:
+            tel.event(name, label=self.label, **fields)
+
+    def _timeout(self, kind: str, limit: float, spent: float, where: str) -> None:
+        self._event(
+            "guard.timeout",
+            kind=kind,
+            limit=limit,
+            spent=spent,
+            where=where,
+            steps=self.steps,
+            iterations=self.iterations,
+        )
+        raise RunTimeoutError(kind, limit, spent, where)
+
+    def check_deadline(self, where: str = "") -> None:
+        """Raise :class:`RunTimeoutError` once the wall-clock budget is gone."""
+        if self._deadline_at is None:
+            return
+        now = self._clock()
+        if now > self._deadline_at:
+            spent = self.policy.deadline + (now - self._deadline_at)
+            self._timeout("deadline", self.policy.deadline, spent, where)
+
+    def tick_steps(self, n: int = 1, where: str = "packet.run") -> None:
+        """Account ``n`` packet-simulator steps against the budgets."""
+        beat()
+        self.steps += n
+        budget = self.policy.step_budget
+        if budget is not None and self.steps > budget:
+            self._timeout("step_budget", budget, self.steps, where)
+        self.check_deadline(where)
+
+    def tick_iterations(self, n: int = 1, where: str = "fluid.solve") -> None:
+        """Account ``n`` fluid-solver iterations against the budgets."""
+        beat()
+        self.iterations += n
+        budget = self.policy.iteration_budget
+        if budget is not None and self.iterations > budget:
+            self._timeout("iteration_budget", budget, self.iterations, where)
+        self.check_deadline(where)
+
+    # ---- invariants --------------------------------------------------
+    def violation(self, name: str, detail: str = "", **context) -> None:
+        """Report one invariant violation under the policy's disposition.
+
+        Always emits a ``guard.violation`` trace event and appends to
+        :attr:`violations`; additionally warns (``"warn"``) or raises
+        (``"raise"``).  Never called on the ``"off"`` policy — callers
+        gate their checks on :attr:`check_invariants`.
+        """
+        mode = self.policy.invariants
+        finding = {"invariant": name, "detail": detail, **context}
+        self.violations.append(finding)
+        self._event("guard.violation", mode=mode, **finding)
+        tel = self.telemetry
+        if tel is not None and tel.metrics.enabled:
+            tel.metrics.counter(
+                "guard_violations_total", "invariant violations observed"
+            ).inc()
+        if mode == "warn":
+            warnings.warn(
+                f"invariant {name} violated: {detail}", GuardWarning, stacklevel=3
+            )
+        elif mode == "raise":
+            raise InvariantViolation(name, detail, **context)
+
+
+# ---- ambient installation -------------------------------------------
+
+_current: RunGuard | None = None
+
+#: cache for the environment-derived fallback guard, keyed by the raw
+#: ``$REPRO_GUARD`` value so tests can flip it with monkeypatch.setenv
+_env_cache: tuple[str, RunGuard | None] | None = None
+
+
+def current_guard() -> RunGuard | None:
+    """The explicitly installed guard, or ``None``."""
+    return _current
+
+
+def set_current_guard(guard: RunGuard | None) -> RunGuard | None:
+    """Install ``guard`` as ambient; returns the previous one."""
+    global _current
+    old = _current
+    _current = guard
+    return old
+
+
+@contextmanager
+def use_guard(guard: RunGuard | None):
+    """Scope ``guard`` as the ambient run guard for a ``with`` block.
+
+    ``use_guard(None)`` is a true no-op scope (it does not mask an
+    outer guard), so callers can write ``with use_guard(maybe_guard)``
+    unconditionally.
+    """
+    if guard is None:
+        yield None
+        return
+    old = set_current_guard(guard)
+    try:
+        yield guard
+    finally:
+        set_current_guard(old)
+
+
+def _env_guard() -> RunGuard | None:
+    """A shared guard built from ``$REPRO_GUARD`` (``None`` when unset).
+
+    Lets the ``REPRO_GUARD=strict`` CI leg enforce invariants in every
+    engine call, even ones not wrapped by a campaign.  The shared guard
+    carries no budgets, only the invariant disposition.
+    """
+    global _env_cache
+    raw = os.environ.get(GUARD_ENV, "")
+    if _env_cache is not None and _env_cache[0] == raw:
+        return _env_cache[1]
+    policy = GuardPolicy.from_env()
+    guard = RunGuard(policy, label="env") if policy.active else None
+    _env_cache = (raw, guard)
+    return guard
+
+
+def active_guard() -> RunGuard | None:
+    """What an engine should enforce: the ambient guard, else the env one."""
+    return _current if _current is not None else _env_guard()
+
+
+# ---- worker heartbeat hook ------------------------------------------
+
+_heartbeat = None
+
+
+def set_worker_heartbeat(heartbeat) -> None:
+    """Register this process's heartbeat sink (pool workers only).
+
+    ``heartbeat`` needs one method, ``beat()``; ``None`` unregisters.
+    """
+    global _heartbeat
+    _heartbeat = heartbeat
+
+
+def beat() -> None:
+    """Feed the worker watchdog, if one is attached to this process."""
+    hb = _heartbeat
+    if hb is not None:
+        hb.beat()

@@ -1,0 +1,328 @@
+"""The ``repro doctor`` self-check layer.
+
+Validates a proposed campaign's moving parts *before* hours of compute
+are committed to it: the environment (python/numpy/fork capability),
+the topology parameters, the fault schedule (including a partition
+probe against the degraded fabric), the checkpoint destination, and —
+unless skipped — a small self-test matrix that runs both engines under
+strict invariants and re-verifies determinism.
+
+Exit-code contract (enforced by :func:`exit_code`):
+
+* ``0`` — every check passed;
+* ``2`` — a configuration error (bad topology dims, malformed or
+  partitioned fault schedule, unwritable checkpoint destination) —
+  matching the CLI's config-error convention;
+* ``1`` — configuration is fine but a self-test failed (an environment
+  or installation problem).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import platform
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+#: findings that indicate a *configuration* error (exit 2)
+CONFIG_CHECKS = ("topology", "faults", "checkpoint")
+
+
+@dataclass
+class Finding:
+    """One doctor observation."""
+
+    check: str  # "environment" | "topology" | "faults" | "checkpoint" | "selftest"
+    status: str  # "ok" | "fail"
+    detail: str
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def format(self) -> str:
+        mark = "ok " if self.ok else "FAIL"
+        return f"[{mark}] {self.check}: {self.detail}"
+
+
+def check_environment() -> list[Finding]:
+    """Interpreter, numpy, and fork-capability findings (informational)."""
+    out = [
+        Finding(
+            "environment",
+            "ok",
+            f"python {platform.python_version()} on {platform.system()}",
+        ),
+        Finding("environment", "ok", f"numpy {np.__version__}"),
+        Finding("environment", "ok", f"{os.cpu_count() or 1} cpu cores"),
+    ]
+    methods = mp.get_all_start_methods()
+    if "fork" in methods:
+        out.append(Finding("environment", "ok", "fork start method available"))
+    else:
+        # not an error: campaigns still run serially
+        out.append(
+            Finding(
+                "environment",
+                "ok",
+                f"fork start method unavailable (have {methods}); "
+                "parallel campaigns (-j) will not work on this host",
+            )
+        )
+    return out
+
+
+def check_topology(system: str | None, dims: str | None, *, seed: int = 0):
+    """Build the requested topology; returns ``(finding, top_or_None)``.
+
+    ``dims`` is ``"G,C,R,N"`` (groups, chassis/group, routers/chassis,
+    nodes/router) and overrides ``system``.
+    """
+    from repro.topology.dragonfly import DragonflyParams, DragonflyTopology
+    from repro.topology.systems import cori, mini, slingshot, theta, toy
+
+    systems = {"theta": theta, "cori": cori, "slingshot": slingshot, "mini": mini, "toy": toy}
+    try:
+        if dims:
+            parts = [p.strip() for p in dims.split(",")]
+            if len(parts) != 4:
+                raise ValueError(f"--dims takes G,C,R,N (got {dims!r})")
+            g, c, r, n = (int(p) for p in parts)
+            top = DragonflyTopology(
+                DragonflyParams(
+                    name=f"custom{g}",
+                    n_groups=g,
+                    chassis_per_group=c,
+                    routers_per_chassis=r,
+                    nodes_per_router=n,
+                ),
+                seed=seed,
+            )
+        else:
+            name = system or "theta"
+            if name not in systems:
+                raise ValueError(
+                    f"unknown system {name!r}; choose from {sorted(systems)}"
+                )
+            top = systems[name]()
+    except ValueError as exc:
+        return Finding("topology", "fail", str(exc)), None
+    return (
+        Finding(
+            "topology",
+            "ok",
+            f"{top.params.name}: {top.n_groups} groups, {top.n_routers} routers, "
+            f"{top.n_nodes} nodes, {top.n_links} links",
+        ),
+        top,
+    )
+
+
+def check_faults(spec: str | None, top, *, seed: int = 0) -> list[Finding]:
+    """Parse a ``--faults`` spec and probe the degraded fabric for partitions.
+
+    The probe routes one representative flow out of every group (plus
+    one intra-group flow) on the faulted topology, and checks every
+    node's NIC links are alive — the cheap version of the full
+    partition test the campaign itself would hit at run time.
+    """
+    from repro.faults import FaultSchedule, NetworkPartitionedError
+    from repro.topology.paths import minimal_paths
+    from repro.util import derive_rng
+
+    if not spec:
+        return [Finding("faults", "ok", "no fault schedule")]
+    try:
+        schedule = FaultSchedule.parse(spec, seed=seed)
+    except ValueError as exc:
+        return [Finding("faults", "fail", f"unparsable fault spec: {exc}")]
+    findings = [Finding("faults", "ok", f"parsed: {schedule.describe()}")]
+    if top is None:
+        return findings
+    faulted = top.with_faults(schedule)
+    dead_nodes = np.flatnonzero(
+        (faulted.capacity[top.injection_link(np.arange(top.n_nodes))] <= 0)
+        | (faulted.capacity[top.ejection_link(np.arange(top.n_nodes))] <= 0)
+    )
+    if dead_nodes.size:
+        findings.append(
+            Finding(
+                "faults",
+                "fail",
+                f"schedule partitions the network: {dead_nodes.size} node(s) "
+                f"sit on dead routers/NICs (first: node {int(dead_nodes[0])}); "
+                "any run placed there will fail with NetworkPartitionedError",
+            )
+        )
+        return findings
+    # route a probe flow from each group to the next (and one local pair)
+    rpg, npr = top.routers_per_group, top.params.nodes_per_router
+    nodes_per_group = rpg * npr
+    src, dst = [], []
+    for g in range(top.n_groups):
+        src.append(g * nodes_per_group)
+        dst.append(((g + 1) % top.n_groups) * nodes_per_group)
+    src.append(0)
+    dst.append(npr)  # same group, next router
+    try:
+        minimal_paths(
+            faulted,
+            np.asarray(src),
+            np.asarray(dst),
+            k=2,
+            rng=derive_rng(seed, "doctor", "probe"),
+        )
+    except NetworkPartitionedError as exc:
+        findings.append(
+            Finding("faults", "fail", f"schedule partitions the network: {exc}")
+        )
+        return findings
+    findings.append(
+        Finding("faults", "ok", f"partition probe routed {len(src)} flows")
+    )
+    return findings
+
+
+def check_checkpoint(path: str | None) -> Finding:
+    """Can the checkpoint file actually be created/appended where asked?"""
+    if not path:
+        return Finding("checkpoint", "ok", "no checkpoint requested")
+    target = Path(path)
+    parent = target.parent if target.parent != Path("") else Path(".")
+    if not parent.is_dir():
+        return Finding(
+            "checkpoint",
+            "fail",
+            f"checkpoint directory {parent} does not exist (or is not a "
+            "directory); create it before launching the campaign",
+        )
+    try:
+        with tempfile.NamedTemporaryFile(dir=parent, prefix=".repro-doctor-"):
+            pass
+    except OSError as exc:
+        return Finding(
+            "checkpoint",
+            "fail",
+            f"checkpoint directory {parent} is not writable: {exc}",
+        )
+    return Finding("checkpoint", "ok", f"checkpoint destination {parent} is writable")
+
+
+def run_selftests() -> list[Finding]:
+    """A small engine matrix under strict invariants, plus determinism.
+
+    Everything here must pass on a healthy installation; a failure means
+    the environment (numpy build, float behaviour) is producing results
+    the campaign layer cannot trust.
+    """
+    import warnings
+
+    from repro.core.biases import AD0, AD3
+    from repro.guard.context import RunGuard, use_guard
+    from repro.guard.policy import GuardPolicy
+    from repro.network.fluid import FlowSet, NonConvergenceWarning, solve_fluid
+    from repro.network.packet_sim import InjectionSpec, PacketSimulator
+    from repro.topology.systems import toy
+    from repro.util import derive_rng
+
+    findings: list[Finding] = []
+    top = toy()
+    strict = GuardPolicy(invariants="raise")
+    n = top.n_nodes
+    flows = FlowSet(
+        src=np.arange(0, n // 2),
+        dst=np.arange(n // 2, n),
+        nbytes=np.full(n // 2, 1.5e6),
+        cls=np.zeros(n // 2, dtype=np.int64),
+    )
+    with warnings.catch_warnings():
+        # the probe workload is deliberately tiny and may sit
+        # off-equilibrium; non-convergence is not an installation fault
+        warnings.simplefilter("ignore", NonConvergenceWarning)
+        for mode in (AD0, AD3):
+            try:
+                with use_guard(RunGuard(strict, label=f"doctor-fluid-{mode.name}")):
+                    res = solve_fluid(
+                        top, flows, [mode], rng=derive_rng(0, "doctor", mode.name)
+                    )
+                if not np.isfinite(res.flow_time).all():
+                    raise RuntimeError("non-finite flow times")
+                findings.append(
+                    Finding(
+                        "selftest",
+                        "ok",
+                        f"fluid {mode.name}: {flows.n} flows, strict invariants clean",
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 - any failure is the finding
+                findings.append(
+                    Finding("selftest", "fail", f"fluid {mode.name}: {exc}")
+                )
+        # determinism: the same derived stream must reproduce identical bytes
+        try:
+            a = solve_fluid(top, flows, [AD0], rng=derive_rng(0, "doctor", "det"))
+            b = solve_fluid(top, flows, [AD0], rng=derive_rng(0, "doctor", "det"))
+            same = (
+                np.array_equal(a.flow_time, b.flow_time)
+                and np.array_equal(a.link_load, b.link_load)
+                and np.array_equal(a.min_fraction, b.min_fraction)
+            )
+            if not same:
+                raise RuntimeError("two identical solves produced different results")
+            findings.append(
+                Finding("selftest", "ok", "fluid determinism: byte-identical")
+            )
+        except Exception as exc:  # noqa: BLE001
+            findings.append(Finding("selftest", "fail", f"fluid determinism: {exc}"))
+        try:
+            with use_guard(RunGuard(strict, label="doctor-packet")):
+                sim = PacketSimulator(top, rng=derive_rng(0, "doctor", "pkt"))
+                sim.add_message(
+                    InjectionSpec(src=0, dst=n - 1, nbytes=64 * 1024, mode=AD3)
+                )
+                sim.run()
+            if not sim.messages[0].delivered:
+                raise RuntimeError("message not delivered")
+            findings.append(
+                Finding(
+                    "selftest",
+                    "ok",
+                    f"packet sim: drained in {sim.step} steps, strict invariants clean",
+                )
+            )
+        except Exception as exc:  # noqa: BLE001
+            findings.append(Finding("selftest", "fail", f"packet sim: {exc}"))
+    return findings
+
+
+def run_doctor(
+    *,
+    system: str | None = None,
+    dims: str | None = None,
+    faults: str | None = None,
+    checkpoint: str | None = None,
+    selftest: bool = True,
+    seed: int = 0,
+) -> list[Finding]:
+    """Run every doctor check; returns the findings in print order."""
+    findings = check_environment()
+    topo_finding, top = check_topology(system, dims, seed=seed)
+    findings.append(topo_finding)
+    findings.extend(check_faults(faults, top, seed=seed))
+    findings.append(check_checkpoint(checkpoint))
+    if selftest:
+        findings.extend(run_selftests())
+    return findings
+
+
+def exit_code(findings: list[Finding]) -> int:
+    """0 all-ok; 2 on configuration errors; 1 on self-test failures."""
+    if any(not f.ok and f.check in CONFIG_CHECKS for f in findings):
+        return 2
+    if any(not f.ok for f in findings):
+        return 1
+    return 0

@@ -1,0 +1,75 @@
+"""Typed guard errors (leaf module: imports nothing from the package).
+
+Kept dependency-free so every layer — engines, campaign harness,
+parallel dispatcher, CLI — can catch these without import cycles.
+"""
+
+from __future__ import annotations
+
+
+class RunTimeoutError(RuntimeError):
+    """A run exceeded one of its :class:`~repro.guard.GuardPolicy` budgets.
+
+    Raised cooperatively from inside the engines (the fluid solver's
+    iteration loop, the packet simulator's step loop), so the run stops
+    at a clean point instead of being killed mid-array-update.  Campaigns
+    convert it into an ``error``-status RunRecord; it never aborts a
+    sweep.
+
+    Attributes
+    ----------
+    kind:
+        ``"deadline"``, ``"step_budget"``, or ``"iteration_budget"``.
+    limit, spent:
+        The configured budget and how much of it was consumed when the
+        guard tripped (seconds for deadlines, counts otherwise).
+    where:
+        The engine location that observed the trip (``"fluid.solve"``,
+        ``"packet.run"``).
+    """
+
+    def __init__(self, kind: str, limit: float, spent: float, where: str = "") -> None:
+        self.kind = kind
+        self.limit = limit
+        self.spent = spent
+        self.where = where
+        unit = "s" if kind == "deadline" else ""
+        at = f" in {where}" if where else ""
+        super().__init__(
+            f"run exceeded its {kind.replace('_', ' ')}{at}: "
+            f"{spent:g}{unit} > {limit:g}{unit}"
+        )
+
+
+class InvariantViolation(RuntimeError):
+    """An engine broke one of its own conservation laws.
+
+    Only raised when the active :class:`~repro.guard.GuardPolicy` has
+    ``invariants="raise"`` (the ``REPRO_GUARD=strict`` mode); the
+    ``warn`` and ``record`` policies report the same finding without
+    interrupting the run.
+
+    Attributes
+    ----------
+    name:
+        Dotted invariant name (``"fluid.finite_split"``,
+        ``"packet.flit_conservation"``, ... — see
+        ``docs/GUARDRAILS.md`` for the full table).
+    detail:
+        Human-readable description of what was observed.
+    context:
+        Structured fields attached to the ``guard.violation`` event.
+    """
+
+    def __init__(self, name: str, detail: str = "", **context) -> None:
+        self.name = name
+        self.detail = detail
+        self.context = context
+        msg = f"invariant {name} violated"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class GuardWarning(RuntimeWarning):
+    """Warning category for ``invariants="warn"`` policy findings."""

@@ -1,0 +1,119 @@
+"""Guard policies: what a run is allowed to cost and how strictly it is
+checked.
+
+A :class:`GuardPolicy` is declarative and frozen; the per-run mutable
+state lives in :class:`repro.guard.context.RunGuard`.  The default
+(:data:`NO_GUARD`) is **inactive**: engines see no guard at all, so an
+unguarded run is byte-identical to a build without the guard subsystem
+— the same strict no-op contract the fault and telemetry layers obey.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: invariant-check dispositions, least to most intrusive
+INVARIANT_MODES = ("off", "warn", "record", "raise")
+
+#: environment variable consulted when no explicit policy is given;
+#: ``REPRO_GUARD=strict`` is the CI leg that turns every invariant
+#: check into a hard error
+GUARD_ENV = "REPRO_GUARD"
+
+
+@dataclass(frozen=True)
+class GuardPolicy:
+    """Budgets, watchdog, and invariant disposition for one run.
+
+    Attributes
+    ----------
+    deadline:
+        Per-run wall-clock budget in seconds, enforced cooperatively at
+        every fluid iteration and packet step (CLI ``--deadline``).
+    step_budget:
+        Packet-simulator steps allowed per run (CLI ``--step-budget``).
+    iteration_budget:
+        Total fluid-solver iterations allowed per run, summed over all
+        of the run's phase solves.
+    invariants:
+        ``"off"`` (no checks), ``"warn"`` (``GuardWarning``),
+        ``"record"`` (``guard.violation`` events only), or ``"raise"``
+        (:class:`~repro.guard.InvariantViolation`).
+    hang_timeout:
+        Parent-side worker watchdog: a pool worker whose heartbeat goes
+        stale for this many seconds while it owns a task is killed and
+        the task retried under the dispatcher's bounded-retry rules.
+    bundle_dir:
+        Directory for diagnostics bundles written when a guarded run
+        fails (timeout or invariant violation); ``None`` disables them.
+    bundle_events:
+        How many trailing trace events a bundle captures.
+    """
+
+    deadline: float | None = None
+    step_budget: int | None = None
+    iteration_budget: int | None = None
+    invariants: str = "off"
+    hang_timeout: float | None = None
+    bundle_dir: str | None = None
+    bundle_events: int = 64
+
+    def __post_init__(self) -> None:
+        if self.invariants not in INVARIANT_MODES:
+            raise ValueError(
+                f"invariants must be one of {INVARIANT_MODES}, got {self.invariants!r}"
+            )
+        for name in ("deadline", "hang_timeout"):
+            v = getattr(self, name)
+            if v is not None and not v > 0:
+                raise ValueError(f"{name} must be > 0, got {v!r}")
+        for name in ("step_budget", "iteration_budget"):
+            v = getattr(self, name)
+            if v is not None and not v >= 1:
+                raise ValueError(f"{name} must be >= 1, got {v!r}")
+        if self.bundle_events < 1:
+            raise ValueError(f"bundle_events must be >= 1, got {self.bundle_events!r}")
+
+    @property
+    def active(self) -> bool:
+        """Whether this policy changes anything at all."""
+        return (
+            self.deadline is not None
+            or self.step_budget is not None
+            or self.iteration_budget is not None
+            or self.invariants != "off"
+            or self.hang_timeout is not None
+            or self.bundle_dir is not None
+        )
+
+    def __bool__(self) -> bool:
+        return self.active
+
+    @property
+    def check_invariants(self) -> bool:
+        return self.invariants != "off"
+
+    @classmethod
+    def from_env(cls, environ=os.environ) -> "GuardPolicy":
+        """The ambient policy from ``$REPRO_GUARD``.
+
+        ``strict`` maps to ``invariants="raise"``; ``warn`` / ``record``
+        map to themselves; empty or ``off`` yields the inactive
+        :data:`NO_GUARD`.  Unknown values raise so a typo in a CI leg
+        fails loudly instead of silently disabling checks.
+        """
+        raw = environ.get(GUARD_ENV, "").strip().lower()
+        if raw in ("", "off", "0", "none"):
+            return NO_GUARD
+        if raw == "strict":
+            return cls(invariants="raise")
+        if raw in ("warn", "record", "raise"):
+            return cls(invariants=raw)
+        raise ValueError(
+            f"unknown {GUARD_ENV} value {raw!r} (expected strict|warn|record|off)"
+        )
+
+
+#: the canonical inactive policy — a strict no-op everywhere
+NO_GUARD = GuardPolicy()

@@ -1,0 +1,161 @@
+"""Parent-side worker watchdog and worker-side heartbeat files.
+
+A dead worker already breaks the pool (``BrokenProcessPool``) and the
+dispatcher's bounded-retry machinery absorbs it.  A *hung* worker — one
+stuck in an engine loop or a deadlocked syscall — keeps its process
+alive and stalls the whole campaign forever.  The watchdog closes that
+gap:
+
+* each pool worker owns one heartbeat file (``<pid>.hb`` in a campaign-
+  scoped temp directory), created when it picks up a task, touched on
+  every cooperative guard tick, and removed when the task ends;
+* a monitor thread in the parent scans the directory; a heartbeat file
+  older than ``hang_timeout`` whose pid still belongs to the live pool
+  gets its worker ``SIGKILL``-ed.  The kill surfaces in the dispatcher
+  as a broken pool, which rebuilds and retries the task under the same
+  bounded-retry and serial-equivalence rules as a crash.
+
+Restricting kills to pids reported by the pool (``pid_provider``)
+guarantees the watchdog can never shoot an unrelated process even if a
+stale heartbeat file survives a previous campaign.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+
+
+class WorkerHeartbeat:
+    """Worker-side half: one mtime-based heartbeat file per busy worker."""
+
+    #: minimum seconds between mtime updates — guard ticks fire every
+    #: solver iteration / packet step, touching the file that often
+    #: would turn the watchdog into an I/O hotspot
+    min_interval = 0.05
+
+    def __init__(self, directory: str | Path, pid: int | None = None) -> None:
+        self.path = Path(directory) / f"{pid if pid is not None else os.getpid()}.hb"
+        self._last = 0.0
+
+    def start_task(self) -> None:
+        """Mark this worker busy (heartbeat file appears)."""
+        try:
+            self.path.touch()
+        except OSError:
+            return
+        self._last = time.monotonic()
+
+    def beat(self) -> None:
+        """Refresh the heartbeat (throttled; safe to call very often)."""
+        now = time.monotonic()
+        if now - self._last < self.min_interval:
+            return
+        self._last = now
+        try:
+            os.utime(self.path)
+        except OSError:
+            pass
+
+    def end_task(self) -> None:
+        """Mark this worker idle (heartbeat file disappears)."""
+        self.path.unlink(missing_ok=True)
+
+
+class Watchdog:
+    """Parent-side monitor thread that kills workers with stale heartbeats.
+
+    Parameters
+    ----------
+    directory:
+        The heartbeat directory shared with the workers.
+    timeout:
+        Seconds of heartbeat silence after which a busy worker is
+        declared hung.
+    pid_provider:
+        Callable returning the set of pids currently belonging to the
+        pool; only those are ever killed.
+    on_kill:
+        Optional callback ``(pid, age_seconds)`` invoked after a kill.
+    poll:
+        Scan interval; defaults to ``min(timeout / 4, 0.5)``.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        timeout: float,
+        *,
+        pid_provider,
+        on_kill=None,
+        poll: float | None = None,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be > 0")
+        self.directory = Path(directory)
+        self.timeout = timeout
+        self.pid_provider = pid_provider
+        self.on_kill = on_kill
+        self.poll = poll if poll is not None else min(timeout / 4.0, 0.5)
+        #: ``(pid, age_seconds)`` of every worker this watchdog shot
+        self.kills: list[tuple[int, float]] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "Watchdog":
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-guard-watchdog", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "Watchdog":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.poll):
+            self.scan()
+
+    def scan(self) -> None:
+        """One sweep: kill every live pool worker whose heartbeat is stale."""
+        try:
+            entries = list(self.directory.glob("*.hb"))
+        except OSError:
+            return
+        if not entries:
+            return
+        live = self.pid_provider()
+        now = time.time()
+        for hb in entries:
+            try:
+                pid = int(hb.stem)
+            except ValueError:
+                continue
+            if pid not in live:
+                continue
+            try:
+                age = now - hb.stat().st_mtime
+            except OSError:  # task just finished; file gone
+                continue
+            if age <= self.timeout:
+                continue
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):
+                continue
+            self.kills.append((pid, age))
+            hb.unlink(missing_ok=True)
+            if self.on_kill is not None:
+                self.on_kill(pid, age)

@@ -45,6 +45,8 @@ import numpy as np
 
 from repro.core.biases import RoutingMode
 from repro.core.policy import PolicyParams, DEFAULT_POLICY, split_fraction
+from repro.guard.context import active_guard
+from repro.guard.invariants import check_fluid_iterate, check_fluid_result
 from repro.network.congestion import (
     CongestionModel,
     LatencyModel,
@@ -343,6 +345,9 @@ def solve_fluid(
     """
     params = params or FluidParams()
     tel = resolve_telemetry(telemetry)
+    # None unless a GuardPolicy is active (campaign-installed or
+    # $REPRO_GUARD); the unguarded path costs this one call per solve
+    guard = active_guard()
     t_start = time.perf_counter() if tel.enabled else 0.0
     cm = params.congestion
     lm = params.latency
@@ -457,6 +462,14 @@ def solve_fluid(
         if iters_to_tol is None and residual_mean <= params.convergence_tol:
             iters_to_tol = it + 1
 
+        if guard is not None:
+            # cooperative budget/deadline enforcement + NaN/Inf monitors;
+            # runs after the split update so a diverging iterate is
+            # caught in the same iteration it appears
+            guard.tick_iterations(1, where="fluid.solve")
+            if guard.check_invariants:
+                check_fluid_iterate(guard, it, x, load)
+
     # ---- final extraction ------------------------------------------------
     t_link = load * inv_cap_eff
     if fixed_duration is None:
@@ -548,6 +561,9 @@ def solve_fluid(
         lnon[vnon],
         np.broadcast_to(extra_non[:, None], vnon.shape)[vnon],
     )
+
+    if guard is not None and guard.check_invariants:
+        check_fluid_result(guard, top, load, link_flits, link_stalls, flow_time)
 
     converged = residual_mean <= params.convergence_tol
     if not converged and fixed_duration is None:

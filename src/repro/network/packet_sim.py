@@ -37,6 +37,8 @@ import numpy as np
 from repro.core.biases import RoutingMode
 from repro.core.policy import minimal_preferred
 from repro.faults.model import FaultSchedule
+from repro.guard.context import active_guard
+from repro.guard.invariants import check_packet_state
 from repro.network.congestion import PACKET_BYTES, FLIT_BYTES
 from repro.telemetry import Telemetry, resolve_telemetry
 from repro.topology.dragonfly import DragonflyTopology, LinkClass
@@ -605,6 +607,9 @@ class PacketSimulator:
         limit = max_steps if max_steps is not None else self.config.max_steps
         start = self.step
         tel = resolve_telemetry(self.telemetry)
+        # None unless a GuardPolicy is active; the unguarded loop pays
+        # one None-check per step and nothing else
+        guard = active_guard()
         t0 = time.perf_counter() if tel.enabled else 0.0
         while not self.idle:
             if self.step - start >= limit:
@@ -613,7 +618,13 @@ class PacketSimulator:
                     f"({self.n_active} packets active)"
                 )
             self.advance()
+            if guard is not None:
+                guard.tick_steps(1, where="packet.run")
+                if guard.check_invariants and (self.step - start) % 64 == 0:
+                    check_packet_state(guard, self)
         steps = self.step - start
+        if guard is not None and guard.check_invariants and steps:
+            check_packet_state(guard, self)
         if tel.enabled:
             wall = time.perf_counter() - t0
             m = tel.metrics

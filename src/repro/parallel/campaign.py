@@ -23,12 +23,16 @@ processes and produces output **byte-identical** to
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
+from dataclasses import asdict
 
 from repro.core import checkpoint as ckpt
 from repro.core.experiment import (
     CampaignConfig,
     RunRecord,
     _error_record,
+    campaign_fingerprint,
     emit_campaign_end,
     emit_campaign_start,
     execute_run,
@@ -36,6 +40,7 @@ from repro.core.experiment import (
     resolve_scenarios,
     sample_draws,
 )
+from repro.guard import Watchdog, WorkerHeartbeat, set_worker_heartbeat, write_bundle
 from repro.parallel.executor import run_tasks
 from repro.parallel.spec import RunTask, TaskResult
 from repro.scheduler.background import BackgroundModel, BackgroundScenario
@@ -55,6 +60,7 @@ _SAMPLE_CACHE_CAP = 4
 
 _CTX = None
 _SAMPLE_CACHE: dict[int, tuple] = {}
+_HB: WorkerHeartbeat | None = None
 
 
 class _CampaignContext:
@@ -74,6 +80,7 @@ class _CampaignContext:
         scenarios: list[BackgroundScenario] | None,
         trace_enabled: bool,
         metrics_enabled: bool,
+        heartbeat_dir: str | None = None,
     ) -> None:
         self.top = top
         self.run_top = run_top
@@ -82,13 +89,20 @@ class _CampaignContext:
         self.scenarios = scenarios
         self.trace_enabled = trace_enabled
         self.metrics_enabled = metrics_enabled
+        self.heartbeat_dir = heartbeat_dir
         self.modes = {m.name: m for m in cfg.modes}
 
 
 def _init_worker(ctx: _CampaignContext) -> None:
-    global _CTX, _SAMPLE_CACHE
+    global _CTX, _SAMPLE_CACHE, _HB
     _CTX = ctx
     _SAMPLE_CACHE = {}
+    _HB = None
+    if ctx.heartbeat_dir is not None:
+        # every guard tick inside the engines refreshes this file's
+        # mtime; the parent's watchdog reads staleness as "hung"
+        _HB = WorkerHeartbeat(ctx.heartbeat_dir)
+        set_worker_heartbeat(_HB)
 
 
 def _worker_telemetry(ctx: _CampaignContext) -> Telemetry:
@@ -106,17 +120,23 @@ def _run_task(task: RunTask) -> TaskResult:
         _SAMPLE_CACHE[task.sample] = draws
     nodes, bg, intensity = draws
     tel = _worker_telemetry(ctx)
-    rec = execute_run(
-        ctx.top,
-        ctx.run_top,
-        ctx.cfg,
-        task.sample,
-        ctx.modes[task.mode],
-        nodes,
-        bg,
-        intensity,
-        tel,
-    )
+    if _HB is not None:
+        _HB.start_task()
+    try:
+        rec = execute_run(
+            ctx.top,
+            ctx.run_top,
+            ctx.cfg,
+            task.sample,
+            ctx.modes[task.mode],
+            nodes,
+            bg,
+            intensity,
+            tel,
+        )
+    finally:
+        if _HB is not None:
+            _HB.end_task()
     return TaskResult(
         index=task.index,
         pid=os.getpid(),
@@ -195,39 +215,94 @@ def run_campaign_parallel(
                     fields["run_index"] = tr.index
                     tel.trace.emit(ev["ev"], **fields)
             if tr.metrics is not None:
-                tel.metrics.merge(tr.metrics)
+                tel.metrics.merge(tr.metrics, tag=tr.index)
             flush_pos += 1
 
+    guard_policy = cfg.guard if (cfg.guard is not None and cfg.guard.active) else None
+    watchdog = None
+    if tasks and guard_policy is not None and guard_policy.hang_timeout is not None:
+        ctx.heartbeat_dir = tempfile.mkdtemp(prefix="repro-hb-")
+        watchdog = Watchdog(
+            ctx.heartbeat_dir,
+            guard_policy.hang_timeout,
+            pid_provider=lambda: set(),  # run_tasks rebinds this per pool
+            on_kill=lambda pid, age: tel.event(
+                "guard.worker_hung", pid=pid, stale_s=round(age, 3)
+            ),
+        )
+
     if tasks:
-        for outcome in run_tasks(
-            tasks,
-            _run_task,
-            jobs=jobs,
-            initializer=_init_worker,
-            initargs=(ctx,),
-            max_retries=max_pool_retries,
-            scramble_seed=scramble_seed,
-        ):
-            task = outcome.task
-            if outcome.ok:
-                buffered[task.index] = outcome.result
-            else:
-                # the worker process died repeatedly on this run: isolate
-                # it exactly like an in-run failure would be
-                nodes, _, intensity = sample_draws(top, cfg, task.sample, bm, scenarios)
-                rec = _error_record(
-                    cfg,
-                    mode_by_name[task.mode],
-                    task.sample,
-                    groups_spanned(top, nodes),
-                    intensity,
-                    outcome.error,
-                    outcome.attempts,
-                )
-                buffered[task.index] = TaskResult(
-                    index=task.index, pid=os.getpid(), record=rec
-                )
-            _finalize_ready()
+        try:
+            if watchdog is not None:
+                watchdog.start()
+            for outcome in run_tasks(
+                tasks,
+                _run_task,
+                jobs=jobs,
+                initializer=_init_worker,
+                initargs=(ctx,),
+                max_retries=max_pool_retries,
+                scramble_seed=scramble_seed,
+                watchdog=watchdog,
+            ):
+                task = outcome.task
+                if outcome.ok:
+                    buffered[task.index] = outcome.result
+                else:
+                    # the worker process died repeatedly on this run (crash
+                    # or watchdog kill): isolate it exactly like an in-run
+                    # failure would be
+                    nodes, _, intensity = sample_draws(
+                        top, cfg, task.sample, bm, scenarios
+                    )
+                    rec = _error_record(
+                        cfg,
+                        mode_by_name[task.mode],
+                        task.sample,
+                        groups_spanned(top, nodes),
+                        intensity,
+                        outcome.error,
+                        outcome.attempts,
+                    )
+                    label = f"{cfg.app.name}-{task.mode}-s{task.sample}"
+                    tel.event(
+                        "guard.worker_lost",
+                        label=label,
+                        sample=task.sample,
+                        mode=task.mode,
+                        attempts=outcome.attempts,
+                        error=str(outcome.error),
+                    )
+                    if guard_policy is not None and guard_policy.bundle_dir is not None:
+                        path = write_bundle(
+                            guard_policy.bundle_dir,
+                            label=label,
+                            reason={
+                                "type": type(outcome.error).__name__,
+                                "message": str(outcome.error),
+                            },
+                            fingerprint=campaign_fingerprint(top, cfg),
+                            rng_key={
+                                "seed": cfg.seed,
+                                "app": cfg.app.name,
+                                "n_nodes": cfg.n_nodes,
+                                "sample": task.sample,
+                                "mode": task.mode,
+                                "attempt": outcome.attempts,
+                            },
+                            policy=asdict(guard_policy),
+                        )
+                        if path is not None:
+                            tel.event("guard.bundle", label=label, path=str(path))
+                    buffered[task.index] = TaskResult(
+                        index=task.index, pid=os.getpid(), record=rec
+                    )
+                _finalize_ready()
+        finally:
+            if watchdog is not None:
+                watchdog.stop()
+            if ctx.heartbeat_dir is not None:
+                shutil.rmtree(ctx.heartbeat_dir, ignore_errors=True)
 
     records = [rec for rec in slots if rec is not None]
     emit_campaign_end(tel, cfg, records)

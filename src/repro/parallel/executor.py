@@ -15,14 +15,23 @@ contract with callers:
   up to ``max_retries`` extra rounds per task.  Tasks still failing then
   are yielded as failures rather than raised, so one poisonous run
   cannot sink a campaign.
-* ``KeyboardInterrupt`` tears the pool down (without waiting) and
-  propagates, leaving whatever the caller already consumed intact —
-  this is what makes Ctrl-C during a checkpointed campaign resumable.
+* ``KeyboardInterrupt`` / ``SystemExit`` (e.g. a SIGTERM handler) tear
+  the pool down, SIGKILL any still-running workers so the parent leaves
+  no orphans behind, and propagate — leaving whatever the caller already
+  consumed intact.  This is what makes a killed checkpointed campaign
+  resumable.
+* A :class:`repro.guard.Watchdog` can be attached via ``watchdog=``;
+  the dispatcher points it at each live pool's worker pids so stale
+  heartbeats get the worker SIGKILLed — which surfaces here as a broken
+  pool and flows through the same bounded-retry machinery as a crash.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import signal
+import threading
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -49,6 +58,49 @@ class TaskOutcome:
         return self.error is None
 
 
+def _pool_pids(pool: ProcessPoolExecutor) -> set[int]:
+    """Pids of the pool's live worker processes (empty once shut down)."""
+    procs = getattr(pool, "_processes", None) or {}
+    return set(procs)
+
+
+def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
+    """SIGKILL every worker still alive — the parent is going down."""
+    for pid in _pool_pids(pool):
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            pass
+
+
+def _unstick_manager(pool: ProcessPoolExecutor) -> None:
+    """Free a manager thread stuck on a result torn by the SIGKILL above.
+
+    A worker killed mid-result-write leaves a partial message in the
+    result pipe; if the executor's (non-daemon) manager thread had
+    already entered ``recv`` it blocks forever on the missing bytes and
+    would hang interpreter exit when ``concurrent.futures`` joins it.
+    Feeding filler bytes completes the read; the garbage fails to
+    unpickle, so the manager marks the pool broken and exits.  Only
+    called on the parent-death path, where the pool is garbage anyway.
+    """
+    manager = getattr(pool, "_executor_manager_thread", None)
+    writer = getattr(getattr(pool, "_result_queue", None), "_writer", None)
+    if manager is None or writer is None or not manager.is_alive():
+        return
+
+    def feed() -> None:
+        chunk = b"\x00" * 65536
+        try:
+            while manager.is_alive():
+                writer.send_bytes(chunk)
+                manager.join(0.05)
+        except OSError:
+            pass
+
+    threading.Thread(target=feed, name="repro-pool-unstick", daemon=True).start()
+
+
 def run_tasks(
     tasks: Sequence[Any],
     worker_fn: Callable[[Any], Any],
@@ -59,6 +111,7 @@ def run_tasks(
     max_retries: int = 2,
     scramble_seed: int | None = None,
     mp_context: str = DEFAULT_MP_CONTEXT,
+    watchdog: Any | None = None,
 ) -> Iterator[TaskOutcome]:
     """Fan ``tasks`` over ``jobs`` worker processes; yield outcomes.
 
@@ -81,6 +134,11 @@ def run_tasks(
             initializer=initializer,
             initargs=initargs,
         )
+        if watchdog is not None:
+            # only this pool's workers are fair game for the watchdog;
+            # stale heartbeat files from a previous (broken) pool must
+            # not get live-looking pids killed after reuse
+            watchdog.pid_provider = lambda pool=pool: _pool_pids(pool)
         broken: list[tuple[int, Any]] = []
         try:
             futs = {}
@@ -107,7 +165,15 @@ def run_tasks(
                         yield outcome
                     else:
                         round_ready.append(outcome)
+        except (KeyboardInterrupt, SystemExit, GeneratorExit):
+            # the parent is dying (Ctrl-C, SIGTERM handler, consumer
+            # abandoned us): reap the children so none are orphaned
+            _kill_pool_workers(pool)
+            _unstick_manager(pool)
+            raise
         finally:
+            if watchdog is not None:
+                watchdog.pid_provider = lambda: set()
             pool.shutdown(wait=False, cancel_futures=True)
 
         pending = []

@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import math
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -147,6 +148,7 @@ class MetricsRegistry:
     def __init__(self, *, enabled: bool = True) -> None:
         self.enabled = enabled
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._merged_tags: set = set()
 
     def _get(self, name: str, kind: type, **kwargs):
         m = self._metrics.get(name)
@@ -196,7 +198,7 @@ class MetricsRegistry:
             span.elapsed = time.perf_counter() - t0
             hist.observe(span.elapsed)
 
-    def merge(self, other: "MetricsRegistry") -> None:
+    def merge(self, other: "MetricsRegistry", *, tag=None) -> None:
         """Fold another registry's instruments into this one.
 
         This is how the parallel dispatcher combines per-worker
@@ -206,7 +208,24 @@ class MetricsRegistry:
         its cap.  Merging the same registries in the same order is
         deterministic, so the parallel campaign merges worker snapshots
         in canonical run order.
+
+        ``tag`` labels the source snapshot (the parallel campaign tags
+        with the run index): merging the same tag twice would silently
+        double-count every counter, so a duplicate is skipped with a
+        ``RuntimeWarning`` instead of being folded in again.
         """
+        if other is self:
+            raise ValueError("cannot merge a MetricsRegistry into itself")
+        if tag is not None:
+            if tag in self._merged_tags:
+                warnings.warn(
+                    f"metrics snapshot {tag!r} already merged; skipping the "
+                    "duplicate to avoid double-counting",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return
+            self._merged_tags.add(tag)
         for name, m in sorted(other._metrics.items()):
             if isinstance(m, Counter):
                 self.counter(name, m.help).inc(m.value)

@@ -9,6 +9,8 @@ iterations-to-tolerance histogram), and what did the run actually do
 
 from __future__ import annotations
 
+import math
+import warnings
 from collections import Counter as TallyCounter
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -64,10 +66,55 @@ def order_events(events: list[dict]) -> list[dict]:
     file.  Events without a ``run_index`` (parent lifecycle events such
     as ``campaign.start``) sort before every run, keeping their own
     relative order.
+
+    Traces are external input (hand-edited, truncated, concatenated
+    from several runs), so the keys are guarded rather than trusted:
+    non-numeric / NaN ``run_index`` clamps to -1, bad or negative
+    ``seq`` clamps to 0, and a single ``run_index`` claiming events
+    from several distinct workers — the signature of two traces
+    spliced together — each draw one ``RuntimeWarning``.
     """
-    return sorted(
-        events, key=lambda e: (e.get("run_index", -1), e.get("seq", 0))
-    )
+
+    def _num(value, default, lo):
+        # bool is an int subclass but True/1.0 as a run index is a
+        # corrupt trace, not a coordinate
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return default, True
+        if isinstance(value, float) and not math.isfinite(value):
+            return default, True
+        if value < lo:
+            return default, True
+        return value, False
+
+    keys: list[tuple] = []
+    bad = 0
+    run_workers: dict = {}
+    for e in events:
+        run_index, clamped_r = _num(e.get("run_index", -1), -1, -1)
+        seq, clamped_s = _num(e.get("seq", 0), 0, 0)
+        bad += clamped_r + clamped_s
+        if "worker" in e and not clamped_r and run_index >= 0:
+            run_workers.setdefault(run_index, set()).add(e["worker"])
+        keys.append((run_index, seq))
+    if bad:
+        warnings.warn(
+            f"{bad} event ordering key(s) out of range or non-numeric; "
+            "clamped to the pre-run position",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    for run_index, workers in sorted(run_workers.items()):
+        if len(workers) > 1:
+            warnings.warn(
+                f"run_index {run_index} carries events from {len(workers)} "
+                "distinct workers; the trace may be spliced from several "
+                "runs and its per-run ordering is unreliable",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    # sort positions, not dicts: equal keys must never compare events
+    order = sorted(range(len(events)), key=keys.__getitem__)
+    return [events[i] for i in order]
 
 
 def summarize_trace(

@@ -1,0 +1,155 @@
+"""The ``repro doctor`` self-check layer.
+
+Exit-code contract: 0 when every check passes on shipped configs, 2 on
+configuration errors (bad dims, partitioned fault schedule, unwritable
+checkpoint destination), 1 when config is fine but a self-test fails.
+Each failure must come with a pointed, human-readable finding — not a
+traceback.
+"""
+
+import pytest
+
+import repro.cli as cli
+from repro.guard.doctor import (
+    CONFIG_CHECKS,
+    Finding,
+    check_checkpoint,
+    check_faults,
+    check_topology,
+    exit_code,
+    run_doctor,
+    run_selftests,
+)
+from repro.topology.systems import mini, toy
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.network.fluid.NonConvergenceWarning"
+)
+
+
+class TestChecks:
+    def test_topology_by_system(self):
+        finding, top = check_topology("toy", None)
+        assert finding.ok and top.n_nodes == 32
+        assert "2 groups" in finding.detail
+
+    def test_topology_custom_dims(self):
+        finding, top = check_topology(None, "4,2,4,2")
+        assert finding.ok and top.n_groups == 4
+
+    def test_topology_invalid_dims(self):
+        finding, top = check_topology(None, "1,2,8,2")
+        assert not finding.ok and top is None
+        assert "2 groups" in finding.detail
+
+    def test_topology_malformed_dims(self):
+        finding, top = check_topology(None, "4,2,8")
+        assert not finding.ok and "G,C,R,N" in finding.detail
+
+    def test_topology_unknown_system(self):
+        finding, top = check_topology("summit", None)
+        assert not finding.ok and "summit" in finding.detail
+
+    def test_faults_ok(self):
+        findings = check_faults("rank3:0.05", toy())
+        assert all(f.ok for f in findings)
+        assert any("partition probe" in f.detail for f in findings)
+
+    def test_faults_unparsable(self):
+        findings = check_faults("rank3:lots", toy())
+        assert not findings[0].ok
+        assert "'lots'" in findings[0].detail
+
+    def test_faults_partitioned(self):
+        # router 0 down kills every node attached to it: doctor must flag
+        # the partition before a campaign wastes compute discovering it
+        findings = check_faults("router:0", mini())
+        assert any(not f.ok and "partitions the network" in f.detail for f in findings)
+
+    def test_checkpoint_writable(self, tmp_path):
+        assert check_checkpoint(str(tmp_path / "run.jsonl")).ok
+
+    def test_checkpoint_missing_dir(self):
+        finding = check_checkpoint("/no/such/dir/run.jsonl")
+        assert not finding.ok and "does not exist" in finding.detail
+
+    def test_selftests_pass_here(self):
+        findings = run_selftests()
+        assert findings and all(f.ok for f in findings)
+        assert any("determinism" in f.detail for f in findings)
+
+
+class TestExitCode:
+    def test_all_ok(self):
+        assert exit_code([Finding("environment", "ok", ""), Finding("selftest", "ok", "")]) == 0
+
+    def test_config_failure_wins(self):
+        findings = [
+            Finding("selftest", "fail", "engine broken"),
+            Finding("faults", "fail", "partitioned"),
+        ]
+        assert "faults" in CONFIG_CHECKS
+        assert exit_code(findings) == 2
+
+    def test_selftest_failure_is_1(self):
+        assert exit_code([Finding("selftest", "fail", "x")]) == 1
+
+
+class TestRunDoctor:
+    def test_shipped_config_passes(self):
+        findings = run_doctor(system="toy", selftest=True)
+        assert all(f.ok for f in findings)
+        assert exit_code(findings) == 0
+
+    def test_seeded_misconfigurations(self):
+        bad_dims = run_doctor(dims="1,2,8,2", selftest=False)
+        assert exit_code(bad_dims) == 2
+        bad_faults = run_doctor(system="mini", faults="router:0", selftest=False)
+        assert exit_code(bad_faults) == 2
+        bad_ckpt = run_doctor(
+            system="toy", checkpoint="/no/such/dir/run.jsonl", selftest=False
+        )
+        assert exit_code(bad_ckpt) == 2
+
+
+class TestDoctorCli:
+    def test_ok_exit_0(self, capsys):
+        rc = cli.main(["doctor", "--system", "toy", "--no-selftest"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "checks passed" in out and "NOT ready" not in out
+
+    def test_partitioned_faults_exit_2(self, capsys):
+        rc = cli.main(
+            ["doctor", "--system", "mini", "--faults", "router:0", "--no-selftest"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "[FAIL] faults" in out and "partitions the network" in out
+
+    def test_invalid_dims_exit_2(self, capsys):
+        rc = cli.main(["doctor", "--dims", "1,2,8,2", "--no-selftest"])
+        assert rc == 2
+        assert "[FAIL] topology" in capsys.readouterr().out
+
+    def test_unwritable_checkpoint_exit_2(self, capsys):
+        rc = cli.main(
+            ["doctor", "--system", "toy", "--checkpoint", "/no/such/dir/x.jsonl",
+             "--no-selftest"]
+        )
+        assert rc == 2
+        assert "[FAIL] checkpoint" in capsys.readouterr().out
+
+    def test_selftest_via_cli(self, capsys):
+        rc = cli.main(["doctor", "--system", "toy"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "strict invariants clean" in out
+
+
+def test_probe_rng_is_deterministic():
+    # the partition probe must not perturb any campaign RNG stream: it
+    # derives its own keyed stream and two probes agree with themselves
+    a = check_faults("rank3:0.3", toy(), seed=5)
+    b = check_faults("rank3:0.3", toy(), seed=5)
+    assert [f.detail for f in a] == [f.detail for f in b]

@@ -13,6 +13,11 @@ Three failure layers, three contracts:
 
 import json
 import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -190,3 +195,109 @@ class TestInterrupts:
         assert json.loads(ck.read_text())["outputs"] == (
             json.loads(ck_full.read_text())["outputs"]
         )
+
+
+def _procs_mentioning(needle: str) -> list[int]:
+    """Pids of live processes whose cmdline contains ``needle``.
+
+    Pool workers are forked, so they share the parent's cmdline; a
+    unique checkpoint path in the argv therefore tags the whole
+    process tree of one campaign.
+    """
+    pids = []
+    for p in Path("/proc").iterdir():
+        if not p.name.isdigit():
+            continue
+        try:
+            cmd = (p / "cmdline").read_bytes()
+        except OSError:
+            continue
+        if needle.encode() in cmd:
+            pids.append(int(p.name))
+    return pids
+
+
+class TestParentSigterm:
+    """SIGTERM of the *parent* mid-sweep (scheduler preemption, timeout).
+
+    Contract: the CLI's SIGTERM handler converts the signal to a clean
+    ``SystemExit(143)``, the executor SIGKILLs its pool workers on the
+    way out (no orphans mining CPU after the job is gone), and the
+    checkpoint on disk is a clean resumable prefix — a rerun with
+    ``--resume`` finishes the campaign byte-identically.
+    """
+
+    def _argv(self, ck):
+        return [
+            sys.executable, "-m", "repro", "compare",
+            "--system", "mini", "--nodes", "32", "--samples", "4",
+            "--modes", "AD0,AD3", "--seed", "11", "-j", "2",
+            "--checkpoint", str(ck),
+        ]
+
+    def _env(self):
+        src = str(Path(exp.__file__).resolve().parents[2])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return env
+
+    def test_sigterm_reaps_workers_and_leaves_resumable_prefix(self, tmp_path):
+        env = self._env()
+
+        # reference: the same sweep, run to completion
+        ck_full = tmp_path / "full.jsonl"
+        done = subprocess.run(
+            self._argv(ck_full), env=env, capture_output=True, text=True,
+            timeout=600,
+        )
+        assert done.returncode == 0, done.stderr
+        full_lines = ck_full.read_text().splitlines()
+        assert len(full_lines) == 1 + 8  # header + 4 samples x 2 modes
+
+        # victim: SIGTERM once at least two runs have been checkpointed
+        ck = tmp_path / "preempted.jsonl"
+        proc = subprocess.Popen(
+            self._argv(ck), env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 300
+            while time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    pytest.fail(
+                        f"campaign finished (rc {proc.returncode}) before "
+                        "SIGTERM could be delivered; sweep too small"
+                    )
+                if ck.exists() and len(ck.read_text().splitlines()) >= 3:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("checkpoint never reached two records")
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=60)
+        assert rc == 143  # the conventional 128+SIGTERM exit
+
+        # no orphaned pool workers keep running after the parent is gone
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and _procs_mentioning(str(ck)):
+            time.sleep(0.1)
+        assert _procs_mentioning(str(ck)) == []
+
+        # what hit disk is a clean prefix of the full serial-order file
+        part_lines = ck.read_text().splitlines()
+        assert 3 <= len(part_lines) < len(full_lines)
+        for line in part_lines:
+            json.loads(line)  # no torn tail
+        assert full_lines[: len(part_lines)] == part_lines
+
+        # and --resume completes the sweep byte-identically
+        resumed = subprocess.run(
+            [*self._argv(ck), "--resume"], env=env, capture_output=True,
+            text=True, timeout=600,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert ck.read_bytes() == ck_full.read_bytes()
