@@ -22,6 +22,7 @@ from repro.core.experiment import CampaignConfig, run_app_once, run_campaign
 from repro.mpi.env import RoutingEnv
 from repro.network.fluid import FlowSet, FluidParams, solve_fluid
 from repro.network.packet_sim import InjectionSpec, PacketSimulator
+from repro.telemetry import MetricsRegistry, Telemetry
 from repro.topology.paths import minimal_paths, valiant_paths
 from repro.util import derive_rng
 
@@ -120,12 +121,23 @@ def test_perf_parallel_campaign_speedup():
     checks the records are identical (the parallel dispatcher's core
     contract), and records the measured speedup into
     ``benchmarks/results/parallel_speedup.json``.  The >=2x floor is
-    asserted only where four cores are actually schedulable.  Timed by
+    asserted only where four cores are actually schedulable, and the
+    whole measurement is skipped on single-CPU boxes where a "speedup"
+    number would only mislead the benchmark trajectory (the serial ≡
+    parallel contract itself is covered CPU-independently by
+    ``tests/test_parallel_equivalence.py``).  Per-phase engine timings
+    from the serial leg are recorded alongside, so regressions can be
+    attributed to the solver rather than the dispatcher.  Timed by
     hand rather than through the ``benchmark`` fixture: one round is
     ~20 s of solver work, and the serial/parallel pair must share a
     process so the fork-inherited context sees identical pre-built
     scenarios.
     """
+    usable = _usable_cpus()
+    if usable < 2:
+        pytest.skip(
+            f"only {usable} usable CPU(s): parallel speedup is not measurable"
+        )
     top = theta_top()
     bm, scenarios = background_pool("theta")
     cfg = CampaignConfig(
@@ -136,9 +148,10 @@ def test_perf_parallel_campaign_speedup():
         seed=SEED,
     )
     common = dict(background_model=bm, scenarios=scenarios)
+    tel = Telemetry(metrics=MetricsRegistry())
 
     t0 = time.perf_counter()
-    serial = run_campaign(top, cfg, jobs=1, **common)
+    serial = run_campaign(top, cfg, jobs=1, telemetry=tel, **common)
     t1 = time.perf_counter()
     parallel = run_campaign(top, cfg, jobs=4, **common)
     t2 = time.perf_counter()
@@ -149,13 +162,26 @@ def test_perf_parallel_campaign_speedup():
 
     serial_s, parallel_s = t1 - t0, t2 - t1
     speedup = serial_s / parallel_s
+    metrics = tel.metrics.to_dict()
+    engine = {
+        name: {
+            "count": m["count"],
+            "sum_seconds": round(m["sum"], 4),
+            "mean_seconds": m["mean"],
+        }
+        for name, m in metrics.items()
+        if m["type"] == "histogram"
+        and name in ("fluid_solve_seconds", "solver_iter_seconds",
+                     "packet_run_seconds", "engine_step_seconds")
+    }
     payload = {
         "runs": len(serial),
         "jobs": 4,
         "serial_seconds": round(serial_s, 3),
         "parallel_seconds": round(parallel_s, 3),
         "speedup": round(speedup, 3),
-        "usable_cpus": _usable_cpus(),
+        "usable_cpus": usable,
+        "serial_engine_phases": engine,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "parallel_speedup.json").write_text(

@@ -1,0 +1,147 @@
+"""Perf-regression gate over the engine hot-path kernels.
+
+Times the three engine kernels the hot-path overhaul targets — packet-sim
+stepping, the 4k-flow fluid solve, and a full MILC run — and checks them
+two ways:
+
+* **Regression vs the committed baseline** — each kernel must stay
+  within ``REPRO_PERF_GATE_SLACK`` (default 2x) of the absolute seconds
+  recorded in ``benchmarks/results/engine_baseline.json``.  Absolute
+  times are box-dependent, so the slack is generous; the gate exists to
+  catch order-of-magnitude regressions (an accidentally reintroduced
+  quadratic path), not 10% noise.
+* **Speedup vs the frozen seed** — the pre-overhaul engines are kept
+  verbatim in ``tests/_reference_fluid.py`` / ``_reference_packet_sim.py``
+  and timed *in the same process on the same box*, so the measured
+  speedup is box-independent.  It must not fall below the per-kernel
+  ``min_speedup`` floor locked into the baseline file.
+
+The measured numbers are written to
+``benchmarks/results/engine_perf_current.json`` (uploaded as a CI
+artifact by the ``perf-smoke`` job) so the trajectory is inspectable
+even when the gate passes.  Re-baselining policy: docs/PERFORMANCE.md.
+"""
+
+import json
+import os
+import sys
+import time
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT))  # for the frozen tests._reference_* engines
+
+from repro.apps import MILC  # noqa: E402
+from repro.core.biases import AD0  # noqa: E402
+from repro.core.experiment import run_app_once  # noqa: E402
+from repro.mpi.env import RoutingEnv  # noqa: E402
+from repro.network.fluid import FlowSet, solve_fluid  # noqa: E402
+from repro.network.packet_sim import InjectionSpec, PacketSimulator  # noqa: E402
+from repro.topology.pathcache import clear_path_cache  # noqa: E402
+from repro.topology.systems import theta, toy  # noqa: E402
+from repro.util import derive_rng  # noqa: E402
+
+from tests import _reference_fluid as ref_fluid  # noqa: E402
+from tests import _reference_packet_sim as ref_pkt  # noqa: E402
+
+BASELINE_PATH = Path(__file__).parent / "results" / "engine_baseline.json"
+CURRENT_PATH = Path(__file__).parent / "results" / "engine_perf_current.json"
+
+
+def _time(fn, reps, warmup=2):
+    for _ in range(warmup):
+        fn()
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - t0) / reps
+
+
+def _packet_round(sim_cls):
+    top = toy()
+
+    def run():
+        sim = sim_cls(top, rng=np.random.default_rng(3))
+        for s in range(16):
+            sim.add_message(InjectionSpec(src=s, dst=16 + s, nbytes=8192, mode=AD0))
+        sim.run()
+
+    return run
+
+
+def _fluid_round(solver, flowset_cls, top):
+    rng = np.random.default_rng(0)
+    n = 4096
+    src = rng.integers(0, top.n_nodes, n)
+    dst = (src + 1 + rng.integers(0, top.n_nodes - 1, n)) % top.n_nodes
+    fl = flowset_cls(src, dst, np.full(n, 1e5), np.zeros(n, dtype=np.int64))
+
+    def run():
+        solver(top, fl, [AD0], rng=np.random.default_rng(2))
+
+    return run
+
+
+def test_perf_gate():
+    warnings.simplefilter("ignore")
+    baseline = json.loads(BASELINE_PATH.read_text())["kernels"]
+    top = theta()
+
+    measured = {}
+
+    # packet-sim stepping: optimized vs frozen seed, same box, same run
+    clear_path_cache()
+    t_new = _time(_packet_round(PacketSimulator), reps=10)
+    t_seed = _time(_packet_round(ref_pkt.PacketSimulator), reps=10)
+    measured["packet_sim_steps"] = {
+        "optimized_seconds": t_new,
+        "seed_seconds": t_seed,
+        "speedup": t_seed / t_new,
+    }
+
+    # 4k-flow fluid solve (warm path cache, as the microbenchmark runs)
+    clear_path_cache()
+    t_new = _time(_fluid_round(solve_fluid, FlowSet, top), reps=5)
+    clear_path_cache()
+    t_seed = _time(_fluid_round(ref_fluid.solve_fluid, ref_fluid.FlowSet, top), reps=5)
+    measured["fluid_solve_4k_flows"] = {
+        "optimized_seconds": t_new,
+        "seed_seconds": t_seed,
+        "speedup": t_seed / t_new,
+    }
+
+    # full MILC run (end-to-end sanity; regression-gated only)
+    def milc():
+        run_app_once(
+            top, MILC(), np.arange(256), RoutingEnv(),
+            rng=derive_rng(4, "perf"), collect_counters=False,
+        )
+
+    measured["full_milc_run"] = {"optimized_seconds": _time(milc, reps=3)}
+
+    slack = float(os.environ.get("REPRO_PERF_GATE_SLACK", "2.0"))
+    report = {"slack": slack, "kernels": measured, "failures": []}
+    for name, m in measured.items():
+        base = baseline[name]
+        ceiling = base["optimized_seconds"] * slack
+        if m["optimized_seconds"] > ceiling:
+            report["failures"].append(
+                f"{name}: {m['optimized_seconds']:.3f}s exceeds "
+                f"{slack:g}x baseline ({base['optimized_seconds']:.3f}s)"
+            )
+        floor = base.get("min_speedup")
+        if floor is not None and m["speedup"] < floor:
+            report["failures"].append(
+                f"{name}: speedup vs seed {m['speedup']:.2f}x fell below "
+                f"locked floor {floor:g}x"
+            )
+
+    CURRENT_PATH.parent.mkdir(exist_ok=True)
+    CURRENT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    for name, m in measured.items():
+        spd = f"  {m['speedup']:.2f}x vs seed" if "speedup" in m else ""
+        print(f"{name}: {m['optimized_seconds'] * 1e3:.1f} ms{spd}")
+    assert not report["failures"], report["failures"]

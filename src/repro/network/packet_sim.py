@@ -25,6 +25,22 @@ Model
 Scale: the simulator is O(active packets) per step and intended for the
 ``toy``/``mini`` topologies and microbenchmark-sized traffic (up to ~1e5
 packets); campaigns use the fluid engine.
+
+Implementation notes (docs/PERFORMANCE.md has the full story)
+-------------------------------------------------------------
+Packet state lives in one preallocated capacity-doubling
+structure-of-arrays block (``_ai``, one contiguous int64 row per field,
+live prefix ``[:, :_n]``) instead of per-event ``np.concatenate``
+growth, with swap-from-end removal when packets leave the simulation.
+FIFO ranks are maintained incrementally — served packets vacate the
+front of their queues and arrivals append behind the survivors — so the
+per-step full ``np.lexsort`` of the naive formulation is needed only
+for the queues a re-route, dead-link retransmit, or drop actually
+perturbed.  Counter scatter-adds run as ``np.bincount`` kernels; every
+count involved is an exact integer-valued float, so the results are
+byte-identical to sequential ``np.add.at``
+(``tests/test_golden_equivalence.py`` enforces this against the frozen
+reference copy in ``tests/_reference_packet_sim.py``).
 """
 
 from __future__ import annotations
@@ -42,21 +58,16 @@ from repro.guard.invariants import check_packet_state
 from repro.network.congestion import PACKET_BYTES, FLIT_BYTES
 from repro.telemetry import Telemetry, resolve_telemetry
 from repro.topology.dragonfly import DragonflyTopology, LinkClass
-from repro.topology.paths import minimal_paths, valiant_paths
+from repro.topology.paths import MAX_HOPS
+from repro.topology.pathcache import cached_minimal_paths, cached_valiant_paths
 
-#: per-packet state arrays compacted together when packets leave the sim
-_STATE_ARRAYS = (
-    "_p_msg",
-    "_p_row",
-    "_p_hop",
-    "_p_link",
-    "_p_seq",
-    "_p_birth",
-    "_p_flits",
-    "_p_wait",
-    "_p_retry",
-    "_p_drop",
-)
+# rows of the packet-state block ``_ai`` (int64, shape (N_FIELDS, cap));
+# each row is contiguous so a field's live slice is a plain view
+MSG, ROW, HOP, LNK, SEQ, BIRTH, WSC, RETRY, RNK = range(9)
+N_FIELDS = 9
+
+#: "no pending activation" sentinel, far past any reachable step count
+_NEVER = 1 << 62
 
 
 @dataclass(frozen=True)
@@ -156,6 +167,26 @@ def _compact_rows(links: np.ndarray) -> np.ndarray:
     return np.take_along_axis(links, order, axis=1)
 
 
+def _occurrence_index(dest: np.ndarray) -> np.ndarray:
+    """Position of each element within its equal-value group, in order.
+
+    ``dest`` is a batch of arrival links in seq-assignment order; the
+    result is each arrival's offset behind earlier same-link arrivals of
+    the batch.
+    """
+    order = np.argsort(dest, kind="stable")
+    ds = dest[order]
+    n = ds.size
+    ar = np.arange(n)
+    ng = np.empty(n, dtype=bool)
+    ng[0] = True
+    np.not_equal(ds[1:], ds[:-1], out=ng[1:])
+    gs = np.maximum.accumulate(np.where(ng, ar, 0))
+    out = np.empty(n, dtype=np.int64)
+    out[order] = ar - gs
+    return out
+
+
 class PacketSimulator:
     """Packet-level simulator over a dragonfly topology."""
 
@@ -190,6 +221,7 @@ class PacketSimulator:
         self.credit = np.zeros(top.n_links)
         self.flits = np.zeros(top.n_links)
         self.stalls = np.zeros(top.n_links)
+        self._clamp = 2.0 * self.rate + 1.0  # one-step burst limit
 
         self.step = 0
         self._seq = 0
@@ -199,36 +231,77 @@ class PacketSimulator:
         self.retries = 0
         #: packets dropped after exhausting ``max_reroute_attempts``
         self.dropped = 0
+        #: messages that have reached ``finish_step`` so far (maintained
+        #: at completion/drop time; equals ``sum(1 for s in self.messages
+        #: if s.done)`` at every step boundary)
+        self.messages_done = 0
 
         # message bookkeeping
         self.messages: list[MessageStats] = []
         self._msg_mode: list[RoutingMode] = []
-        self._msg_remaining: list[int] = []
-        # candidate paths, stacked: per message k_min minimal rows then
-        # k_nonmin non-minimal rows
-        self._cand_links: np.ndarray | None = None
-        self._cand_valid: np.ndarray | None = None
         self._cand_msg_start: list[int] = []
-        self._pending: list[InjectionSpec] = []
+        #: pending activations as (start_step, message id) pairs
+        self._pending: list[tuple[int, int]] = []
+        self._pending_min = _NEVER
 
-        # active packet arrays
-        self._p_msg = np.zeros(0, dtype=np.int64)
-        self._p_row = np.zeros(0, dtype=np.int64)  # -1 until routed
-        self._p_hop = np.zeros(0, dtype=np.int64)
-        self._p_link = np.zeros(0, dtype=np.int64)
-        self._p_seq = np.zeros(0, dtype=np.int64)
-        self._p_birth = np.zeros(0, dtype=np.int64)
-        self._p_flits = np.zeros(0, dtype=np.float64)
-        self._p_wait = np.zeros(0, dtype=np.int64)
-        self._p_retry = np.zeros(0, dtype=np.int64)
-        self._p_drop = np.zeros(0, dtype=bool)
+        # per-message arenas mirroring the lists above for vectorized
+        # use; _msg_min/_msg_nonmin accumulate the fault-free routing
+        # attribution and are mirrored into MessageStats at step end
+        self._msg_cap = 0
+        self._msg_remaining = np.zeros(0, dtype=np.int64)
+        self._cand_start_arr = np.zeros(0, dtype=np.int64)
+        self._msg_modegrp = np.zeros(0, dtype=np.int64)
+        self._msg_min = np.zeros(0, dtype=np.int64)
+        self._msg_nonmin = np.zeros(0, dtype=np.int64)
+        self._mid_lut = np.zeros(0, dtype=np.int64)
+        self._mode_registry: list[RoutingMode] = []
+        self._mode_ids: dict[int, int] = {}
+        self._attr_dirty = False
+
+        # candidate paths, stacked: per message k_min minimal rows then
+        # its non-minimal rows, in capacity-doubling arenas (live prefix
+        # [:_cand_rows]).  _cand_safe/_cand_bias are the precomputed
+        # scoring geometry: sentinel-masked link columns 1.. and the
+        # hop-count bias term of each row.
+        L = self.top.n_links
+        self._L = L
+        self._cand_rows = 0
+        self._cand_links = np.zeros((0, MAX_HOPS), dtype=np.int64)
+        self._cand_valid = np.zeros((0, MAX_HOPS), dtype=bool)
+        self._cand_safe = np.zeros((0, MAX_HOPS - 1), dtype=np.int64)
+        self._cand_bias = np.zeros(0, dtype=np.float64)
+
+        # packet arenas (live prefix [:, :_n] / [:_n])
+        self._n = 0
+        self._cap = 0
+        self._ai = np.zeros((N_FIELDS, 0), dtype=np.int64)
+        self._a_flits = np.zeros(0, dtype=np.float64)
+        self._a_drop = np.zeros(0, dtype=bool)
         self._pkt_latencies: list[np.ndarray] = []
+
+        # incremental queue state: per-link live-packet counts, the
+        # dirty-queue set whose FIFO ranks need a rebuild at step end,
+        # and preallocated scratch
+        self._qlen = np.zeros(L, dtype=np.int64)
+        self._link_dirty = np.zeros(L, dtype=bool)
+        self._any_dirty = False
+        self._dropped_flagged = 0
+        self._occ_scratch = np.zeros(L + 1, dtype=np.float64)
+        self._budget = np.zeros(L, dtype=np.float64)
+        self._inj_mask = self.top.link_class == int(LinkClass.INJECTION)
+        # per-packet scratch (sized with _cap) so the serve decision
+        # allocates nothing
+        self._sf = np.zeros(0, dtype=np.float64)
+        self._si = np.zeros(0, dtype=np.int64)
+        self._sb = np.zeros(0, dtype=bool)
+        #: earliest step at which a hop-1 packet could be re-route
+        #: eligible; lets quiet steps skip the O(n) stuck scan entirely
+        self._stuck_check_at = _NEVER
 
     # ------------------------------------------------------------------
     # injection
     # ------------------------------------------------------------------
-    def add_message(self, spec: InjectionSpec) -> int:
-        """Register a message; returns its message id."""
+    def _validate_spec(self, spec: InjectionSpec) -> None:
         if spec.src == spec.dst:
             raise ValueError("src and dst must differ")
         if not (0 <= spec.src < self.top.n_nodes and 0 <= spec.dst < self.top.n_nodes):
@@ -237,87 +310,197 @@ class PacketSimulator:
             raise ValueError("nbytes must be > 0")
         if spec.start_step < self.step:
             raise ValueError("start_step is in the past")
-        c = self.config
-        mid = len(self.messages)
-        n_pkts = int(np.ceil(spec.nbytes / PACKET_BYTES))
 
+    def add_message(self, spec: InjectionSpec) -> int:
+        """Register a message; returns its message id."""
+        self._validate_spec(spec)
+        c = self.config
         src = np.array([spec.src])
         dst = np.array([spec.dst])
-        bmin = minimal_paths(self.top, src, dst, k=c.k_min, rng=self.rng)
-        bnon = valiant_paths(self.top, src, dst, k=c.k_nonmin, rng=self.rng)
-        rows = _compact_rows(np.vstack([bmin.links, bnon.links]))
-        valid = rows >= 0
-        if self._cand_links is None:
-            self._cand_links = rows
-            self._cand_valid = valid
-            self._cand_msg_start = [0]
-        else:
-            self._cand_msg_start.append(self._cand_links.shape[0])
-            self._cand_links = np.vstack([self._cand_links, rows])
-            self._cand_valid = np.vstack([self._cand_valid, valid])
+        bmin = cached_minimal_paths(self.top, src, dst, k=c.k_min, rng=self.rng)
+        bnon = cached_valiant_paths(self.top, src, dst, k=c.k_nonmin, rng=self.rng)
         self._n_min_cand = bmin.links.shape[0]  # same for every message
+        return self._register_message(spec, bmin.links, bnon.links)
+
+    def add_messages(self, specs: list[InjectionSpec]) -> list[int]:
+        """Register a batch of messages with one path-table construction.
+
+        Semantically equivalent to ``[add_message(s) for s in specs]``
+        but builds the minimal and Valiant candidate tables for the
+        whole batch in two vectorized calls instead of two per message.
+
+        .. note::
+           The bulk path consumes the simulator's RNG in a different
+           order than per-message registration (all minimal detour draws
+           happen before any Valiant draws), so candidate tables — and
+           therefore individual run trajectories — differ from the
+           per-message API at the byte level while remaining
+           statistically equivalent (see docs/PERFORMANCE.md for the
+           re-baseline policy).  Use :meth:`add_message` where exact
+           reproducibility against existing baselines matters.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        for spec in specs:
+            self._validate_spec(spec)
+        c = self.config
+        src = np.array([s.src for s in specs])
+        dst = np.array([s.dst for s in specs])
+        bmin = cached_minimal_paths(self.top, src, dst, k=c.k_min, rng=self.rng)
+        bnon = cached_valiant_paths(self.top, src, dst, k=c.k_nonmin, rng=self.rng)
+        # flow-major bundles: each flow's rows are contiguous
+        km = bmin.links.shape[0] // len(specs)
+        kn = bnon.links.shape[0] // len(specs)
+        self._n_min_cand = km
+        return [
+            self._register_message(
+                spec,
+                bmin.links[i * km : (i + 1) * km],
+                bnon.links[i * kn : (i + 1) * kn],
+            )
+            for i, spec in enumerate(specs)
+        ]
+
+    def _register_message(
+        self, spec: InjectionSpec, links_min: np.ndarray, links_non: np.ndarray
+    ) -> int:
+        mid = len(self.messages)
+        n_pkts = int(np.ceil(spec.nbytes / PACKET_BYTES))
+        start_row = self._append_candidates(links_min, links_non)
 
         self.messages.append(MessageStats(spec=spec, n_packets=n_pkts))
         self._msg_mode.append(spec.mode)
-        self._msg_remaining.append(n_pkts)
-        self._pending.append(spec)
+        self._cand_msg_start.append(start_row)
+
+        if mid >= self._msg_cap:
+            new_cap = max(16, self._msg_cap * 2)
+            for name in (
+                "_msg_remaining",
+                "_cand_start_arr",
+                "_msg_modegrp",
+                "_msg_min",
+                "_msg_nonmin",
+                "_mid_lut",
+            ):
+                old = getattr(self, name)
+                buf = np.zeros(new_cap, dtype=np.int64)
+                buf[:mid] = old[:mid]
+                setattr(self, name, buf)
+            self._msg_cap = new_cap
+        self._msg_remaining[mid] = n_pkts
+        self._cand_start_arr[mid] = start_row
+        grp = self._mode_ids.get(id(spec.mode))
+        if grp is None:
+            grp = len(self._mode_registry)
+            self._mode_registry.append(spec.mode)
+            self._mode_ids[id(spec.mode)] = grp
+        self._msg_modegrp[mid] = grp
+
+        self._pending.append((spec.start_step, mid))
+        if spec.start_step < self._pending_min:
+            self._pending_min = spec.start_step
         return mid
+
+    def _append_candidates(self, links_min: np.ndarray, links_non: np.ndarray) -> int:
+        """Append one message's candidate rows to the arenas; returns the
+        first row index."""
+        km = links_min.shape[0]
+        k = km + links_non.shape[0]
+        r0 = self._cand_rows
+        need = r0 + k
+        cap = self._cand_links.shape[0]
+        if need > cap:
+            new_cap = max(64, cap)
+            while new_cap < need:
+                new_cap *= 2
+            for name in ("_cand_links", "_cand_valid", "_cand_safe", "_cand_bias"):
+                old = getattr(self, name)
+                shape = (new_cap,) + old.shape[1:]
+                buf = np.empty(shape, dtype=old.dtype)
+                buf[:r0] = old[:r0]
+                setattr(self, name, buf)
+        block = self._cand_links[r0:need]
+        block[:km] = links_min
+        block[km:] = links_non
+        order = np.argsort(block < 0, axis=1, kind="stable")
+        block[:] = np.take_along_axis(block, order, axis=1)
+        valid = block >= 0
+        self._cand_valid[r0:need] = valid
+        self._cand_safe[r0:need] = np.where(valid[:, 1:], block[:, 1:], self._L)
+        self._cand_bias[r0:need] = self.config.hop_bias_credits * valid[:, 1:].sum(axis=1)
+        self._cand_rows = need
+        return r0
 
     def _activate_pending(self) -> None:
         """Enqueue packets of messages whose start step has arrived."""
-        due = [s for s in self._pending if s.start_step <= self.step]
-        if not due:
-            return
-        self._pending = [s for s in self._pending if s.start_step > self.step]
-        for spec in due:
-            mid = next(
-                i
-                for i, st in enumerate(self.messages)
-                if st.spec is spec
-            )
-            n_pkts = self.messages[mid].n_packets
+        due = [p for p in self._pending if p[0] <= self.step]
+        self._pending = [p for p in self._pending if p[0] > self.step]
+        self._pending_min = min((p[0] for p in self._pending), default=_NEVER)
+        for _, mid in due:
+            stats = self.messages[mid]
+            spec = stats.spec
+            n_pkts = stats.n_packets
             tail = spec.nbytes - (n_pkts - 1) * PACKET_BYTES
             flits = np.full(n_pkts, PACKET_BYTES / FLIT_BYTES)
             flits[-1] = max(1.0, np.ceil(tail / FLIT_BYTES))
             inj = int(self.top.injection_link(spec.src))
-            self._append_packets(
-                msg=np.full(n_pkts, mid, dtype=np.int64),
-                link=np.full(n_pkts, inj, dtype=np.int64),
-                flits=flits,
-            )
+            self._append_packets(mid, inj, flits)
 
-    def _append_packets(self, msg: np.ndarray, link: np.ndarray, flits: np.ndarray) -> None:
-        n = msg.size
-        seq = np.arange(self._seq, self._seq + n, dtype=np.int64)
-        self._seq += n
-        self._p_msg = np.concatenate([self._p_msg, msg])
-        self._p_row = np.concatenate([self._p_row, np.full(n, -1, dtype=np.int64)])
-        self._p_hop = np.concatenate([self._p_hop, np.zeros(n, dtype=np.int64)])
-        self._p_link = np.concatenate([self._p_link, link])
-        self._p_seq = np.concatenate([self._p_seq, seq])
-        self._p_birth = np.concatenate([self._p_birth, np.full(n, self.step, dtype=np.int64)])
-        self._p_flits = np.concatenate([self._p_flits, flits])
-        self._p_wait = np.concatenate([self._p_wait, np.zeros(n, dtype=np.int64)])
-        self._p_retry = np.concatenate([self._p_retry, np.zeros(n, dtype=np.int64)])
-        self._p_drop = np.concatenate([self._p_drop, np.zeros(n, dtype=bool)])
+    def _append_packets(self, mid: int, link: int, flits: np.ndarray) -> None:
+        n_new = flits.size
+        need = self._n + n_new
+        if need > self._cap:
+            new_cap = max(256, self._cap)
+            while new_cap < need:
+                new_cap *= 2
+            buf = np.empty((N_FIELDS, new_cap), dtype=np.int64)
+            buf[:, : self._n] = self._ai[:, : self._n]
+            self._ai = buf
+            for name, dtype in (("_a_flits", np.float64), ("_a_drop", np.bool_)):
+                old = getattr(self, name)
+                fbuf = np.empty(new_cap, dtype=dtype)
+                fbuf[: self._n] = old[: self._n]
+                setattr(self, name, fbuf)
+            self._sf = np.empty(new_cap, dtype=np.float64)
+            self._si = np.empty(new_cap, dtype=np.int64)
+            self._sb = np.empty(new_cap, dtype=bool)
+            self._cap = new_cap
+        a, b = self._n, need
+        blk = self._ai[:, a:b]
+        blk[MSG] = mid
+        blk[ROW] = -1
+        blk[HOP] = 0
+        blk[LNK] = link
+        blk[SEQ] = np.arange(self._seq, self._seq + n_new, dtype=np.int64)
+        self._seq += n_new
+        blk[BIRTH] = self.step
+        # "wait" is derived: a packet's wait count after this step's
+        # increment is (step - wsince); fresh packets are waiting in the
+        # step that injects them, hence the -1
+        blk[WSC] = self.step - 1
+        blk[RETRY] = 0
+        self._a_flits[a:b] = flits
+        self._a_drop[a:b] = False
+        # join the back of the injection queue, in arrival order
+        blk[RNK] = self._qlen[link] + np.arange(n_new, dtype=np.int64)
+        self._qlen[link] += n_new
+        self._n = b
 
     # ------------------------------------------------------------------
     # stepping
     # ------------------------------------------------------------------
     @property
     def n_active(self) -> int:
-        return self._p_msg.size
+        return self._n
 
     @property
     def idle(self) -> bool:
-        return self.n_active == 0 and not self._pending
+        return self._n == 0 and not self._pending
 
     def occupancy(self) -> np.ndarray:
         """Current queued-packet count per link."""
-        occ = np.zeros(self.top.n_links)
-        if self.n_active:
-            np.add.at(occ, self._p_link, 1.0)
-        return occ
+        return self._qlen.astype(np.float64)
 
     def advance(self) -> None:
         """Execute one simulation step."""
@@ -325,82 +508,122 @@ class PacketSimulator:
             while self._fault_changes and self.now >= self._fault_changes[0]:
                 self._fault_changes.pop(0)
             self._apply_fault_state()
-        self._activate_pending()
-        n = self.n_active
+        if self._pending_min <= self.step:
+            self._activate_pending()
+        n = self._n
         if n == 0:
             self.step += 1
             self._maybe_trace_step()
             return
 
-        # FIFO rank of each packet within its link's queue
-        order = np.lexsort((self._p_seq, self._p_link))
-        link_sorted = self._p_link[order]
-        new_group = np.ones(n, dtype=bool)
-        new_group[1:] = link_sorted[1:] != link_sorted[:-1]
-        group_start = np.maximum.accumulate(np.where(new_group, np.arange(n), 0))
-        rank = np.arange(n) - group_start
+        L = self._L
+        ai = self._ai
+        lk = ai[LNK, :n]
+        rank = ai[RNK, :n]
+        qlen = self._qlen
+        credit = self.credit
 
         # replenish credits on links with waiting packets (burst-clamped)
-        active_links = link_sorted[new_group]
-        self.credit[active_links] = np.minimum(
-            self.credit[active_links] + self.rate[active_links],
-            2.0 * self.rate[active_links] + 1.0,
-        )
-        served_budget = np.floor(self.credit[link_sorted]).astype(np.int64)
-        served_mask_sorted = rank < served_budget
-        served = order[served_mask_sorted]
-        waiting = order[~served_mask_sorted]
+        active = qlen > 0
+        np.add(credit, self.rate, out=credit, where=active)
+        np.minimum(credit, self._clamp, out=credit, where=active)
+        # the first floor(credit) packets of each link's FIFO are served
+        budget = np.floor(credit, out=self._budget)
+        bl = np.take(budget, lk, out=self._sf[:n])
+        served_m = np.less(rank, bl, out=self._sb[:n])
+        sidx = served_m.nonzero()[0]
+        slk = lk[sidx]
+        scnt = np.bincount(slk, minlength=L)
 
         # account service and stalls
-        if served.size:
-            np.add.at(self.flits, self._p_link[served], self._p_flits[served])
-            served_counts = np.bincount(self._p_link[served], minlength=self.top.n_links)
-            self.credit -= served_counts
-        if waiting.size:
-            np.add.at(self.stalls, self._p_link[waiting], 1.0)
-            self._p_wait[waiting] += 1
+        if sidx.size:
+            self.flits += np.bincount(slk, weights=self._a_flits[sidx], minlength=L)
+            credit -= scnt
+            # survivors shift toward the queue front; served entries of
+            # `rank` become garbage until their packets re-queue
+            rank -= np.take(scnt, lk, out=self._si[:n])
+        # post-service queue depth, which is both the per-link stall
+        # increment (one per still-waiting packet) and the FIFO position
+        # the next arrival takes
+        flen = qlen - scnt
+        all_served = sidx.size == n
+        if not all_served:
+            self.stalls += flen
 
-        # a packet stuck at its first router-output queue gets its
-        # adaptive decision re-run (with hops_taken=1, so AD1's schedule
-        # has started ramping).  This must run before the served packets
-        # advance: completion there compacts the state arrays and would
-        # invalidate the waiting indices.
         patience = self.config.reroute_patience
 
         # packets stranded on a link that died mid-run can never be
         # served there: retransmit them from their source NIC (bounded
         # by max_reroute_attempts, then dropped).  This runs even with
         # reroute_patience=0 — survivability is not adaptivity.
-        if waiting.size and self.faults is not None:
-            on_dead = waiting[self.rate[self._p_link[waiting]] <= 0.0]
-            if on_dead.size:
-                due = on_dead[self._p_wait[on_dead] >= max(1, patience)]
+        if self.faults is not None and not all_served:
+            dead_w = ~served_m & (self.rate[lk] <= 0.0)
+            if dead_w.any():
+                due_m = dead_w & (ai[WSC, :n] <= self.step - max(1, patience))
+                due = due_m.nonzero()[0]
                 if due.size:
+                    # enumerate in (link, seq) order: the retransmit seq
+                    # assignment is observable through FIFO ordering
+                    due = due[np.lexsort((ai[SEQ, due], lk[due]))]
                     self._retry_dead(due)
 
         # a packet stuck at its first router-output queue gets its
         # adaptive decision re-run (with hops_taken=1, so AD1's schedule
         # has started ramping).  This must run before the served packets
-        # advance: completion there compacts the state arrays and would
-        # invalidate the waiting indices.
-        if patience > 0 and waiting.size:
-            stuck = waiting[
-                (self._p_hop[waiting] == 1)
-                & (self._p_wait[waiting] >= patience)
-                & ~self._p_drop[waiting]
-                & (self.rate[self._p_link[waiting]] > 0.0)
-            ]
+        # advance, against the queue state they still occupy.
+        # _stuck_check_at is a conservative lower bound on the earliest
+        # step any hop-1 packet could be eligible, so quiet steps skip
+        # the scan entirely.
+        if patience > 0 and not all_served and self.step >= self._stuck_check_at:
+            h1 = ai[HOP, :n] == 1
+            h1 &= ~served_m
+            if self.faults is not None:
+                h1 &= ~self._a_drop[:n]
+                h1 &= self.rate[ai[LNK, :n]] > 0.0
+            wsince = ai[WSC, :n]
+            stuck_m = h1 & (wsince <= self.step - patience)
+            stuck = stuck_m.nonzero()[0]
             if stuck.size:
+                old_links = ai[LNK, stuck]
                 self._route(stuck, hops_taken=1, at_hop=1)
-                self._p_wait[stuck] = 0
+                ai[WSC, stuck] = self.step
                 self.reroutes += int(stuck.size)
+                new_links = ai[LNK, stuck]
+                qlen += np.bincount(new_links, minlength=L)
+                qlen -= np.bincount(old_links, minlength=L)
+                # old seqs land mid-queue on the new links: rebuild both
+                # ends' FIFO ranks at step end
+                self._link_dirty[old_links] = True
+                self._link_dirty[new_links] = True
+                self._any_dirty = True
+                h1 &= ~stuck_m
+                nxt = self.step + patience
+                if h1.any():
+                    nxt = min(nxt, int(wsince[h1].min()) + patience)
+            else:
+                nxt = int(wsince[h1].min()) + patience if h1.any() else _NEVER
+            self._stuck_check_at = nxt
 
-        if served.size:
-            self._p_wait[served] = 0
-            self._advance_served(served)
-        self._flush_drops()
+        ai[WSC, sidx] = self.step
+        if sidx.size:
+            self._advance_served(sidx, flen)
+        if self._dropped_flagged:
+            self._flush_drops()
         self.step += 1
+        if self._any_dirty:
+            self._rebuild_dirty_ranks()
+        if self._attr_dirty:
+            self._sync_attribution()
         self._maybe_trace_step()
+
+    def _sync_attribution(self) -> None:
+        """Mirror the vectorized routing attribution into MessageStats."""
+        mn = self._msg_min
+        nmn = self._msg_nonmin
+        for i, st in enumerate(self.messages):
+            st.min_packets = int(mn[i])
+            st.nonmin_packets = int(nmn[i])
+        self._attr_dirty = False
 
     def _apply_fault_state(self) -> None:
         """Recompute per-link rates after a timed fault/recovery edge."""
@@ -410,6 +633,10 @@ class PacketSimulator:
         newly_dead = (new_rate <= 0.0) & (self.rate > 0.0)
         recovered = (new_rate > 0.0) & (self.rate <= 0.0) & (self._base_rate > 0.0)
         self.rate = new_rate
+        self._clamp = 2.0 * new_rate + 1.0
+        # rate edges change which hop-1 packets are re-route eligible
+        # (the dead-link exclusion): re-arm the stuck scan
+        self._stuck_check_at = self.step
         if newly_dead.any():
             self.credit[newly_dead] = 0.0
         # later add_message calls should route around the current state
@@ -425,19 +652,26 @@ class PacketSimulator:
             )
 
     def _retry_dead(self, pkts: np.ndarray) -> None:
-        """Retransmit packets stranded on dead links; drop repeat offenders."""
-        self._p_retry[pkts] += 1
-        give_up = pkts[self._p_retry[pkts] > self.config.max_reroute_attempts]
-        retry = pkts[self._p_retry[pkts] <= self.config.max_reroute_attempts]
+        """Retransmit packets stranded on dead links; drop repeat offenders.
+
+        ``pkts`` are arena indices in (link, seq) order.
+        """
+        ai = self._ai
+        ai[RETRY, pkts] += 1
+        over = ai[RETRY, pkts] > self.config.max_reroute_attempts
+        give_up = pkts[over]
+        retry = pkts[~over]
         if give_up.size:
-            self._p_drop[give_up] = True
+            self._a_drop[give_up] = True
+            self._dropped_flagged += int(give_up.size)
         if retry.size == 0:
             return
-        mids = self._p_msg[retry]
+        old_links = ai[LNK, retry]
+        mids = ai[MSG, retry]
         for mid in np.unique(mids):
             mid = int(mid)
             sel = retry[mids == mid]
-            rows = self._p_row[sel]
+            rows = ai[ROW, sel]
             routed = rows >= 0
             if routed.any():
                 # un-attribute: the packet will be re-routed from scratch
@@ -446,32 +680,44 @@ class PacketSimulator:
                 self.messages[mid].min_packets -= int(prev_min.sum())
                 self.messages[mid].nonmin_packets -= int((~prev_min).sum())
             inj = int(self.top.injection_link(self.messages[mid].spec.src))
-            self._p_link[sel] = inj
-        self._p_row[retry] = -1
-        self._p_hop[retry] = 0
-        self._p_wait[retry] = 0
-        self._p_seq[retry] = np.arange(self._seq, self._seq + retry.size)
+            ai[LNK, sel] = inj
+        ai[ROW, retry] = -1
+        ai[HOP, retry] = 0
+        ai[WSC, retry] = self.step
+        ai[SEQ, retry] = np.arange(self._seq, self._seq + retry.size, dtype=np.int64)
         self._seq += retry.size
         self.retries += int(retry.size)
+        new_links = ai[LNK, retry]
+        L = self._L
+        self._qlen += np.bincount(new_links, minlength=L)
+        self._qlen -= np.bincount(old_links, minlength=L)
+        self._link_dirty[old_links] = True
+        self._link_dirty[new_links] = True
+        self._any_dirty = True
 
     def _flush_drops(self) -> None:
         """Remove packets flagged for dropping and settle their messages."""
-        if not self._p_drop.any():
+        n = self._n
+        drop = np.flatnonzero(self._a_drop[:n])
+        self._dropped_flagged = 0
+        if drop.size == 0:
             return
-        drop = np.flatnonzero(self._p_drop)
         self.dropped += int(drop.size)
-        for mid, cnt in zip(*np.unique(self._p_msg[drop], return_counts=True)):
+        for mid, cnt in zip(*np.unique(self._ai[MSG, drop], return_counts=True)):
             mid = int(mid)
             self.messages[mid].dropped_packets += int(cnt)
             self._msg_remaining[mid] -= int(cnt)
             if self._msg_remaining[mid] == 0:
                 self.messages[mid].finish_step = self.step + 1
+                self.messages_done += 1
         tel = resolve_telemetry(self.telemetry)
         if tel.trace.enabled:
             tel.event("packet.drop", step=self.step, dropped=int(drop.size))
-        keep = ~self._p_drop
-        for name in _STATE_ARRAYS:
-            setattr(self, name, getattr(self, name)[keep])
+        dl = self._ai[LNK, drop]
+        self._qlen -= np.bincount(dl, minlength=self._L)
+        self._link_dirty[dl] = True
+        self._any_dirty = True
+        self._remove(drop)
 
     def _maybe_trace_step(self) -> None:
         """Periodic queue-state event (``trace_every`` steps apart)."""
@@ -492,46 +738,103 @@ class PacketSimulator:
             stall_ratio=self.stall_to_flit_ratio(),
         )
 
-    def _advance_served(self, served: np.ndarray) -> None:
-        top = self.top
-        is_inj = top.link_class[self._p_link[served]] == int(LinkClass.INJECTION)
+    def _advance_served(self, sidx: np.ndarray, flen: np.ndarray) -> None:
+        ai = self._ai
+        L = self._L
+        qlen = self._qlen
+        # enumerate served packets in (link, FIFO) order — the order the
+        # per-tick lexsort of the naive formulation yields, observable
+        # through seq assignment and the completion-latency batches
+        so = sidx[np.lexsort((ai[SEQ, sidx], ai[LNK, sidx]))]
+        so_links = ai[LNK, so]
+        is_inj = self._inj_mask[so_links]
+        entering = so[is_inj]
+        edrop = None
 
         # 1. packets leaving their injection link: route them now.  The
         # chosen row's first link (column 1) is where they queue next,
         # so they advance no further this step — otherwise the first
         # router-output queue would be skipped entirely and the hop-1
         # re-route window could never open.
-        entering = served[is_inj]
         if entering.size:
             self._route(entering)
-            # join the back of the new link's FIFO queue
-            routed = entering[~self._p_drop[entering]]
-            self._p_seq[routed] = np.arange(self._seq, self._seq + routed.size)
+            # freshly routed packets sit at hop 1 from now on: they
+            # become re-route eligible patience steps out
+            nxt = self.step + self.config.reroute_patience
+            if nxt < self._stuck_check_at:
+                self._stuck_check_at = nxt
+            if self.faults is not None:
+                edrop = self._a_drop[entering]
+            routed = entering if edrop is None or not edrop.any() else entering[~edrop]
+            ai[SEQ, routed] = np.arange(
+                self._seq, self._seq + routed.size, dtype=np.int64
+            )
             self._seq += routed.size
-            served = served[~is_inj]
+            rest = so[~is_inj]
+        else:
+            routed = entering
+            rest = so
+
+        # all served packets vacate their queues, except entering packets
+        # whose routing found no live candidate (they keep their link
+        # until the end-of-step drop flush)
+        qlen -= np.bincount(so_links, minlength=L)
+        if edrop is not None and edrop.any():
+            qlen += np.bincount(so_links[is_inj][edrop], minlength=L)
 
         # 2. all other served packets advance one hop along their row
-        hop = self._p_hop[served] + 1
-        rows = self._p_row[served]
-        assert (rows >= 0).all(), "served packet without a routed path"
-        next_link = self._cand_links[rows, np.minimum(hop, self._cand_links.shape[1] - 1)]
-        valid = (hop < self._cand_links.shape[1]) & (next_link >= 0)
+        if rest.size:
+            hop = ai[HOP, rest] + 1
+            ncol = self._cand_links.shape[1]
+            next_link = self._cand_links[ai[ROW, rest], np.minimum(hop, ncol - 1)]
+            valid = (hop < ncol) & (next_link >= 0)
+            moving = rest[valid]
+            done = rest[~valid]
+            if moving.size:
+                ml = next_link[valid]
+                ai[HOP, moving] = hop[valid]
+                ai[LNK, moving] = ml
+                ai[SEQ, moving] = np.arange(
+                    self._seq, self._seq + moving.size, dtype=np.int64
+                )
+                self._seq += moving.size
+            else:
+                ml = moving
+        else:
+            moving = done = rest
+            ml = rest
 
-        done = served[~valid]
-        moving = served[valid]
-        self._p_hop[moving] = hop[valid]
-        self._p_link[moving] = next_link[valid]
-        self._p_seq[moving] = np.arange(self._seq, self._seq + moving.size)
-        self._seq += moving.size
+        # one combined arrival batch, in seq-assignment order (routed
+        # packets took their new seqs before moving ones): each arrival
+        # queues behind this step's survivors and earlier batch arrivals
+        # to the same link
+        nr = routed.size
+        if nr or moving.size:
+            dest = np.empty(nr + moving.size, dtype=np.int64)
+            dest[:nr] = ai[LNK, routed]
+            dest[nr:] = ml
+            ranks = flen[dest] + _occurrence_index(dest)
+            ai[RNK, routed] = ranks[:nr]
+            ai[RNK, moving] = ranks[nr:]
+            qlen += np.bincount(dest, minlength=L)
 
         if done.size:
             self._complete(done)
+            self._remove(done)
 
-        if done.size:
-            keep = np.ones(self.n_active, dtype=bool)
-            keep[done] = False
-            for name in _STATE_ARRAYS:
-                setattr(self, name, getattr(self, name)[keep])
+    @staticmethod
+    def _hard_decision(
+        mode: RoutingMode, lm: np.ndarray, ln: np.ndarray, hops_taken: int
+    ) -> np.ndarray:
+        """:func:`repro.core.policy.minimal_preferred` with the scalar
+        ``hops_taken`` shift resolved up front — same arithmetic, fewer
+        array dispatches on the per-step path."""
+        if mode.increasing:
+            sched = mode.hop_shift_schedule
+            shift = sched[min(hops_taken, len(sched) - 1)]
+        else:
+            shift = mode.shift
+        return lm <= np.ldexp(ln, shift) + mode.add
 
     def _route(self, packets: np.ndarray, *, hops_taken: int = 0, at_hop: int = 1) -> None:
         """(Re-)run the adaptive decision for packets at the source router.
@@ -541,10 +844,136 @@ class PacketSimulator:
         packet is re-routed to a different output port of the same
         router).  ``hops_taken`` feeds AD1's per-hop shift schedule.
         """
+        if self.faults is not None:
+            self._route_masked(packets, hops_taken=hops_taken, at_hop=at_hop)
+        else:
+            self._route_batched(packets, hops_taken=hops_taken, at_hop=at_hop)
+
+    def _route_batched(
+        self, packets: np.ndarray, *, hops_taken: int, at_hop: int
+    ) -> None:
+        """Fault-free scoring of every affected message in one batch.
+
+        Candidate windows are gathered as one (messages x window) score
+        matrix through the sentinel-extended occupancy table; the
+        per-message window is ``_n_min_cand + k_nonmin`` rows from the
+        message's first candidate row, exactly as the per-message loop
+        slices it (including its cross-message read of the next
+        message's leading rows when a message owns fewer non-minimal
+        candidates than ``k_nonmin`` — see docs/PERFORMANCE.md).
+        """
+        c = self.config
+        L = self._L
+        ai = self._ai
+        M = len(self.messages)
+        mids = ai[MSG, packets]
+        # bincount-based unique: message ids are dense small ints, so a
+        # count + scatter lookup beats np.unique's sort
+        cnt = np.bincount(mids, minlength=M)
+        umids = cnt.nonzero()[0]
+        U = umids.size
+        cnt_all = cnt[umids]
+        lut = self._mid_lut
+        lut[umids] = np.arange(U)
+        inv = lut[mids]
+        nm = self._n_min_cand
+        W = nm + c.k_nonmin
+        starts = self._cand_start_arr[umids]
+        occ_ext = self._occ_scratch
+        occ_ext[:L] = self._qlen  # == occupancy(); occ_ext[L] stays 0.0
+
+        chosen = np.empty(U, dtype=np.int64)
+        take_min_u = np.empty(U, dtype=bool)
+        full = starts + W <= self._cand_rows
+        fidx = full.nonzero()[0]
+        if fidx.size:
+            sF = starts[fidx]
+            ridx = (sF[:, None] + np.arange(W)).ravel()
+            s = occ_ext[self._cand_safe[ridx]].sum(axis=1)
+            s /= c.occupancy_credit_unit
+            s += self._cand_bias[ridx]
+            S = s.reshape(fidx.size, W)
+            smin = S[:, :nm]
+            snon = S[:, nm:]
+            bm = np.argmin(smin, axis=1)
+            lm = smin.min(axis=1)
+            bn = np.argmin(snon, axis=1)
+            ln = snon.min(axis=1)
+            if len(self._mode_registry) == 1:
+                tm = self._hard_decision(self._mode_registry[0], lm, ln, hops_taken)
+            else:
+                tm = np.empty(fidx.size, dtype=bool)
+                grp = self._msg_modegrp[umids[fidx]]
+                for g in np.unique(grp):
+                    gsel = grp == g
+                    tm[gsel] = self._hard_decision(
+                        self._mode_registry[g], lm[gsel], ln[gsel], hops_taken
+                    )
+            chosen[fidx] = sF + np.where(tm, bm, nm + bn)
+            take_min_u[fidx] = tm
+        if fidx.size < U:
+            # a window truncated by the end of the candidate table (the
+            # last registered message when its non-minimal candidate
+            # count falls short of k_nonmin): score it exactly as the
+            # per-message loop would
+            occ = occ_ext[:L]
+            for k in (~full).nonzero()[0]:
+                mid = int(umids[k])
+                start = int(starts[k])
+                rows = slice(start, start + W)
+                links = self._cand_links[: self._cand_rows][rows, 1:]
+                validm = self._cand_valid[: self._cand_rows][rows, 1:]
+                scores = (
+                    np.where(validm, occ[np.where(validm, links, 0)], 0.0).sum(axis=1)
+                    / c.occupancy_credit_unit
+                )
+                scores = scores + c.hop_bias_credits * validm.sum(axis=1)
+                smin = scores[:nm]
+                snon = scores[nm:]
+                best_min = int(np.argmin(smin))
+                best_non = int(np.argmin(snon)) + nm
+                take_min = bool(
+                    minimal_preferred(
+                        self._msg_mode[mid], smin.min(), snon.min(), hops_taken
+                    )
+                )
+                chosen[k] = start + (best_min if take_min else best_non)
+                take_min_u[k] = take_min
+
+        # apply the per-message decision to every affected packet; the
+        # attribution lands in the _msg_min/_msg_nonmin accumulators and
+        # is mirrored into MessageStats at the end of the step
+        M = len(self.messages)
+        row_pp = chosen[inv]
+        prev_rows = ai[ROW, packets]
+        rerouted = prev_rows >= 0
+        if rerouted.any():
+            # un-count packets that had already been attributed to a side
+            prev_min = (prev_rows - self._cand_start_arr[mids]) < nm
+            sel = rerouted & prev_min
+            self._msg_min[:M] -= np.bincount(mids[sel], minlength=M)
+            sel = rerouted & ~prev_min
+            self._msg_nonmin[:M] -= np.bincount(mids[sel], minlength=M)
+        self._msg_min[umids[take_min_u]] += cnt_all[take_min_u]
+        self._msg_nonmin[umids[~take_min_u]] += cnt_all[~take_min_u]
+        self._attr_dirty = True
+        ai[ROW, packets] = row_pp
+        ai[HOP, packets] = at_hop
+        ai[LNK, packets] = self._cand_links[row_pp, at_hop]
+
+    def _route_masked(
+        self, packets: np.ndarray, *, hops_taken: int, at_hop: int
+    ) -> None:
+        """Per-message scoring under a fault mask (dead candidate rows
+        are ruled out; messages with no surviving row drop their
+        packets).  Rare enough to keep the reference per-message shape."""
+        ai = self._ai
         occ = self.occupancy()
         unit = self.config.occupancy_credit_unit
-        dead = self.rate <= 0.0 if self.faults is not None else None
-        mids = self._p_msg[packets]
+        dead = self.rate <= 0.0
+        mids = ai[MSG, packets]
+        cl = self._cand_links[: self._cand_rows]
+        cv = self._cand_valid[: self._cand_rows]
         # score every candidate row of the affected messages
         for mid in np.unique(mids):
             start = self._cand_msg_start[mid]
@@ -552,20 +981,21 @@ class PacketSimulator:
             # a message's rows: k_min minimal then k_nonmin non-minimal;
             # skip the injection link (position 0) when scoring.
             rows = slice(start, start + n_cand)
-            links = self._cand_links[rows, 1:]
-            validm = self._cand_valid[rows, 1:]
+            links = cl[rows, 1:]
+            validm = cv[rows, 1:]
             scores = np.where(validm, occ[np.where(validm, links, 0)], 0.0).sum(axis=1) / unit
             scores = scores + self.config.hop_bias_credits * validm.sum(axis=1)
-            if dead is not None:
-                # a row crossing a dead link can never drain: rule it out
-                row_dead = (validm & dead[np.where(validm, links, 0)]).any(axis=1)
-                if row_dead.all():
-                    # no surviving candidate at all — drop these packets
-                    self._p_drop[packets[mids == mid]] = True
-                    continue
-                scores = np.where(row_dead, np.inf, scores)
+            # a row crossing a dead link can never drain: rule it out
+            row_dead = (validm & dead[np.where(validm, links, 0)]).any(axis=1)
+            if row_dead.all():
+                # no surviving candidate at all — drop these packets
+                sel = packets[mids == mid]
+                self._a_drop[sel] = True
+                self._dropped_flagged += int(sel.size)
+                continue
+            scores = np.where(row_dead, np.inf, scores)
             smin = scores[: self._n_min_cand]
-            snon = scores[self._n_min_cand:]
+            snon = scores[self._n_min_cand :]
             best_min = int(np.argmin(smin))
             best_non = int(np.argmin(snon)) + self._n_min_cand
             mode = self._msg_mode[mid]
@@ -579,27 +1009,68 @@ class PacketSimulator:
                 )
             row = start + (best_min if take_min else best_non)
             sel = packets[mids == mid]
-            rerouted = self._p_row[sel] >= 0
+            rerouted = ai[ROW, sel] >= 0
             # un-count packets that had already been attributed to a side
             if rerouted.any():
-                prev_min = self._p_row[sel[rerouted]] - start < self._n_min_cand
+                prev_min = ai[ROW, sel[rerouted]] - start < self._n_min_cand
                 self.messages[mid].min_packets -= int(prev_min.sum())
                 self.messages[mid].nonmin_packets -= int((~prev_min).sum())
-            self._p_row[sel] = row
-            self._p_hop[sel] = at_hop
-            self._p_link[sel] = self._cand_links[row, at_hop]
+            ai[ROW, sel] = row
+            ai[HOP, sel] = at_hop
+            ai[LNK, sel] = cl[row, at_hop]
             if take_min:
                 self.messages[mid].min_packets += sel.size
             else:
                 self.messages[mid].nonmin_packets += sel.size
 
     def _complete(self, done: np.ndarray) -> None:
-        lat = (self.step - self._p_birth[done] + 1).astype(np.float64) * self.config.step_time
+        ai = self._ai
+        lat = ((self.step + 1) - ai[BIRTH, done]).astype(np.float64)
+        lat *= self.config.step_time
         self._pkt_latencies.append(lat)
-        for mid, cnt in zip(*np.unique(self._p_msg[done], return_counts=True)):
-            self._msg_remaining[mid] -= int(cnt)
-            if self._msg_remaining[mid] == 0:
-                self.messages[mid].finish_step = self.step + 1
+        M = len(self.messages)
+        cnts = np.bincount(ai[MSG, done], minlength=M)
+        rem = self._msg_remaining
+        rem[:M] -= cnts
+        fin = ((rem[:M] == 0) & (cnts > 0)).nonzero()[0]
+        for mid in fin:
+            self.messages[int(mid)].finish_step = self.step + 1
+            self.messages_done += 1
+
+    def _remove(self, idx: np.ndarray) -> None:
+        """Drop arena columns ``idx``, filling holes from the live tail."""
+        k = idx.size
+        if k == 0:
+            return
+        new_n = self._n - k
+        in_tail = idx >= new_n
+        holes = idx[~in_tail]
+        if holes.size:
+            keep_tail = np.ones(k, dtype=bool)
+            keep_tail[idx[in_tail] - new_n] = False
+            src = new_n + keep_tail.nonzero()[0]
+            self._ai[:, holes] = self._ai[:, src]
+            self._a_flits[holes] = self._a_flits[src]
+            self._a_drop[holes] = self._a_drop[src]
+        self._n = new_n
+
+    def _rebuild_dirty_ranks(self) -> None:
+        """Recompute FIFO ranks of the queues perturbed this step."""
+        n = self._n
+        dirty = self._link_dirty
+        if n:
+            lk = self._ai[LNK, :n]
+            sel = dirty[lk].nonzero()[0]
+            if sel.size:
+                sl = lk[sel]
+                order = np.lexsort((self._ai[SEQ, sel], sl))
+                ss = sl[order]
+                ng = np.ones(ss.size, dtype=bool)
+                ng[1:] = ss[1:] != ss[:-1]
+                gs = np.maximum.accumulate(np.where(ng, np.arange(ss.size), 0))
+                self._ai[RNK, sel[order]] = np.arange(ss.size) - gs
+        dirty[:] = False
+        self._any_dirty = False
 
     # ------------------------------------------------------------------
     def run(self, *, max_steps: int | None = None) -> int:
@@ -610,6 +1081,8 @@ class PacketSimulator:
         # None unless a GuardPolicy is active; the unguarded loop pays
         # one None-check per step and nothing else
         guard = active_guard()
+        trace_steps = self.config.trace_every > 0 and tel.trace.enabled
+        can_skip = guard is None and not self._fault_changes and not trace_steps
         t0 = time.perf_counter() if tel.enabled else 0.0
         while not self.idle:
             if self.step - start >= limit:
@@ -617,6 +1090,14 @@ class PacketSimulator:
                     f"packet simulation did not drain within {limit} steps "
                     f"({self.n_active} packets active)"
                 )
+            if self._n == 0 and can_skip:
+                # idle stretch: nothing can happen until the earliest
+                # pending activation, so take it in closed form (capped
+                # at the step limit so overruns still raise above)
+                target = min(self._pending_min, start + limit)
+                if target > self.step:
+                    self.step = target
+                    continue
             self.advance()
             if guard is not None:
                 guard.tick_steps(1, where="packet.run")
@@ -627,15 +1108,20 @@ class PacketSimulator:
             check_packet_state(guard, self)
         if tel.enabled:
             wall = time.perf_counter() - t0
+            step_wall = wall / steps if steps else 0.0
             m = tel.metrics
             if m.enabled:
                 m.counter("packet_steps_total", "packet-sim steps executed").inc(steps)
                 m.counter(
                     "packet_messages_total", "messages drained by packet-sim runs"
-                ).inc(sum(1 for s in self.messages if s.done))
+                ).inc(self.messages_done)
                 m.histogram("packet_run_seconds", "wall time per packet-sim run").observe(
                     wall
                 )
+                if steps:
+                    m.histogram(
+                        "engine_step_seconds", "mean wall time per packet-sim step"
+                    ).observe(step_wall)
                 if self.dropped:
                     m.counter(
                         "packet_drops_total", "packets dropped on dead links"
@@ -645,7 +1131,7 @@ class PacketSimulator:
                 steps=steps,
                 sim_time_s=self.now,
                 messages=len(self.messages),
-                messages_done=sum(1 for s in self.messages if s.done),
+                messages_done=self.messages_done,
                 flits=float(self.flits.sum()),
                 stalls=float(self.stalls.sum()),
                 stall_ratio=self.stall_to_flit_ratio(),
@@ -653,6 +1139,7 @@ class PacketSimulator:
                 retries=self.retries,
                 dropped=self.dropped,
                 wall_ms=wall * 1e3,
+                step_us=step_wall * 1e6,
             )
         return steps
 

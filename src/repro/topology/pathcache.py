@@ -38,7 +38,11 @@ import numpy as np
 from repro.topology.dragonfly import DragonflyTopology
 from repro.topology.paths import PathBundle, minimal_paths, valiant_paths
 
-_DEFAULT_MAXSIZE = 16
+# Sized for the packet simulator's per-message registration pattern (two
+# entries per message, a few dozen messages per microbenchmark round) on
+# top of campaign fluid solves (a handful of large bundles).  Worst-case
+# resident set is maxsize x the largest bundle (~1.4 MB at 4k flows).
+_DEFAULT_MAXSIZE = 48
 
 _lock = threading.Lock()
 _store: OrderedDict[tuple, tuple[PathBundle, dict]] = OrderedDict()

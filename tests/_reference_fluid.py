@@ -1,45 +1,16 @@
-"""Fluid (rate-equilibrium) congestion engine.
+"""Seed (pre-arena/bincount) fluid solver, kept verbatim as the golden reference.
 
-This is the campaign-scale engine: it resolves one communication phase —
-a set of flows plus an ambient background utilization field — into
-per-flow completion times, per-packet latency estimates, per-link loads,
-and Aries tile counter increments, with the minimal/non-minimal split of
-every flow decided by the biased comparison of
-:mod:`repro.core.policy`.
-
-Model
------
-Each flow gets ``k_min`` sampled minimal sub-paths and ``k_nonmin``
-sampled Valiant sub-paths (:mod:`repro.topology.paths`).  A fraction
-``x`` of the flow's bytes takes the minimal set (split evenly over its
-sub-paths), ``1 - x`` the non-minimal set.  The solver iterates:
-
-1. accumulate per-link byte loads from the current splits;
-2. derive the phase timescale ``T`` (the slowest link's drain time given
-   background-reduced capacity) and per-link utilizations
-   ``u = load / (cap_eff * T) + u_bg``;
-3. score each candidate side by the summed utilization along its best
-   sub-path (non-minimal paths are longer, so they intrinsically score
-   higher at uniform load — the hardware analogue is comparing total
-   downstream credit backlog);
-4. update each flow's split through
-   :func:`repro.core.policy.split_fraction` with its traffic class's
-   routing mode, with damping.
-
-After convergence, flits/stalls per link follow the congestion model
-(including backpressure flit inflation on overloaded links), and per-flow
-times/latencies are extracted.
-
-The same solver produces steady-state *utilization fields* when given a
-``fixed_duration``: the scheduler's background-traffic builder uses that
-to convert background byte rates into the ambient ``u_bg`` field.
+This is a frozen copy of src/repro/network/fluid.py as of the commit before
+the engine hot-path overhaul.  The golden-equivalence and perf-gate suites
+compare the optimized engine against this implementation byte for byte.
+Do not optimize or otherwise edit this file except to track intentional,
+documented re-baselines (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 import time
 import warnings
-import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -224,6 +195,42 @@ class FluidResult:
             )
 
 
+def _side_arrays(bundle: PathBundle, n_flows: int):
+    """Precompute gather/scatter helpers for one path bundle."""
+    valid = bundle.links >= 0
+    safe_links = np.where(valid, bundle.links, 0)
+    count = np.bincount(bundle.flow, minlength=n_flows).astype(np.float64)
+    return valid, safe_links, count
+
+
+def _flow_min(values: np.ndarray, flow: np.ndarray, n_flows: int) -> np.ndarray:
+    """Per-flow minimum of sub-path values."""
+    out = np.full(n_flows, np.inf)
+    np.minimum.at(out, flow, values)
+    return out
+
+
+def _flow_max(values: np.ndarray, flow: np.ndarray, n_flows: int) -> np.ndarray:
+    """Per-flow maximum of sub-path values."""
+    out = np.zeros(n_flows)
+    np.maximum.at(out, flow, values)
+    return out
+
+
+def _flow_mean(values: np.ndarray, flow: np.ndarray, count: np.ndarray) -> np.ndarray:
+    """Per-flow mean of sub-path values."""
+    out = np.zeros(count.size)
+    np.add.at(out, flow, values)
+    return out / np.maximum(count, 1.0)
+
+
+def _flow_weighted_sum(values: np.ndarray, flow: np.ndarray, n_flows: int) -> np.ndarray:
+    """Per-flow sum of (already weighted) sub-path values."""
+    out = np.zeros(n_flows)
+    np.add.at(out, flow, values)
+    return out
+
+
 def _visible_links(links: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """The first two router-output links of each sub-path.
 
@@ -252,168 +259,20 @@ def _visible_links(links: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarra
     return l1, has1, l2, has2
 
 
-class _BundleAux:
-    """Precomputed gather/scatter geometry for one frozen path bundle.
-
-    The path cache returns shared, read-only bundles, so repeated solves
-    over the same flow set (campaign reruns, calibration sweeps,
-    benchmark rounds) reuse this setup instead of re-deriving masks and
-    scatter indices every call.  Cached on the bundle instance, keyed by
-    the (n_flows, n_links) pair it was built for.
-    """
-
-    __slots__ = (
-        "n_links",
-        "n_flows",
-        "k",
-        "uniform",
-        "flow",
-        "safe_ext_T",
-        "idx_flat",
-        "repcnt",
-        "cnt",
-        "w0",
-        "hops",
-        "visible",
-        "pair",
-        "__weakref__",
-    )
-
-    def __init__(self, bundle: PathBundle, n_flows: int, n_links: int) -> None:
-        links = bundle.links
-        valid = links >= 0
-        self.n_links = n_links
-        self.n_flows = n_flows
-        self.flow = bundle.flow
-        # paths.py builds flow-major bundles with a uniform candidate
-        # count per flow (flow == repeat(arange(n), k_eff)), which lets
-        # the per-flow reductions below run as cheap reshapes
-        self.k = links.shape[0] // n_flows if n_flows else 0
-        self.uniform = self.k > 0 and self.k * n_flows == links.shape[0]
-        # sentinel gather index: invalid slots read vals_ext[n_links],
-        # which every caller pins to 0.0
-        self.safe_ext_T = np.ascontiguousarray(np.where(valid, links, n_links).T)
-        # flat scatter geometry over the valid entries, in C (row-major)
-        # order — the same order a boolean-mask extraction enumerates
-        self.idx_flat = links[valid]
-        # valid-entry count per sub-path: np.repeat over these counts
-        # expands a per-sub-path weight to the flat valid-entry layout
-        self.repcnt = valid.sum(axis=1)
-        self.cnt = np.bincount(bundle.flow, minlength=n_flows).astype(np.float64)
-        # uniform initial within-side weight of every sub-path
-        self.w0 = (1.0 / np.maximum(self.cnt, 1.0))[bundle.flow]
-        self.hops = bundle.router_hops.astype(np.float64)
-        self.visible = _visible_links(links)
-        # scratch shared with a partner bundle's aux, built lazily by
-        # solve_fluid (concatenated scatter indices + weight buffers)
-        self.pair = None
-
-
-def _bundle_aux(bundle: PathBundle, n_flows: int, n_links: int) -> _BundleAux:
-    aux = getattr(bundle, "_solver_aux", None)
-    if aux is None or aux.n_links != n_links or aux.n_flows != n_flows:
-        aux = _BundleAux(bundle, n_flows, n_links)
-        bundle._solver_aux = aux
-    return aux
-
-
-def _masked_rowsum(vals_ext: np.ndarray, safe_ext_T: np.ndarray) -> np.ndarray:
-    """``np.where(valid, vals[links], 0.0).sum(axis=1)`` without the mask.
-
-    Gathers through the sentinel-extended value table (``vals_ext[-1]``
-    must be 0.0) so invalid slots contribute exact zeros, then reduces in
-    numpy's own pairwise order for the fixed ``MAX_HOPS == 10`` row width
-    — byte-identical to the masked form and several times faster.
-    """
-    if safe_ext_T.shape[0] != 10:  # pragma: no cover - MAX_HOPS is fixed
-        return vals_ext[safe_ext_T.T].sum(axis=1)
-    c = vals_ext[safe_ext_T]
-    # numpy's pairwise reduction of a width-10 row: an 8-leaf balanced
-    # tree followed by two sequential tail adds
-    s = ((c[0] + c[1]) + (c[2] + c[3])) + ((c[4] + c[5]) + (c[6] + c[7]))
-    s += c[8]
-    s += c[9]
-    return s
-
-
-def _masked_rowmax(vals_ext: np.ndarray, safe_ext_T: np.ndarray) -> np.ndarray:
-    """``np.where(valid, vals[links], 0.0).max(axis=1)`` via sentinel
-    gathers (max is order-exact, so any reduction order matches)."""
-    return vals_ext[safe_ext_T].max(axis=0)
-
-
-def _group_min(values: np.ndarray, aux: _BundleAux) -> np.ndarray:
-    """Per-flow minimum of sub-path values (min is order-exact, so the
-    column chain over the flow-major layout is byte-identical to any
-    other grouping)."""
-    if aux.uniform:
-        s2 = values.reshape(aux.n_flows, aux.k)
-        out = s2[:, 0].copy()
-        for j in range(1, aux.k):
-            np.minimum(out, s2[:, j], out=out)
-        return out
-    out = np.full(aux.n_flows, np.inf)
-    np.minimum.at(out, aux.flow, values)
-    return out
-
-
-def _group_max(values: np.ndarray, aux: _BundleAux) -> np.ndarray:
-    """Per-flow maximum of sub-path values, floored at 0."""
-    if aux.uniform:
-        s2 = values.reshape(aux.n_flows, aux.k)
-        out = s2[:, 0].copy()
-        for j in range(1, aux.k):
-            np.maximum(out, s2[:, j], out=out)
-        np.maximum(out, 0.0, out=out)
-        return out
-    out = np.zeros(aux.n_flows)
-    np.maximum.at(out, aux.flow, values)
-    return out
-
-
-def _group_sum(values: np.ndarray, aux: _BundleAux) -> np.ndarray:
-    """Per-flow sum of (already weighted) sub-path values.
-
-    ``np.bincount`` accumulates each bin sequentially in input order —
-    the same order ``np.add.at`` onto zeros uses — so this is
-    byte-identical to the scatter-add form at a fraction of the cost.
-    """
-    return np.bincount(aux.flow, weights=values, minlength=aux.n_flows)
-
-
-def _softmin_weights(scores: np.ndarray, aux: _BundleAux, temp: float) -> np.ndarray:
+def _softmin_weights(
+    scores: np.ndarray, flow: np.ndarray, n_flows: int, temp: float
+) -> np.ndarray:
     """Softmin weights within each flow's candidate group.
 
     ``exp(-(score - group_min) / temp)`` normalized per group: candidates
     near the group's best share the traffic, clearly-worse ones are
     avoided — the fluid analogue of per-packet adaptive candidate choice.
     """
-    n, k = aux.n_flows, aux.k
-    if aux.uniform:
-        s2 = scores.reshape(n, k)
-        m = s2[:, 0].copy()
-        for j in range(1, k):
-            np.minimum(m, s2[:, j], out=m)
-        e = s2 - m[:, None]
-        e /= temp
-        np.minimum(e, 60.0, out=e)
-        np.negative(e, out=e)
-        np.exp(e, out=e)
-        if k < 8:
-            # the left-to-right column chain is the accumulation order of
-            # both a sub-8-lane numpy row sum and a bincount bin
-            denom = e[:, 0].copy()
-            for j in range(1, k):
-                denom += e[:, j]
-        else:  # pragma: no cover - default k_min/k_nonmin are < 8
-            denom = np.bincount(aux.flow, weights=e.reshape(-1), minlength=n)
-        e /= denom[:, None]
-        return e.reshape(-1)
-    m = np.full(n, np.inf)
-    np.minimum.at(m, aux.flow, scores)
-    e = np.exp(-np.minimum((scores - m[aux.flow]) / temp, 60.0))
-    denom = np.bincount(aux.flow, weights=e, minlength=n)
-    return e / denom[aux.flow]
+    m = _flow_min(scores, flow, n_flows)
+    e = np.exp(-np.minimum((scores - m[flow]) / temp, 60.0))
+    s = np.zeros(n_flows)
+    np.add.at(s, flow, e)
+    return e / s[flow]
 
 
 def solve_fluid(
@@ -499,77 +358,40 @@ def solve_fluid(
 
     pmin = cached_minimal_paths(top, flows.src, flows.dst, k=params.k_min, rng=rng)
     pnon = cached_valiant_paths(top, flows.src, flows.dst, k=params.k_nonmin, rng=rng)
-    n_links = top.n_links
-    aux_min = _bundle_aux(pmin, n, n_links)
-    aux_non = _bundle_aux(pnon, n, n_links)
-    hops_sub_min = aux_min.hops
-    hops_sub_non = aux_non.hops
+    vmin, lmin, cnt_min = _side_arrays(pmin, n)
+    vnon, lnon, cnt_non = _side_arrays(pnon, n)
+    hops_sub_min = pmin.router_hops.astype(np.float64)
+    hops_sub_non = pnon.router_hops.astype(np.float64)
     # UGAL-style hop component of the load estimate: longer candidates
     # carry more downstream queue even when idle, so at zero load every
     # biased mode prefers minimal while AD0 stays close to indifferent.
     bias_min = params.policy.hop_bias * hops_sub_min
     bias_non = params.policy.hop_bias * hops_sub_non
     # local visibility window of the routing decision (see _visible_links)
-    m1_l, m1_h, m2_l, m2_h = aux_min.visible
-    n1_l, n1_h, n2_l, n2_h = aux_non.visible
+    m1_l, m1_h, m2_l, m2_h = _visible_links(pmin.links)
+    n1_l, n1_h, n2_l, n2_h = _visible_links(pnon.links)
 
     x = np.full(n, 0.75)  # initial lean toward minimal (zero-load preference)
-    w_sub_min = aux_min.w0  # rebound to fresh arrays every iteration
-    w_sub_non = aux_non.w0
-    load = np.zeros(n_links)
+    w_sub_min = np.broadcast_to((1.0 / np.maximum(cnt_min, 1.0))[pmin.flow], pmin.flow.shape).copy()
+    w_sub_non = np.broadcast_to((1.0 / np.maximum(cnt_non, 1.0))[pnon.flow], pnon.flow.shape).copy()
+    load = np.zeros(top.n_links)
+    util = bg.copy()
     T = fixed_duration or params.min_timescale
 
     inv_cap_eff = np.divide(1.0, cap_eff, out=np.zeros_like(cap_eff), where=cap_eff > 0)
     adaptive_temp = params.policy.adaptive_temp
-    cap1 = np.maximum(cap, 1.0)
-
-    # Hoisted scatter geometry and scratch buffers, shared with every
-    # later solve over the same bundle pair.  One bincount over the
-    # concatenated (minimal ++ non-minimal) valid-entry link ids
-    # accumulates each bin in exactly the order two sequential
-    # ``np.add.at`` calls onto a zeroed array would, so the per-link
-    # loads are byte-identical to the scatter-add formulation.
-    ns1 = pmin.flow.size
-    pair = aux_min.pair
-    if pair is None or pair[0]() is not aux_non:
-        idx_cat = np.concatenate([aux_min.idx_flat, aux_non.idx_flat])
-        stall_idx_cat = np.concatenate([np.arange(n_links), idx_cat])
-        repcnt_cat = np.concatenate([aux_min.repcnt, aux_non.repcnt])
-        w_lvl = np.empty(ns1 + pnon.flow.size)
-        stall_w = np.empty(stall_idx_cat.size)
-        aux_min.pair = (
-            weakref.ref(aux_non),
-            idx_cat,
-            stall_idx_cat,
-            repcnt_cat,
-            w_lvl,
-            stall_w,
-        )
-    else:
-        _, idx_cat, stall_idx_cat, repcnt_cat, w_lvl, stall_w = pair
-    util_ext = np.empty(n_links + 1)
-    util_ext[n_links] = 0.0  # sentinel read by invalid path slots
-    u = util_ext[:n_links]
-    denom = np.empty(n_links)
-    nbx_min = np.empty(n)
-    nbx_non = np.empty(n)
 
     residual = 0.0
     residual_mean = 0.0
     iters_to_tol: int | None = None
-    t_loop = time.perf_counter() if tel.enabled else 0.0
     for it in range(params.n_iter):
         # 1. per-link loads from the current side splits and within-side
-        #    adaptive weights: gather each valid path slot's byte weight,
-        #    then one bincount over the hoisted flat link ids
-        np.multiply(flows.nbytes, x, out=nbx_min)
-        np.subtract(1.0, x, out=nbx_non)
-        np.multiply(flows.nbytes, nbx_non, out=nbx_non)
-        np.multiply(nbx_min[pmin.flow], w_sub_min, out=w_lvl[:ns1])
-        np.multiply(nbx_non[pnon.flow], w_sub_non, out=w_lvl[ns1:])
-        load = np.bincount(
-            idx_cat, weights=np.repeat(w_lvl, repcnt_cat), minlength=n_links
-        )
+        #    adaptive weights
+        w_min = (flows.nbytes * x)[pmin.flow] * w_sub_min
+        w_non = (flows.nbytes * (1.0 - x))[pnon.flow] * w_sub_non
+        load[:] = 0.0
+        np.add.at(load, lmin[vmin], np.broadcast_to(w_min[:, None], vmin.shape)[vmin])
+        np.add.at(load, lnon[vnon], np.broadcast_to(w_non[:, None], vnon.shape)[vnon])
 
         # 2. timescale and utilizations
         t_link = load * inv_cap_eff
@@ -577,31 +399,26 @@ def solve_fluid(
             T = max(float(t_link.max()), params.min_timescale, min_duration)
         else:
             T = fixed_duration
-        np.multiply(cap1, T, out=denom)
-        np.divide(load, denom, out=u)
-        np.clip(u, 0.0, 1.5, out=u)
-        u += bg
+        util = np.clip(load / (np.maximum(cap, 1.0) * T), 0.0, 1.5) + bg
 
         # 3. two kinds of scores.
         #    (a) full-path scores drive the *within-side* candidate
         #        weights: per-hop adaptivity lets every router on the way
         #        steer packets off its hot output tiles, so over the whole
         #        path the candidate set is effectively load-aware;
-        s_min_full = _masked_rowsum(util_ext, aux_min.safe_ext_T)
-        s_min_full += bias_min
-        s_non_full = _masked_rowsum(util_ext, aux_non.safe_ext_T)
-        s_non_full += bias_non
-        w_sub_min = _softmin_weights(s_min_full, aux_min, adaptive_temp)
-        w_sub_non = _softmin_weights(s_non_full, aux_non, adaptive_temp)
+        s_min_full = np.where(vmin, util[lmin], 0.0).sum(axis=1) + bias_min
+        s_non_full = np.where(vnon, util[lnon], 0.0).sum(axis=1) + bias_non
+        w_sub_min = _softmin_weights(s_min_full, pmin.flow, n, adaptive_temp)
+        w_sub_non = _softmin_weights(s_non_full, pnon.flow, n, adaptive_temp)
 
         #    (b) the minimal-vs-non-minimal *side* decision is made once,
         #        near the source, from locally visible load only — distant
         #        congestion on a non-minimal detour is invisible to it
         #        (the paper's core deficiency of unbiased adaptive routing)
-        s_min_loc = u[m1_l] * m1_h + u[m2_l] * m2_h + bias_min
-        s_non_loc = u[n1_l] * n1_h + u[n2_l] * n2_h + bias_non
-        score_min = _group_min(s_min_loc, aux_min)
-        score_non = _group_min(s_non_loc, aux_non)
+        s_min_loc = util[m1_l] * m1_h + util[m2_l] * m2_h + bias_min
+        s_non_loc = util[n1_l] * n1_h + util[n2_l] * n2_h + bias_non
+        score_min = _flow_min(s_min_loc, pmin.flow, n)
+        score_non = _flow_min(s_non_loc, pnon.flow, n)
 
         # 4. biased split per traffic class
         x_new = np.empty(n)
@@ -625,68 +442,61 @@ def solve_fluid(
             if guard.check_invariants:
                 check_fluid_iterate(guard, it, x, load)
 
-    iter_wall = (time.perf_counter() - t_loop) / params.n_iter if tel.enabled else 0.0
-
     # ---- final extraction ------------------------------------------------
     t_link = load * inv_cap_eff
     if fixed_duration is None:
         T = max(float(t_link.max()), params.min_timescale, min_duration)
-    raw_util = load / (cap1 * T) + bg
+    raw_util = load / (np.maximum(cap, 1.0) * T) + bg
     util = np.clip(raw_util, 0.0, 1.0)
-
-    # sentinel-extended per-link scratch reused by every gather below
-    ext = np.empty(n_links + 1)
-    ext[n_links] = 0.0
 
     # flow completion: each side finishes when the slowest *meaningfully
     # used* sub-path's bottleneck link drains; the flow when its slower
     # used side does.
-    ext[:n_links] = t_link
-    t_sub_min = _masked_rowmax(ext, aux_min.safe_ext_T)
-    t_sub_non = _masked_rowmax(ext, aux_non.safe_ext_T)
+    t_sub_min = np.where(vmin, t_link[lmin], 0.0).max(axis=1)
+    t_sub_non = np.where(vnon, t_link[lnon], 0.0).max(axis=1)
     # sub-paths the adaptive weighting has suppressed carry few of the
     # flow's packets and do not gate its completion
     used_min_sub = w_sub_min > 0.15
     used_non_sub = w_sub_non > 0.15
-    t_min_flow = _group_max(t_sub_min * used_min_sub, aux_min)
-    t_non_flow = _group_max(t_sub_non * used_non_sub, aux_non)
+    t_min_flow = _flow_max(t_sub_min * used_min_sub, pmin.flow, n)
+    t_non_flow = _flow_max(t_sub_non * used_non_sub, pnon.flow, n)
     used_non = x < 0.995
     flow_time = np.where(used_non, np.maximum(t_min_flow * (x > 0.005), t_non_flow), t_min_flow)
 
-    base_lat_min = lm.base_latency(hops_sub_min)
-    base_lat_non = lm.base_latency(hops_sub_non)
-
     # per-packet latency: base + queueing along the path, weighted by the
     # side split and the within-side weights
-    def _latency_at(qd_link: np.ndarray) -> np.ndarray:
-        ext[:n_links] = qd_link
-        qd_sub_min = _masked_rowsum(ext, aux_min.safe_ext_T)
-        qd_sub_non = _masked_rowsum(ext, aux_non.safe_ext_T)
-        lat_min = _group_sum((base_lat_min + qd_sub_min) * w_sub_min, aux_min)
-        lat_non = _group_sum((base_lat_non + qd_sub_non) * w_sub_non, aux_non)
+    def _latency_at(util_field: np.ndarray) -> np.ndarray:
+        qd_link = cm.queue_delay(util_field, cap)
+        qd_sub_min = np.where(vmin, qd_link[lmin], 0.0).sum(axis=1)
+        qd_sub_non = np.where(vnon, qd_link[lnon], 0.0).sum(axis=1)
+        lat_min = _flow_weighted_sum(
+            (lm.base_latency(hops_sub_min) + qd_sub_min) * w_sub_min, pmin.flow, n
+        )
+        lat_non = _flow_weighted_sum(
+            (lm.base_latency(hops_sub_non) + qd_sub_non) * w_sub_non, pnon.flow, n
+        )
         return x * lat_min + (1.0 - x) * lat_non
 
-    flow_latency = _latency_at(cm.queue_delay(util, cap))
+    flow_latency = _latency_at(util)
     # latency against ambient (background) traffic only: what a message
     # experiences once the phase's own burst has drained around it
-    qd_link_amb = cm.queue_delay(bg, cap)
-    flow_latency_ambient = _latency_at(qd_link_amb)
+    flow_latency_ambient = _latency_at(bg)
 
     # worst-packet latency: the slowest used sub-path of any used side —
     # what a globally synchronizing collective round actually waits for
-    ext[:n_links] = qd_link_amb
-    lat_sub_min = base_lat_min + _masked_rowsum(ext, aux_min.safe_ext_T)
-    lat_sub_non = base_lat_non + _masked_rowsum(ext, aux_non.safe_ext_T)
-    lat_max_min = _group_max(lat_sub_min * (w_sub_min > 0.05), aux_min)
-    lat_max_non = _group_max(lat_sub_non * (w_sub_non > 0.05), aux_non)
+    qd_link_amb = cm.queue_delay(bg, cap)
+    lat_sub_min = lm.base_latency(hops_sub_min) + np.where(vmin, qd_link_amb[lmin], 0.0).sum(axis=1)
+    lat_sub_non = lm.base_latency(hops_sub_non) + np.where(vnon, qd_link_amb[lnon], 0.0).sum(axis=1)
+    lat_max_min = _flow_max(lat_sub_min * (w_sub_min > 0.05), pmin.flow, n)
+    lat_max_non = _flow_max(lat_sub_non * (w_sub_non > 0.05), pnon.flow, n)
     # a side only contributes its worst path when it carries a meaningful
     # share of the flow's packets (a strongly-biased mode's few stray
     # non-minimal packets do not gate every collective round)
     flow_latency_worst = np.maximum(
         lat_max_min * (x > 0.15), lat_max_non * (x < 0.85)
     )
-    hops_min = _group_sum(hops_sub_min * w_sub_min, aux_min)
-    hops_non = _group_sum(hops_sub_non * w_sub_non, aux_non)
+    hops_min = _flow_weighted_sum(hops_sub_min * w_sub_min, pmin.flow, n)
+    hops_non = _flow_weighted_sum(hops_sub_non * w_sub_non, pnon.flow, n)
     flow_hops = x * hops_min + (1.0 - x) * hops_non
 
     # counters: stalls follow the congestion curve; saturated links
@@ -706,20 +516,23 @@ def solve_fluid(
     # every upstream link it uses — including its injection tile —
     # accrues stalls proportional to the worst downstream congestion.
     # Long (Valiant) paths spread that backpressure over more links.
-    # The bincount is seeded with the existing stall counts (identity
-    # scatter prefix), so each bin accumulates existing + minimal extras
-    # + non-minimal extras in the seed's exact scatter-add order.
     coupling = cm.backpressure_inj_coupling
-    ext[:n_links] = sr
-    sr_sub_min = _masked_rowmax(ext, aux_min.safe_ext_T)
-    sr_sub_non = _masked_rowmax(ext, aux_non.safe_ext_T)
+    sr_sub_min = np.where(vmin, sr[lmin], 0.0).max(axis=1)
+    sr_sub_non = np.where(vnon, sr[lnon], 0.0).max(axis=1)
     w_min_final = (flows.nbytes * x)[pmin.flow] * w_sub_min
     w_non_final = (flows.nbytes * (1.0 - x))[pnon.flow] * w_sub_non
-    w_lvl[:ns1] = w_min_final / FLIT_BYTES * coupling * sr_sub_min
-    w_lvl[ns1:] = w_non_final / FLIT_BYTES * coupling * sr_sub_non
-    stall_w[:n_links] = link_stalls
-    stall_w[n_links:] = np.repeat(w_lvl, repcnt_cat)
-    link_stalls = np.bincount(stall_idx_cat, weights=stall_w, minlength=n_links)
+    extra_min = w_min_final / FLIT_BYTES * coupling * sr_sub_min
+    extra_non = w_non_final / FLIT_BYTES * coupling * sr_sub_non
+    np.add.at(
+        link_stalls,
+        lmin[vmin],
+        np.broadcast_to(extra_min[:, None], vmin.shape)[vmin],
+    )
+    np.add.at(
+        link_stalls,
+        lnon[vnon],
+        np.broadcast_to(extra_non[:, None], vnon.shape)[vnon],
+    )
 
     if guard is not None and guard.check_invariants:
         check_fluid_result(guard, top, load, link_flits, link_stalls, flow_time)
@@ -751,9 +564,6 @@ def solve_fluid(
                 ).inc()
             m.histogram("fluid_solve_seconds", "wall time per solve").observe(wall)
             m.histogram(
-                "solver_iter_seconds", "mean wall time per solver iteration"
-            ).observe(iter_wall)
-            m.histogram(
                 "fluid_solve_residual",
                 "final mean |dx| of the split update",
                 buckets=(1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0),
@@ -775,7 +585,6 @@ def solve_fluid(
             max_util=float(raw_util.max()),
             min_fraction_mean=float(x.mean()),
             wall_ms=wall * 1e3,
-            iter_ms=iter_wall * 1e3,
         )
 
     return FluidResult(

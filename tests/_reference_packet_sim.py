@@ -1,0 +1,657 @@
+"""Seed (pre-arena) packet simulator, kept verbatim as the golden reference.
+
+This is a frozen copy of src/repro/network/packet_sim.py as of the commit
+before the engine hot-path overhaul.  The golden-equivalence, property-based
+arena, and perf-gate suites compare the optimized engine against this
+implementation byte for byte.  Do not optimize or otherwise edit this file
+except to track intentional, documented re-baselines (see
+docs/PERFORMANCE.md).
+"""
+
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.biases import RoutingMode
+from repro.core.policy import minimal_preferred
+from repro.faults.model import FaultSchedule
+from repro.guard.context import active_guard
+from repro.guard.invariants import check_packet_state
+from repro.network.congestion import PACKET_BYTES, FLIT_BYTES
+from repro.telemetry import Telemetry, resolve_telemetry
+from repro.topology.dragonfly import DragonflyTopology, LinkClass
+from repro.topology.paths import minimal_paths, valiant_paths
+
+#: per-packet state arrays compacted together when packets leave the sim
+_STATE_ARRAYS = (
+    "_p_msg",
+    "_p_row",
+    "_p_hop",
+    "_p_link",
+    "_p_seq",
+    "_p_birth",
+    "_p_flits",
+    "_p_wait",
+    "_p_retry",
+    "_p_drop",
+)
+
+
+@dataclass(frozen=True)
+class PacketSimConfig:
+    """Simulator tuning.
+
+    Attributes
+    ----------
+    step_time:
+        Seconds per simulation step.  At the default 50 ns a 5.25 GB/s
+        rank-1 link serves ~4 packets per step.
+    occupancy_credit_unit:
+        Queued packets per credit unit when scoring candidate paths
+        (hardware load estimates are coarse queue-depth buckets).
+    k_min, k_nonmin:
+        Candidate sub-paths per side per message.
+    max_steps:
+        Safety limit for :meth:`PacketSimulator.run`.
+    """
+
+    step_time: float = 50e-9
+    occupancy_credit_unit: float = 4.0
+    #: credit units a candidate is charged per router hop (the UGAL
+    #: convention: a longer path means more downstream queue even when
+    #: idle, so biased modes prefer minimal at zero load)
+    hop_bias_credits: float = 0.25
+    #: steps a packet may wait at its first router-output queue before the
+    #: router re-runs the adaptive decision for it (Aries re-adapts while
+    #: blocked; AD1's per-hop shift schedule applies at the retry).
+    #: 0 disables re-routing.
+    reroute_patience: int = 8
+    #: times a packet stranded on a **dead** link may be retransmitted
+    #: from its source NIC before it is dropped.  Independent of
+    #: ``reroute_patience``: survivability retries still run when
+    #: adaptive re-routing is disabled (patience 0).
+    max_reroute_attempts: int = 4
+    k_min: int = 2
+    k_nonmin: int = 2
+    max_steps: int = 200_000
+    #: emit a ``packet.step`` trace event every this many steps while a
+    #: trace sink is attached (0 disables the periodic events; the
+    #: end-of-run ``packet.run`` summary is always emitted when tracing)
+    trace_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.step_time <= 0:
+            raise ValueError("step_time must be > 0")
+        if self.occupancy_credit_unit <= 0:
+            raise ValueError("occupancy_credit_unit must be > 0")
+        if self.max_reroute_attempts < 0:
+            raise ValueError("max_reroute_attempts must be >= 0")
+
+
+@dataclass
+class InjectionSpec:
+    """One message to inject: ``src``/``dst`` node, size, mode, start step."""
+
+    src: int
+    dst: int
+    nbytes: int
+    mode: RoutingMode
+    start_step: int = 0
+
+
+@dataclass
+class MessageStats:
+    """Completion record for one injected message."""
+
+    spec: InjectionSpec
+    n_packets: int
+    finish_step: int = -1
+    min_packets: int = 0
+    nonmin_packets: int = 0
+    #: packets abandoned after exhausting dead-link retransmits; a
+    #: message with drops still *finishes* (the sim would otherwise
+    #: never drain) but is not fully delivered.
+    dropped_packets: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.finish_step >= 0
+
+    @property
+    def delivered(self) -> bool:
+        return self.done and self.dropped_packets == 0
+
+    def latency(self, step_time: float) -> float:
+        """Message completion time in seconds (start -> last packet out)."""
+        if not self.done:
+            raise RuntimeError("message has not completed")
+        return (self.finish_step - self.spec.start_step) * step_time
+
+
+def _compact_rows(links: np.ndarray) -> np.ndarray:
+    """Push the valid (>=0) entries of each row to the front, keep order."""
+    order = np.argsort(links < 0, axis=1, kind="stable")
+    return np.take_along_axis(links, order, axis=1)
+
+
+class PacketSimulator:
+    """Packet-level simulator over a dragonfly topology."""
+
+    def __init__(
+        self,
+        top: DragonflyTopology,
+        config: PacketSimConfig | None = None,
+        *,
+        rng: np.random.Generator | None = None,
+        telemetry: Telemetry | None = None,
+        faults: FaultSchedule | None = None,
+    ) -> None:
+        self.config = config or PacketSimConfig()
+        self.rng = rng or np.random.default_rng(0)
+        self.telemetry = telemetry
+        c = self.config
+
+        # Faults: ``top`` is the pristine fabric; the simulator derives
+        # the degraded view itself so timed specs can flip mid-run.
+        self.faults = faults if faults else None
+        self._base_top = top
+        if self.faults is not None:
+            top = top.with_faults(self.faults, at_time=0.0)
+        self.top = top
+        self._fault_changes: list[float] = (
+            list(self.faults.change_times()) if self.faults is not None else []
+        )
+
+        # per-link service rate, packets per step
+        self._base_rate = self._base_top.capacity * c.step_time / PACKET_BYTES
+        self.rate = top.capacity * c.step_time / PACKET_BYTES
+        self.credit = np.zeros(top.n_links)
+        self.flits = np.zeros(top.n_links)
+        self.stalls = np.zeros(top.n_links)
+
+        self.step = 0
+        self._seq = 0
+        #: adaptive re-route decisions re-run for blocked packets
+        self.reroutes = 0
+        #: packets retransmitted from their source NIC off a dead link
+        self.retries = 0
+        #: packets dropped after exhausting ``max_reroute_attempts``
+        self.dropped = 0
+
+        # message bookkeeping
+        self.messages: list[MessageStats] = []
+        self._msg_mode: list[RoutingMode] = []
+        self._msg_remaining: list[int] = []
+        # candidate paths, stacked: per message k_min minimal rows then
+        # k_nonmin non-minimal rows
+        self._cand_links: np.ndarray | None = None
+        self._cand_valid: np.ndarray | None = None
+        self._cand_msg_start: list[int] = []
+        self._pending: list[InjectionSpec] = []
+
+        # active packet arrays
+        self._p_msg = np.zeros(0, dtype=np.int64)
+        self._p_row = np.zeros(0, dtype=np.int64)  # -1 until routed
+        self._p_hop = np.zeros(0, dtype=np.int64)
+        self._p_link = np.zeros(0, dtype=np.int64)
+        self._p_seq = np.zeros(0, dtype=np.int64)
+        self._p_birth = np.zeros(0, dtype=np.int64)
+        self._p_flits = np.zeros(0, dtype=np.float64)
+        self._p_wait = np.zeros(0, dtype=np.int64)
+        self._p_retry = np.zeros(0, dtype=np.int64)
+        self._p_drop = np.zeros(0, dtype=bool)
+        self._pkt_latencies: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    # injection
+    # ------------------------------------------------------------------
+    def add_message(self, spec: InjectionSpec) -> int:
+        """Register a message; returns its message id."""
+        if spec.src == spec.dst:
+            raise ValueError("src and dst must differ")
+        if not (0 <= spec.src < self.top.n_nodes and 0 <= spec.dst < self.top.n_nodes):
+            raise ValueError("node index out of range")
+        if spec.nbytes <= 0:
+            raise ValueError("nbytes must be > 0")
+        if spec.start_step < self.step:
+            raise ValueError("start_step is in the past")
+        c = self.config
+        mid = len(self.messages)
+        n_pkts = int(np.ceil(spec.nbytes / PACKET_BYTES))
+
+        src = np.array([spec.src])
+        dst = np.array([spec.dst])
+        bmin = minimal_paths(self.top, src, dst, k=c.k_min, rng=self.rng)
+        bnon = valiant_paths(self.top, src, dst, k=c.k_nonmin, rng=self.rng)
+        rows = _compact_rows(np.vstack([bmin.links, bnon.links]))
+        valid = rows >= 0
+        if self._cand_links is None:
+            self._cand_links = rows
+            self._cand_valid = valid
+            self._cand_msg_start = [0]
+        else:
+            self._cand_msg_start.append(self._cand_links.shape[0])
+            self._cand_links = np.vstack([self._cand_links, rows])
+            self._cand_valid = np.vstack([self._cand_valid, valid])
+        self._n_min_cand = bmin.links.shape[0]  # same for every message
+
+        self.messages.append(MessageStats(spec=spec, n_packets=n_pkts))
+        self._msg_mode.append(spec.mode)
+        self._msg_remaining.append(n_pkts)
+        self._pending.append(spec)
+        return mid
+
+    def _activate_pending(self) -> None:
+        """Enqueue packets of messages whose start step has arrived."""
+        due = [s for s in self._pending if s.start_step <= self.step]
+        if not due:
+            return
+        self._pending = [s for s in self._pending if s.start_step > self.step]
+        for spec in due:
+            mid = next(
+                i
+                for i, st in enumerate(self.messages)
+                if st.spec is spec
+            )
+            n_pkts = self.messages[mid].n_packets
+            tail = spec.nbytes - (n_pkts - 1) * PACKET_BYTES
+            flits = np.full(n_pkts, PACKET_BYTES / FLIT_BYTES)
+            flits[-1] = max(1.0, np.ceil(tail / FLIT_BYTES))
+            inj = int(self.top.injection_link(spec.src))
+            self._append_packets(
+                msg=np.full(n_pkts, mid, dtype=np.int64),
+                link=np.full(n_pkts, inj, dtype=np.int64),
+                flits=flits,
+            )
+
+    def _append_packets(self, msg: np.ndarray, link: np.ndarray, flits: np.ndarray) -> None:
+        n = msg.size
+        seq = np.arange(self._seq, self._seq + n, dtype=np.int64)
+        self._seq += n
+        self._p_msg = np.concatenate([self._p_msg, msg])
+        self._p_row = np.concatenate([self._p_row, np.full(n, -1, dtype=np.int64)])
+        self._p_hop = np.concatenate([self._p_hop, np.zeros(n, dtype=np.int64)])
+        self._p_link = np.concatenate([self._p_link, link])
+        self._p_seq = np.concatenate([self._p_seq, seq])
+        self._p_birth = np.concatenate([self._p_birth, np.full(n, self.step, dtype=np.int64)])
+        self._p_flits = np.concatenate([self._p_flits, flits])
+        self._p_wait = np.concatenate([self._p_wait, np.zeros(n, dtype=np.int64)])
+        self._p_retry = np.concatenate([self._p_retry, np.zeros(n, dtype=np.int64)])
+        self._p_drop = np.concatenate([self._p_drop, np.zeros(n, dtype=bool)])
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    @property
+    def n_active(self) -> int:
+        return self._p_msg.size
+
+    @property
+    def idle(self) -> bool:
+        return self.n_active == 0 and not self._pending
+
+    def occupancy(self) -> np.ndarray:
+        """Current queued-packet count per link."""
+        occ = np.zeros(self.top.n_links)
+        if self.n_active:
+            np.add.at(occ, self._p_link, 1.0)
+        return occ
+
+    def advance(self) -> None:
+        """Execute one simulation step."""
+        if self._fault_changes and self.now >= self._fault_changes[0]:
+            while self._fault_changes and self.now >= self._fault_changes[0]:
+                self._fault_changes.pop(0)
+            self._apply_fault_state()
+        self._activate_pending()
+        n = self.n_active
+        if n == 0:
+            self.step += 1
+            self._maybe_trace_step()
+            return
+
+        # FIFO rank of each packet within its link's queue
+        order = np.lexsort((self._p_seq, self._p_link))
+        link_sorted = self._p_link[order]
+        new_group = np.ones(n, dtype=bool)
+        new_group[1:] = link_sorted[1:] != link_sorted[:-1]
+        group_start = np.maximum.accumulate(np.where(new_group, np.arange(n), 0))
+        rank = np.arange(n) - group_start
+
+        # replenish credits on links with waiting packets (burst-clamped)
+        active_links = link_sorted[new_group]
+        self.credit[active_links] = np.minimum(
+            self.credit[active_links] + self.rate[active_links],
+            2.0 * self.rate[active_links] + 1.0,
+        )
+        served_budget = np.floor(self.credit[link_sorted]).astype(np.int64)
+        served_mask_sorted = rank < served_budget
+        served = order[served_mask_sorted]
+        waiting = order[~served_mask_sorted]
+
+        # account service and stalls
+        if served.size:
+            np.add.at(self.flits, self._p_link[served], self._p_flits[served])
+            served_counts = np.bincount(self._p_link[served], minlength=self.top.n_links)
+            self.credit -= served_counts
+        if waiting.size:
+            np.add.at(self.stalls, self._p_link[waiting], 1.0)
+            self._p_wait[waiting] += 1
+
+        # a packet stuck at its first router-output queue gets its
+        # adaptive decision re-run (with hops_taken=1, so AD1's schedule
+        # has started ramping).  This must run before the served packets
+        # advance: completion there compacts the state arrays and would
+        # invalidate the waiting indices.
+        patience = self.config.reroute_patience
+
+        # packets stranded on a link that died mid-run can never be
+        # served there: retransmit them from their source NIC (bounded
+        # by max_reroute_attempts, then dropped).  This runs even with
+        # reroute_patience=0 — survivability is not adaptivity.
+        if waiting.size and self.faults is not None:
+            on_dead = waiting[self.rate[self._p_link[waiting]] <= 0.0]
+            if on_dead.size:
+                due = on_dead[self._p_wait[on_dead] >= max(1, patience)]
+                if due.size:
+                    self._retry_dead(due)
+
+        # a packet stuck at its first router-output queue gets its
+        # adaptive decision re-run (with hops_taken=1, so AD1's schedule
+        # has started ramping).  This must run before the served packets
+        # advance: completion there compacts the state arrays and would
+        # invalidate the waiting indices.
+        if patience > 0 and waiting.size:
+            stuck = waiting[
+                (self._p_hop[waiting] == 1)
+                & (self._p_wait[waiting] >= patience)
+                & ~self._p_drop[waiting]
+                & (self.rate[self._p_link[waiting]] > 0.0)
+            ]
+            if stuck.size:
+                self._route(stuck, hops_taken=1, at_hop=1)
+                self._p_wait[stuck] = 0
+                self.reroutes += int(stuck.size)
+
+        if served.size:
+            self._p_wait[served] = 0
+            self._advance_served(served)
+        self._flush_drops()
+        self.step += 1
+        self._maybe_trace_step()
+
+    def _apply_fault_state(self) -> None:
+        """Recompute per-link rates after a timed fault/recovery edge."""
+        assert self.faults is not None
+        scale = self.faults.capacity_scale(self._base_top, at_time=self.now)
+        new_rate = self._base_rate if scale is None else self._base_rate * scale
+        newly_dead = (new_rate <= 0.0) & (self.rate > 0.0)
+        recovered = (new_rate > 0.0) & (self.rate <= 0.0) & (self._base_rate > 0.0)
+        self.rate = new_rate
+        if newly_dead.any():
+            self.credit[newly_dead] = 0.0
+        # later add_message calls should route around the current state
+        self.top = self._base_top.with_faults(self.faults, at_time=self.now)
+        tel = resolve_telemetry(self.telemetry)
+        if tel.trace.enabled:
+            tel.event(
+                "packet.fault",
+                step=self.step,
+                t=self.now,
+                links_died=int(newly_dead.sum()),
+                links_recovered=int(recovered.sum()),
+            )
+
+    def _retry_dead(self, pkts: np.ndarray) -> None:
+        """Retransmit packets stranded on dead links; drop repeat offenders."""
+        self._p_retry[pkts] += 1
+        give_up = pkts[self._p_retry[pkts] > self.config.max_reroute_attempts]
+        retry = pkts[self._p_retry[pkts] <= self.config.max_reroute_attempts]
+        if give_up.size:
+            self._p_drop[give_up] = True
+        if retry.size == 0:
+            return
+        mids = self._p_msg[retry]
+        for mid in np.unique(mids):
+            mid = int(mid)
+            sel = retry[mids == mid]
+            rows = self._p_row[sel]
+            routed = rows >= 0
+            if routed.any():
+                # un-attribute: the packet will be re-routed from scratch
+                start = self._cand_msg_start[mid]
+                prev_min = rows[routed] - start < self._n_min_cand
+                self.messages[mid].min_packets -= int(prev_min.sum())
+                self.messages[mid].nonmin_packets -= int((~prev_min).sum())
+            inj = int(self.top.injection_link(self.messages[mid].spec.src))
+            self._p_link[sel] = inj
+        self._p_row[retry] = -1
+        self._p_hop[retry] = 0
+        self._p_wait[retry] = 0
+        self._p_seq[retry] = np.arange(self._seq, self._seq + retry.size)
+        self._seq += retry.size
+        self.retries += int(retry.size)
+
+    def _flush_drops(self) -> None:
+        """Remove packets flagged for dropping and settle their messages."""
+        if not self._p_drop.any():
+            return
+        drop = np.flatnonzero(self._p_drop)
+        self.dropped += int(drop.size)
+        for mid, cnt in zip(*np.unique(self._p_msg[drop], return_counts=True)):
+            mid = int(mid)
+            self.messages[mid].dropped_packets += int(cnt)
+            self._msg_remaining[mid] -= int(cnt)
+            if self._msg_remaining[mid] == 0:
+                self.messages[mid].finish_step = self.step + 1
+        tel = resolve_telemetry(self.telemetry)
+        if tel.trace.enabled:
+            tel.event("packet.drop", step=self.step, dropped=int(drop.size))
+        keep = ~self._p_drop
+        for name in _STATE_ARRAYS:
+            setattr(self, name, getattr(self, name)[keep])
+
+    def _maybe_trace_step(self) -> None:
+        """Periodic queue-state event (``trace_every`` steps apart)."""
+        every = self.config.trace_every
+        if every <= 0 or self.step % every:
+            return
+        tel = resolve_telemetry(self.telemetry)
+        if not tel.trace.enabled:
+            return
+        occ = self.occupancy()
+        tel.event(
+            "packet.step",
+            step=self.step,
+            active_packets=self.n_active,
+            pending_messages=len(self._pending),
+            queued_max=float(occ.max()) if occ.size else 0.0,
+            busy_links=int((occ > 0).sum()),
+            stall_ratio=self.stall_to_flit_ratio(),
+        )
+
+    def _advance_served(self, served: np.ndarray) -> None:
+        top = self.top
+        is_inj = top.link_class[self._p_link[served]] == int(LinkClass.INJECTION)
+
+        # 1. packets leaving their injection link: route them now.  The
+        # chosen row's first link (column 1) is where they queue next,
+        # so they advance no further this step — otherwise the first
+        # router-output queue would be skipped entirely and the hop-1
+        # re-route window could never open.
+        entering = served[is_inj]
+        if entering.size:
+            self._route(entering)
+            # join the back of the new link's FIFO queue
+            routed = entering[~self._p_drop[entering]]
+            self._p_seq[routed] = np.arange(self._seq, self._seq + routed.size)
+            self._seq += routed.size
+            served = served[~is_inj]
+
+        # 2. all other served packets advance one hop along their row
+        hop = self._p_hop[served] + 1
+        rows = self._p_row[served]
+        assert (rows >= 0).all(), "served packet without a routed path"
+        next_link = self._cand_links[rows, np.minimum(hop, self._cand_links.shape[1] - 1)]
+        valid = (hop < self._cand_links.shape[1]) & (next_link >= 0)
+
+        done = served[~valid]
+        moving = served[valid]
+        self._p_hop[moving] = hop[valid]
+        self._p_link[moving] = next_link[valid]
+        self._p_seq[moving] = np.arange(self._seq, self._seq + moving.size)
+        self._seq += moving.size
+
+        if done.size:
+            self._complete(done)
+
+        if done.size:
+            keep = np.ones(self.n_active, dtype=bool)
+            keep[done] = False
+            for name in _STATE_ARRAYS:
+                setattr(self, name, getattr(self, name)[keep])
+
+    def _route(self, packets: np.ndarray, *, hops_taken: int = 0, at_hop: int = 1) -> None:
+        """(Re-)run the adaptive decision for packets at the source router.
+
+        ``at_hop`` is the path column the packets will occupy on the
+        chosen row (1 right after injection; also 1 when a blocked
+        packet is re-routed to a different output port of the same
+        router).  ``hops_taken`` feeds AD1's per-hop shift schedule.
+        """
+        occ = self.occupancy()
+        unit = self.config.occupancy_credit_unit
+        dead = self.rate <= 0.0 if self.faults is not None else None
+        mids = self._p_msg[packets]
+        # score every candidate row of the affected messages
+        for mid in np.unique(mids):
+            start = self._cand_msg_start[mid]
+            n_cand = self._n_min_cand + self.config.k_nonmin
+            # a message's rows: k_min minimal then k_nonmin non-minimal;
+            # skip the injection link (position 0) when scoring.
+            rows = slice(start, start + n_cand)
+            links = self._cand_links[rows, 1:]
+            validm = self._cand_valid[rows, 1:]
+            scores = np.where(validm, occ[np.where(validm, links, 0)], 0.0).sum(axis=1) / unit
+            scores = scores + self.config.hop_bias_credits * validm.sum(axis=1)
+            if dead is not None:
+                # a row crossing a dead link can never drain: rule it out
+                row_dead = (validm & dead[np.where(validm, links, 0)]).any(axis=1)
+                if row_dead.all():
+                    # no surviving candidate at all — drop these packets
+                    self._p_drop[packets[mids == mid]] = True
+                    continue
+                scores = np.where(row_dead, np.inf, scores)
+            smin = scores[: self._n_min_cand]
+            snon = scores[self._n_min_cand:]
+            best_min = int(np.argmin(smin))
+            best_non = int(np.argmin(snon)) + self._n_min_cand
+            mode = self._msg_mode[mid]
+            if not np.isfinite(smin.min()):
+                take_min = False
+            elif not np.isfinite(snon.min()):
+                take_min = True
+            else:
+                take_min = bool(
+                    minimal_preferred(mode, smin.min(), snon.min(), hops_taken)
+                )
+            row = start + (best_min if take_min else best_non)
+            sel = packets[mids == mid]
+            rerouted = self._p_row[sel] >= 0
+            # un-count packets that had already been attributed to a side
+            if rerouted.any():
+                prev_min = self._p_row[sel[rerouted]] - start < self._n_min_cand
+                self.messages[mid].min_packets -= int(prev_min.sum())
+                self.messages[mid].nonmin_packets -= int((~prev_min).sum())
+            self._p_row[sel] = row
+            self._p_hop[sel] = at_hop
+            self._p_link[sel] = self._cand_links[row, at_hop]
+            if take_min:
+                self.messages[mid].min_packets += sel.size
+            else:
+                self.messages[mid].nonmin_packets += sel.size
+
+    def _complete(self, done: np.ndarray) -> None:
+        lat = (self.step - self._p_birth[done] + 1).astype(np.float64) * self.config.step_time
+        self._pkt_latencies.append(lat)
+        for mid, cnt in zip(*np.unique(self._p_msg[done], return_counts=True)):
+            self._msg_remaining[mid] -= int(cnt)
+            if self._msg_remaining[mid] == 0:
+                self.messages[mid].finish_step = self.step + 1
+
+    # ------------------------------------------------------------------
+    def run(self, *, max_steps: int | None = None) -> int:
+        """Step until idle (or the step limit); returns steps executed."""
+        limit = max_steps if max_steps is not None else self.config.max_steps
+        start = self.step
+        tel = resolve_telemetry(self.telemetry)
+        # None unless a GuardPolicy is active; the unguarded loop pays
+        # one None-check per step and nothing else
+        guard = active_guard()
+        t0 = time.perf_counter() if tel.enabled else 0.0
+        while not self.idle:
+            if self.step - start >= limit:
+                raise RuntimeError(
+                    f"packet simulation did not drain within {limit} steps "
+                    f"({self.n_active} packets active)"
+                )
+            self.advance()
+            if guard is not None:
+                guard.tick_steps(1, where="packet.run")
+                if guard.check_invariants and (self.step - start) % 64 == 0:
+                    check_packet_state(guard, self)
+        steps = self.step - start
+        if guard is not None and guard.check_invariants and steps:
+            check_packet_state(guard, self)
+        if tel.enabled:
+            wall = time.perf_counter() - t0
+            m = tel.metrics
+            if m.enabled:
+                m.counter("packet_steps_total", "packet-sim steps executed").inc(steps)
+                m.counter(
+                    "packet_messages_total", "messages drained by packet-sim runs"
+                ).inc(sum(1 for s in self.messages if s.done))
+                m.histogram("packet_run_seconds", "wall time per packet-sim run").observe(
+                    wall
+                )
+                if self.dropped:
+                    m.counter(
+                        "packet_drops_total", "packets dropped on dead links"
+                    ).inc(self.dropped)
+            tel.event(
+                "packet.run",
+                steps=steps,
+                sim_time_s=self.now,
+                messages=len(self.messages),
+                messages_done=sum(1 for s in self.messages if s.done),
+                flits=float(self.flits.sum()),
+                stalls=float(self.stalls.sum()),
+                stall_ratio=self.stall_to_flit_ratio(),
+                reroutes=self.reroutes,
+                retries=self.retries,
+                dropped=self.dropped,
+                wall_ms=wall * 1e3,
+            )
+        return steps
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.step * self.config.step_time
+
+    def packet_latencies(self) -> np.ndarray:
+        """Latencies (seconds) of all completed packets."""
+        if not self._pkt_latencies:
+            return np.zeros(0)
+        return np.concatenate(self._pkt_latencies)
+
+    def stall_to_flit_ratio(self) -> float:
+        """Aggregate network stalls-to-flits ratio observed so far."""
+        cls = self.top.link_class
+        net = cls <= int(LinkClass.RANK3)
+        f = self.flits[net].sum()
+        return float(self.stalls[net].sum() / f) if f > 0 else 0.0

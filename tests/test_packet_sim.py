@@ -205,3 +205,91 @@ class TestPacketTelemetry:
         sim = PacketSimulator(toy_top, rng=np.random.default_rng(0))
         sim.add_message(InjectionSpec(src=0, dst=17, nbytes=1024, mode=AD0))
         sim.run()  # ambient telemetry is the null sink: nothing to assert, must not raise
+
+
+class TestBookkeeping:
+    def test_messages_done_matches_recount(self, toy_top):
+        sim = make_sim(toy_top, reroute_patience=2)
+        for s in range(6):
+            sim.add_message(
+                InjectionSpec(src=s, dst=16 + s, nbytes=2048, mode=AD0, start_step=3 * s)
+            )
+        # the counter must track completion incrementally, not just at the end
+        while not sim.idle:
+            sim.advance()
+            assert sim.messages_done == sum(1 for m in sim.messages if m.done)
+        assert sim.messages_done == len(sim.messages)
+
+    def test_messages_done_counts_drops(self, toy_top):
+        # partition the two groups mid-run so cross packets drop after
+        # bounded retries; dropped messages still count as done
+        from repro.faults.model import FaultSchedule, FaultSpec
+
+        cfg = PacketSimConfig(reroute_patience=4)
+        t_fault = 20 * cfg.step_time
+        K = toy_top.params.cables_per_group_pair
+        faults = FaultSchedule(
+            specs=tuple(FaultSpec.dead_cable(0, 1, c, start=t_fault) for c in range(K)),
+            seed=5,
+        )
+        sim = PacketSimulator(toy_top, cfg, rng=np.random.default_rng(4), faults=faults)
+        for s in range(8):
+            sim.add_message(InjectionSpec(src=s, dst=16 + s, nbytes=6400, mode=AD0))
+        sim.run()
+        assert sim.dropped > 0
+        assert sim.messages_done == sum(1 for m in sim.messages if m.done)
+        assert sim.messages_done == len(sim.messages)
+
+
+class TestBulkInjection:
+    """add_messages(): batched path construction, statistically equivalent.
+
+    The bulk API consumes RNG draws in a different order than repeated
+    add_message() (all minimal draws before any Valiant draws), so runs
+    are not byte-identical — but message structure is, and completion
+    behavior must be conserved (see docs/PERFORMANCE.md).
+    """
+
+    def _specs(self):
+        return [
+            InjectionSpec(src=s, dst=16 + s, nbytes=4096, mode=AD0, start_step=s % 3)
+            for s in range(12)
+        ]
+
+    def test_matches_per_message_structure(self, toy_top):
+        bulk = make_sim(toy_top, seed=7)
+        mids = bulk.add_messages(self._specs())
+        seq = make_sim(toy_top, seed=7)
+        for spec in self._specs():
+            seq.add_message(spec)
+        assert mids == list(range(12))
+        for mb, ms in zip(bulk.messages, seq.messages):
+            assert mb.spec == ms.spec
+            assert mb.n_packets == ms.n_packets
+
+    def test_conserves_packets_and_delivery(self, toy_top):
+        bulk = make_sim(toy_top, seed=7)
+        bulk.add_messages(self._specs())
+        bulk.run()
+        seq = make_sim(toy_top, seed=7)
+        for spec in self._specs():
+            seq.add_message(spec)
+        seq.run()
+        for sim in (bulk, seq):
+            assert all(m.delivered for m in sim.messages)
+            assert sim.packet_latencies().size == sum(m.n_packets for m in sim.messages)
+            for m in sim.messages:
+                assert m.min_packets + m.nonmin_packets == m.n_packets
+        # trajectories (and so flit/step totals) differ; delivery must not
+
+    def test_empty_batch(self, toy_top):
+        sim = make_sim(toy_top)
+        assert sim.add_messages([]) == []
+
+    def test_bulk_validates_all_before_registering(self, toy_top):
+        sim = make_sim(toy_top)
+        good = InjectionSpec(src=0, dst=17, nbytes=64, mode=AD0)
+        bad = InjectionSpec(src=1, dst=1, nbytes=64, mode=AD0)
+        with pytest.raises(ValueError):
+            sim.add_messages([good, bad])
+        assert not sim.messages  # nothing partially registered
