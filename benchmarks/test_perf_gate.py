@@ -145,3 +145,56 @@ def test_perf_gate():
         spd = f"  {m['speedup']:.2f}x vs seed" if "speedup" in m else ""
         print(f"{name}: {m['optimized_seconds'] * 1e3:.1f} ms{spd}")
     assert not report["failures"], report["failures"]
+
+
+def test_telemetry_overhead_gate():
+    """Cadence sampling must cost <5% on the packet-sim kernel.
+
+    The series hooks live inside the engine step loop guarded by
+    ``rec is not None`` / one integer compare, so enabling a realistic
+    sampling cadence (one window every ~200 steps) must not move the
+    kernel's wall time.  Min-of-reps is used on both sides to shed
+    scheduler noise; the slack is overridable for pathological CI boxes
+    via ``REPRO_TELEMETRY_OVERHEAD_SLACK``.
+    """
+    from repro.telemetry import SeriesConfig, Telemetry
+
+    top = toy()
+
+    def round_with(telemetry):
+        sim = PacketSimulator(top, rng=np.random.default_rng(3), telemetry=telemetry)
+        for s in range(16):
+            sim.add_message(InjectionSpec(src=s, dst=16 + s, nbytes=8192, mode=AD0))
+        sim.run()
+        return sim
+
+    step_time = PacketSimulator(top, rng=np.random.default_rng(3)).config.step_time
+    sampled_tel = Telemetry(series=SeriesConfig(cadence=200 * step_time))
+
+    def best_of(fn, reps=5):
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    round_with(None)  # warm path caches and JIT-able numpy internals
+    t_off = best_of(lambda: round_with(None))
+    t_on = best_of(lambda: round_with(sampled_tel))
+
+    # correctness side of the gate: sampling actually happened and the
+    # windows reconcile with the end-of-run aggregate
+    sim = round_with(Telemetry(series=SeriesConfig(cadence=200 * step_time)))
+    series = sim.counter_series()
+    assert series is not None and series.windows
+    assert np.isclose(series.total_flits(), float(sim.flits.sum()))
+
+    slack = float(os.environ.get("REPRO_TELEMETRY_OVERHEAD_SLACK", "1.05"))
+    overhead = t_on / t_off
+    print(f"telemetry overhead: off {t_off * 1e3:.1f} ms  on {t_on * 1e3:.1f} ms  "
+          f"ratio {overhead:.3f} (gate {slack:g})")
+    assert overhead < slack, (
+        f"cadence sampling costs {100 * (overhead - 1):.1f}% on the packet-sim "
+        f"kernel (gate: <{100 * (slack - 1):.0f}%)"
+    )

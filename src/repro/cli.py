@@ -32,6 +32,7 @@ import json
 import logging
 import signal
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -53,15 +54,24 @@ from repro.core.metrics import LATENCY_PERCENTILES
 from repro.faults import FaultSchedule, NetworkPartitionedError
 from repro.mpi.env import RoutingEnv
 from repro.telemetry import (
+    BusTraceWriter,
+    CampaignProgress,
+    EventBus,
     JsonlTraceWriter,
     LoggingTraceWriter,
+    MetricsExporter,
+    MetricsRegistry,
     MultiTraceWriter,
     NULL_TRACE,
+    SeriesConfig,
     Telemetry,
+    TraceTail,
     format_summary,
+    scan_trace,
     summarize_trace,
     use_telemetry,
 )
+from repro.telemetry.top import heartbeat_ages, render_top
 from repro.topology.systems import cori, mini, slingshot, theta, toy
 from repro.util import derive_rng
 
@@ -345,10 +355,133 @@ def cmd_doctor(args) -> int:
 
 def cmd_report(args) -> int:
     path = Path(args.trace_path)
+    if getattr(args, "follow", False):
+        return _report_follow(args, path)
     if not path.exists():
         raise SystemExit(f"no such trace file: {path}")
-    print(format_summary(summarize_trace(path, top=args.top)))
+    scan = scan_trace(path)
+    if scan.truncated_tail:
+        print(
+            f"warning: {path} ends mid-line — the writer is still live, or "
+            "the run was interrupted mid-append (use --follow for live runs)",
+            file=sys.stderr,
+        )
+    if scan.n_bad:
+        print(
+            f"warning: {path}: skipped {scan.n_bad} malformed line(s)",
+            file=sys.stderr,
+        )
+    if not scan.events:
+        print(f"trace: {path}  (0 events)")
+        print(
+            "  no events recorded yet — the run may not have started, or "
+            "was launched without --trace"
+        )
+        return 0
+    summary = summarize_trace(scan.events, top=args.top)
+    summary.source = str(path)
+    print(format_summary(summary))
     return 0
+
+
+def _report_follow(args, path: Path) -> int:
+    """``report --follow``: re-summarize as the trace grows."""
+    interval = max(float(getattr(args, "interval", 2.0) or 2.0), 0.05)
+    max_seconds = getattr(args, "max_seconds", None)
+    deadline = time.monotonic() + max_seconds if max_seconds else None
+    tail = TraceTail(path)
+    events: list[dict] = []
+    while True:
+        fresh = tail.poll()
+        if fresh:
+            events.extend(fresh)
+            summary = summarize_trace(events, top=args.top)
+            summary.source = f"{path} (following)"
+            try:
+                print(format_summary(summary))
+                print("-" * 64, flush=True)
+            except BrokenPipeError:
+                return 0  # downstream pager/head closed the pipe
+            if any(e.get("ev") == "campaign.end" for e in fresh):
+                return 0
+        if deadline is not None and time.monotonic() >= deadline:
+            return 0
+        time.sleep(interval)
+
+
+def cmd_top(args) -> int:
+    """Live campaign progress from a trace another process is writing."""
+    tail = TraceTail(args.trace_path)
+    prog = CampaignProgress()
+    max_seconds = getattr(args, "max_seconds", None)
+    deadline = time.monotonic() + max_seconds if max_seconds else None
+    while True:
+        prog.feed_many(tail.poll())
+        hb_dir = args.heartbeats or prog.heartbeat_dir
+        frame = render_top(prog.snapshot(), heartbeats=heartbeat_ages(hb_dir))
+        if args.once:
+            print(frame, end="")
+            return 0
+        sys.stdout.write("\x1b[2J\x1b[H" + frame)  # clear screen, home
+        sys.stdout.flush()
+        if prog.ended_at is not None:
+            return 0
+        if deadline is not None and time.monotonic() >= deadline:
+            return 0
+        time.sleep(max(float(args.interval), 0.05))
+
+
+def _fold_event_metrics(reg: MetricsRegistry, ev: dict) -> None:
+    """Mirror one trace event into scrapeable counters/histograms."""
+    name = str(ev.get("ev", "unknown")).replace(".", "_").replace("-", "_")
+    reg.counter(f"trace_{name}_total", "trace events observed by type").inc()
+    wall = ev.get("wall_ms")
+    if isinstance(wall, (int, float)):
+        reg.histogram(
+            f"trace_{name}_seconds", "wall time of traced spans by type"
+        ).observe(float(wall) / 1e3)
+
+
+def _fold_progress_metrics(reg: MetricsRegistry, prog: CampaignProgress) -> None:
+    snap = prog.snapshot()
+    reg.gauge("campaign_runs_total", "runs the campaign will produce").set(
+        snap["total_runs"]
+    )
+    reg.gauge("campaign_runs_done", "runs completed so far").set(snap["done_runs"])
+    reg.gauge("campaign_runs_failed", "runs ending in error").set(
+        snap["failed_runs"]
+    )
+    reg.gauge("campaign_running", "1 while the campaign is live").set(
+        1.0 if snap["running"] else 0.0
+    )
+    eta = snap["eta_seconds"]
+    if eta is not None:
+        reg.gauge("campaign_eta_seconds", "estimated wall time remaining").set(eta)
+
+
+def cmd_serve_metrics(args) -> int:
+    """Standalone sidecar exporter following a live campaign trace."""
+    reg = MetricsRegistry(enabled=True)
+    prog = CampaignProgress()
+    tail = TraceTail(args.trace) if args.trace else None
+    exporter = MetricsExporter(reg, progress=prog, host=args.host, port=args.port)
+    print(f"serving /metrics /healthz /runs on {exporter.url}", flush=True)
+    max_seconds = getattr(args, "max_seconds", None)
+    deadline = time.monotonic() + max_seconds if max_seconds else None
+    try:
+        while True:
+            if tail is not None:
+                for ev in tail.poll():
+                    prog.feed(ev)
+                    _fold_event_metrics(reg, ev)
+            _fold_progress_metrics(reg, prog)
+            if deadline is not None and time.monotonic() >= deadline:
+                return 0
+            time.sleep(max(float(args.interval), 0.05))
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        exporter.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -376,6 +509,22 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="PATH",
             help="write metrics at exit (Prometheus text, or JSON for *.json)",
+        )
+        sp.add_argument(
+            "--series",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="cadence-sample counter/latency series onto run records "
+            "(sim-time seconds between windows)",
+        )
+        sp.add_argument(
+            "--serve",
+            type=int,
+            default=None,
+            metavar="PORT",
+            help="serve live /metrics, /healthz, and /runs over HTTP while "
+            "the command runs (0 picks an ephemeral port)",
         )
 
     def common(sp):
@@ -536,8 +685,95 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("report", help="summarize a recorded JSONL trace")
     sp.add_argument("trace_path", help="trace file written with --trace")
     sp.add_argument("--top", type=int, default=10, help="rows per ranked section")
+    sp.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep re-summarizing as the trace grows (live runs)",
+    )
+    sp.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="poll cadence with --follow (default: 2)",
+    )
+    sp.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --follow: stop after this long even if the run is live",
+    )
     observability(sp)
-    sp.set_defaults(func=cmd_report)
+    sp.set_defaults(func=cmd_report, passive=True)
+
+    sp = sub.add_parser(
+        "top", help="live progress view of a campaign writing a --trace file"
+    )
+    sp.add_argument("trace_path", help="trace file the campaign is writing")
+    sp.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame and exit (no screen clearing)",
+    )
+    sp.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh cadence (default: 1)",
+    )
+    sp.add_argument(
+        "--heartbeats",
+        default=None,
+        metavar="DIR",
+        help="worker heartbeat directory (auto-discovered from the trace "
+        "when the campaign runs with -j)",
+    )
+    sp.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this long even if the campaign is still live",
+    )
+    observability(sp)
+    sp.set_defaults(func=cmd_top, passive=True)
+
+    sp = sub.add_parser(
+        "serve-metrics",
+        help="sidecar HTTP exporter: /metrics, /healthz, /runs",
+    )
+    sp.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="live trace file to follow (progress + per-event counters)",
+    )
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument(
+        "--port",
+        type=int,
+        default=9137,
+        metavar="PORT",
+        help="listen port (default: 9137; 0 picks an ephemeral port)",
+    )
+    sp.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="trace poll cadence (default: 0.5)",
+    )
+    sp.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve for this long, then exit 0 (default: until interrupted)",
+    )
+    sp.add_argument("-v", "--verbose", action="count", default=0)
+    sp.set_defaults(func=cmd_serve_metrics, passive=True)
 
     sp = sub.add_parser(
         "doctor",
@@ -583,7 +819,11 @@ def _telemetry_from_args(args) -> Telemetry:
             format="%(asctime)s %(name)s %(levelname)s %(message)s",
         )
     writers = []
-    trace_path = getattr(args, "trace", None)
+    # passive commands (report/top/serve-metrics) treat --trace as an
+    # input to follow, never a journal to open for writing — opening it
+    # here would truncate the live file they are about to read
+    passive = getattr(args, "passive", False)
+    trace_path = None if passive else getattr(args, "trace", None)
     if trace_path:
         try:
             writers.append(JsonlTraceWriter(trace_path))
@@ -598,7 +838,11 @@ def _telemetry_from_args(args) -> Telemetry:
     else:
         trace = NULL_TRACE
     tel = Telemetry(trace=trace)
-    tel.metrics.enabled = bool(getattr(args, "metrics", None))
+    tel.metrics.enabled = bool(getattr(args, "metrics", None)) or (
+        not passive and getattr(args, "serve", None) is not None
+    )
+    if not passive and getattr(args, "series", None) is not None:
+        tel.series = SeriesConfig(cadence=args.series)
     if trace_path:
         logger.info("tracing engine events to %s", trace_path)
     return tel
@@ -613,6 +857,23 @@ def main(argv: list[str] | None = None) -> int:
         pass  # not the main thread (embedded use); keep default handling
     args = build_parser().parse_args(argv)
     tel = _telemetry_from_args(args)
+    exporter = None
+    serve_port = None if getattr(args, "passive", False) else getattr(
+        args, "serve", None
+    )
+    if serve_port is not None:
+        # splice a bus into the trace path so the exporter's /runs view
+        # tracks the campaign live, with zero changes to the engines
+        bus = EventBus()
+        progress = CampaignProgress()
+        bus.subscribe(progress.feed)
+        tel.trace = MultiTraceWriter([tel.trace, BusTraceWriter(bus)])
+        exporter = MetricsExporter(tel.metrics, progress=progress, port=serve_port)
+        print(
+            f"serving /metrics /healthz /runs on {exporter.url}",
+            file=sys.stderr,
+            flush=True,
+        )
     try:
         with use_telemetry(tel):
             rc = args.func(args)
@@ -624,6 +885,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {e}", file=sys.stderr)
         return 2
     finally:
+        if exporter is not None:
+            exporter.close()
         tel.close()
     metrics_path = getattr(args, "metrics", None)
     if metrics_path:

@@ -84,8 +84,13 @@ def _report_from_dict(d: dict[str, Any]) -> AutoPerfReport:
 
 
 def record_to_dict(rec: Any) -> dict[str, Any]:
-    """Serialize a :class:`repro.core.experiment.RunRecord` to plain JSON."""
-    return {
+    """Serialize a :class:`repro.core.experiment.RunRecord` to plain JSON.
+
+    The ``series`` key is emitted only when the run carried a cadence
+    series — records from unobserved campaigns keep the exact historical
+    key set, so checkpoint files stay byte-identical with telemetry off.
+    """
+    out = {
         "app": rec.app,
         "mode": rec.mode,
         "n_nodes": rec.n_nodes,
@@ -104,11 +109,16 @@ def record_to_dict(rec: Any) -> dict[str, Any]:
         "solver_max_residual_mean": rec.solver_max_residual_mean,
         "solver_iterations": rec.solver_iterations,
     }
+    series = getattr(rec, "series", None)
+    if series is not None:
+        out["series"] = series.to_dict()
+    return out
 
 
 def record_from_dict(d: dict[str, Any]) -> Any:
     """Rebuild a RunRecord from :func:`record_to_dict` output."""
     from repro.core.experiment import RunRecord  # cycle: experiment imports us
+    from repro.telemetry.series import CounterSeries
 
     return RunRecord(
         app=d["app"],
@@ -128,6 +138,9 @@ def record_from_dict(d: dict[str, Any]) -> Any:
         solver_max_residual=d["solver_max_residual"],
         solver_max_residual_mean=d["solver_max_residual_mean"],
         solver_iterations=int(d["solver_iterations"]),
+        series=(
+            CounterSeries.from_dict(d["series"]) if d.get("series") is not None else None
+        ),
     )
 
 

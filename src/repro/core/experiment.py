@@ -35,6 +35,7 @@ from repro.network.fluid import FlowSet, FluidParams, FluidResult, solve_fluid
 from repro.scheduler.background import BackgroundModel, BackgroundScenario
 from repro.scheduler.placement import groups_spanned, make_placement
 from repro.telemetry import MultiTraceWriter, Telemetry, resolve_telemetry
+from repro.telemetry.series import CadenceRecorder, CounterSeries
 from repro.topology.dragonfly import DragonflyTopology
 from repro.util import derive_rng
 
@@ -244,6 +245,10 @@ class RunRecord:
     solver_max_residual: float = 0.0
     solver_max_residual_mean: float = 0.0
     solver_iterations: int = 0
+    #: cadence-sampled counter/latency series (opt-in via
+    #: ``Telemetry.series``); ``None`` — the default — keeps records and
+    #: checkpoints byte-identical to unobserved campaigns
+    series: CounterSeries | None = None
 
     @property
     def ok(self) -> bool:
@@ -282,10 +287,17 @@ def run_app_once(
     params: FluidParams | None = None,
     collect_counters: bool = True,
     telemetry: Telemetry | None = None,
+    series_recorder: CadenceRecorder | None = None,
 ) -> tuple[float, AutoPerfReport, list[PhaseTiming]]:
     """One run: resolve each phase once, scale by iterations, add noise.
 
     Returns (runtime seconds, AutoPerf report, per-phase timings).
+
+    ``series_recorder`` opts into cadence sampling: each resolved phase
+    contributes its counter deltas at its position on the run's
+    per-iteration sim-time axis, and the recorder is finalized against
+    the run's aggregate counter totals (so the series windows sum to the
+    end-of-run aggregate exactly).
     """
     nodes = np.asarray(nodes, dtype=np.int64)
     P = nodes.size
@@ -297,6 +309,7 @@ def run_app_once(
 
     per_iter = 0.0
     timings: list[PhaseTiming] = []
+    prev_f = prev_s = 0.0
     for phase in phases:
         pt = resolve_phase(
             top,
@@ -320,12 +333,23 @@ def run_app_once(
             )
         if bank is not None:
             pt.result.accumulate_counters(bank, top)
+        if series_recorder is not None:
+            if bank is not None:
+                snap = bank.snapshot()
+                f, s = snap.total_flits(), snap.total_stalls()
+            else:
+                f, s = prev_f, prev_s
+            series_recorder.add(per_iter, f - prev_f, s - prev_s)
+            prev_f, prev_s = f, s
+            series_recorder.observe_latency(pt.result.flow_latency)
 
     # run-level multiplicative noise (I/O, startup, residual OS noise)
     runtime = per_iter * n_iter * float(rng.lognormal(0.0, 0.008))
     autoperf.add_total_time(runtime)
     if bank is not None:
         autoperf.attach_counters(bank.local_view(nodes))
+    if series_recorder is not None:
+        series_recorder.finalize(per_iter, prev_f, prev_s)
     return runtime, autoperf.finalize(), timings
 
 
@@ -553,6 +577,9 @@ def execute_run(
                     trace=MultiTraceWriter([tel.trace, ring]), metrics=tel.metrics
                 )
             guard = RunGuard(policy, telemetry=run_tel, label=label)
+        # a fresh recorder per attempt: a retried run's series must
+        # reflect only the attempt that produced the record
+        recorder = CadenceRecorder(tel.series) if tel.series is not None else None
         try:
             with use_guard(guard):
                 runtime, report, timings = run_app_once(
@@ -564,6 +591,7 @@ def execute_run(
                     rng=run_rng,
                     params=cfg.params,
                     telemetry=run_tel,
+                    series_recorder=recorder,
                 )
         except NetworkPartitionedError as exc:
             # deterministic: retrying cannot help
@@ -604,6 +632,7 @@ def execute_run(
                 background_intensity=intensity,
                 sample_index=i,
                 attempts=attempt,
+                series=recorder.result if recorder is not None else None,
                 **diag,
             )
     if tel.enabled:

@@ -25,6 +25,7 @@ from repro.monitoring.export import (
     counters_to_csv,
     ldms_series_to_csv,
     records_to_csv,
+    series_to_csv,
 )
 
 __all__ = [
@@ -39,4 +40,5 @@ __all__ = [
     "counters_to_csv",
     "ldms_series_to_csv",
     "records_to_csv",
+    "series_to_csv",
 ]

@@ -70,15 +70,37 @@ def autoperf_to_json(report: AutoPerfReport, path: str | Path | None = None) -> 
 def ldms_series_to_csv(
     ldms: LdmsCollector, path: str | Path | None = None
 ) -> str:
-    """The network-tile flit/stall/ratio time series as CSV."""
+    """The network-tile flit/stall/ratio time series as CSV.
+
+    The ``partial`` column marks an end-of-run residual interval that
+    covers less than one full cadence (``LdmsCollector.finalize``).
+    """
     series = ldms.series()
     buf = io.StringIO()
-    buf.write("time_s,flits,stalls,ratio\n")
+    buf.write("time_s,flits,stalls,ratio,partial\n")
     # an empty collector (no samples yet) yields a header-only CSV
-    for t, f, s, r in zip(
-        series["time"], series["flits"], series["stalls"], series["ratio"]
+    for t, f, s, r, smp in zip(
+        series["time"], series["flits"], series["stalls"], series["ratio"],
+        ldms.samples,
     ):
-        buf.write(f"{t:.1f},{f:.6e},{s:.6e},{r:.6f}\n")
+        buf.write(f"{t:.1f},{f:.6e},{s:.6e},{r:.6f},{int(smp.partial)}\n")
+    return _maybe_write(buf.getvalue(), path)
+
+
+def series_to_csv(series, path: str | Path | None = None) -> str:
+    """A :class:`repro.telemetry.series.CounterSeries` as CSV.
+
+    One row per cadence window: start/end sim time, flit and stall
+    totals, the window's stall-to-flit health ratio, and the partial
+    flag for the end-of-run residual window.
+    """
+    buf = io.StringIO()
+    buf.write("t_start_s,t_end_s,flits,stalls,ratio,partial\n")
+    for w in series.windows:
+        buf.write(
+            f"{w.t_start:.9g},{w.t_end:.9g},{w.flits:.6e},{w.stalls:.6e},"
+            f"{w.ratio:.6f},{int(w.partial)}\n"
+        )
     return _maybe_write(buf.getvalue(), path)
 
 

@@ -23,6 +23,9 @@ class LdmsSample:
 
     time: float
     delta: CounterSnapshot
+    #: True when the interval covers less than a full cadence (the
+    #: end-of-run residual emitted by :meth:`LdmsCollector.finalize`)
+    partial: bool = False
 
     def totals(self) -> dict[str, tuple[float, float]]:
         """Per-class (flits, stalls) totals for the interval."""
@@ -58,6 +61,46 @@ class LdmsCollector:
         s = LdmsSample(time=now, delta=snap - self._last)
         self._last = snap
         self._t = now
+        self.samples.append(s)
+        return s
+
+    def finalize(self, time: float | None = None) -> LdmsSample | None:
+        """Emit the trailing sub-cadence interval instead of dropping it.
+
+        A run rarely ends exactly on a cadence boundary; whatever the
+        bank accumulated since the last :meth:`sample` call belongs to a
+        final interval shorter than the cadence.  That residual is
+        recorded as a sample flagged ``partial=True`` (so downstream
+        rate analyses can weight or skip it) rather than silently lost.
+
+        ``time`` is the run's end time; ``None`` means "an unknown
+        point inside the next interval".  Returns ``None`` — and records
+        nothing — when the residual interval is empty (``time`` on the
+        last boundary and no counter movement since).
+        """
+        snap = self.bank.snapshot()
+        delta = snap - self._last
+        if time is not None:
+            time = float(time)
+            if time < self._t:
+                raise ValueError(
+                    f"finalize time {time} precedes the last sample at {self._t}"
+                )
+            span = time - self._t
+            partial = span < self.interval
+        else:
+            # end time unknown: the residual covers at most one cadence
+            time = self._t + self.interval
+            span = self.interval
+            partial = True
+        moved = any(
+            delta.flits[c].any() or delta.stalls[c].any() for c in TILE_CLASSES
+        )
+        if span <= 0 and not moved:
+            return None
+        s = LdmsSample(time=time, delta=delta, partial=partial)
+        self._last = snap
+        self._t = time
         self.samples.append(s)
         return s
 

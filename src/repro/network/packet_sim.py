@@ -298,6 +298,16 @@ class PacketSimulator:
         #: eligible; lets quiet steps skip the O(n) stuck scan entirely
         self._stuck_check_at = _NEVER
 
+        # cadence sampling (repro.telemetry.series); created lazily in
+        # run() when the telemetry bundle carries a SeriesConfig, so
+        # unobserved runs pay one None-check per step and nothing else
+        self._series = None
+        self._series_every = 0
+        self._series_next = 0
+        self._series_flits = 0.0
+        self._series_stalls = 0.0
+        self._series_lat_idx = 0
+
     # ------------------------------------------------------------------
     # injection
     # ------------------------------------------------------------------
@@ -1083,6 +1093,13 @@ class PacketSimulator:
         guard = active_guard()
         trace_steps = self.config.trace_every > 0 and tel.trace.enabled
         can_skip = guard is None and not self._fault_changes and not trace_steps
+        if tel.series is not None and self._series is None:
+            self._series_init(tel.series)
+        # idle fast-forward stays legal with sampling on: counters do
+        # not move while the arena is empty, so the catch-up sample
+        # after the jump emits the same (empty) windows step-by-step
+        # execution would
+        rec = self._series
         t0 = time.perf_counter() if tel.enabled else 0.0
         while not self.idle:
             if self.step - start >= limit:
@@ -1099,6 +1116,8 @@ class PacketSimulator:
                     self.step = target
                     continue
             self.advance()
+            if rec is not None and self.step >= self._series_next:
+                self._sample_series(rec)
             if guard is not None:
                 guard.tick_steps(1, where="packet.run")
                 if guard.check_invariants and (self.step - start) % 64 == 0:
@@ -1147,6 +1166,50 @@ class PacketSimulator:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self.step * self.config.step_time
+
+    # ------------------------------------------------------------------
+    # cadence sampling (sim-time keyed; never touches a wall clock)
+    # ------------------------------------------------------------------
+    def _series_init(self, cfg) -> None:
+        from repro.telemetry.series import CadenceRecorder
+
+        self._series = CadenceRecorder(cfg)
+        self._series_every = max(1, int(round(cfg.cadence / self.config.step_time)))
+        self._series_next = self.step + self._series_every
+        self._series_flits = float(self.flits.sum())
+        self._series_stalls = float(self.stalls.sum())
+        self._series_lat_idx = 0
+
+    def _sample_series(self, rec) -> None:
+        """Record flit/stall deltas and new packet latencies at ``now``."""
+        f = float(self.flits.sum())
+        s = float(self.stalls.sum())
+        rec.add(self.now, f - self._series_flits, s - self._series_stalls)
+        self._series_flits = f
+        self._series_stalls = s
+        chunks = self._pkt_latencies
+        for arr in chunks[self._series_lat_idx :]:
+            rec.observe_latency(arr)
+        self._series_lat_idx = len(chunks)
+        while self._series_next <= self.step:
+            self._series_next += self._series_every
+
+    def counter_series(self):
+        """Finalize and return the run's cadence series.
+
+        ``None`` when the run was not sampled (no
+        :class:`~repro.telemetry.series.SeriesConfig` on the telemetry
+        bundle).  Idempotent after the first call.
+        """
+        rec = self._series
+        if rec is None:
+            return None
+        if rec.result is None:
+            self._sample_series(rec)
+            rec.finalize(
+                self.now, float(self.flits.sum()), float(self.stalls.sum())
+            )
+        return rec.result
 
     def packet_latencies(self) -> np.ndarray:
         """Latencies (seconds) of all completed packets."""

@@ -80,6 +80,7 @@ class _CampaignContext:
         scenarios: list[BackgroundScenario] | None,
         trace_enabled: bool,
         metrics_enabled: bool,
+        series=None,
         heartbeat_dir: str | None = None,
     ) -> None:
         self.top = top
@@ -89,6 +90,8 @@ class _CampaignContext:
         self.scenarios = scenarios
         self.trace_enabled = trace_enabled
         self.metrics_enabled = metrics_enabled
+        #: SeriesConfig propagated to every worker's telemetry bundle
+        self.series = series
         self.heartbeat_dir = heartbeat_dir
         self.modes = {m.name: m for m in cfg.modes}
 
@@ -107,7 +110,11 @@ def _init_worker(ctx: _CampaignContext) -> None:
 
 def _worker_telemetry(ctx: _CampaignContext) -> Telemetry:
     trace = MemoryTraceWriter() if ctx.trace_enabled else NULL_TRACE
-    return Telemetry(trace=trace, metrics=MetricsRegistry(enabled=ctx.metrics_enabled))
+    return Telemetry(
+        trace=trace,
+        metrics=MetricsRegistry(enabled=ctx.metrics_enabled),
+        series=ctx.series,
+    )
 
 
 def _run_task(task: RunTask) -> TaskResult:
@@ -190,6 +197,7 @@ def run_campaign_parallel(
         scenarios,
         trace_enabled=tel.trace.enabled,
         metrics_enabled=tel.metrics.enabled,
+        series=tel.series,
     )
 
     buffered: dict[int, TaskResult] = {}
@@ -222,6 +230,9 @@ def run_campaign_parallel(
     watchdog = None
     if tasks and guard_policy is not None and guard_policy.hang_timeout is not None:
         ctx.heartbeat_dir = tempfile.mkdtemp(prefix="repro-hb-")
+        # published so live observers (``repro-study top``) can find the
+        # per-worker liveness files without being told the directory
+        tel.event("campaign.workers", jobs=jobs, heartbeat_dir=ctx.heartbeat_dir)
         watchdog = Watchdog(
             ctx.heartbeat_dir,
             guard_policy.hang_timeout,

@@ -34,12 +34,26 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.exporter import OPENMETRICS_CONTENT_TYPE, MetricsExporter
+from repro.telemetry.series import (
+    CadenceRecorder,
+    CounterSeries,
+    QuantileSketch,
+    SeriesConfig,
+    SeriesWindow,
+)
 from repro.telemetry.report import (
     ConvergenceSummary,
     TraceSummary,
     format_summary,
     order_events,
     summarize_trace,
+)
+from repro.telemetry.stream import (
+    BusTraceWriter,
+    CampaignProgress,
+    EventBus,
+    TraceTail,
 )
 from repro.telemetry.trace import (
     NULL_TRACE,
@@ -48,32 +62,47 @@ from repro.telemetry.trace import (
     MemoryTraceWriter,
     MultiTraceWriter,
     NullTraceWriter,
+    TraceScan,
     TraceWriter,
     read_trace,
+    scan_trace,
 )
 
 __all__ = [
     "NULL_TELEMETRY",
     "NULL_TRACE",
     "DEFAULT_BUCKETS",
+    "OPENMETRICS_CONTENT_TYPE",
+    "BusTraceWriter",
+    "CadenceRecorder",
+    "CampaignProgress",
     "ConvergenceSummary",
     "Counter",
+    "CounterSeries",
+    "EventBus",
     "Gauge",
     "Histogram",
     "JsonlTraceWriter",
     "LoggingTraceWriter",
     "MemoryTraceWriter",
+    "MetricsExporter",
     "MetricsRegistry",
     "MultiTraceWriter",
     "NullTraceWriter",
+    "QuantileSketch",
+    "SeriesConfig",
+    "SeriesWindow",
     "Telemetry",
+    "TraceScan",
     "TraceSummary",
+    "TraceTail",
     "TraceWriter",
     "current_telemetry",
     "format_summary",
     "order_events",
     "read_trace",
     "resolve_telemetry",
+    "scan_trace",
     "set_current_telemetry",
     "summarize_trace",
     "use_telemetry",

@@ -18,19 +18,26 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.series import SeriesConfig
 from repro.telemetry.trace import NULL_TRACE, TraceWriter
 
 
 @dataclass
 class Telemetry:
-    """One trace sink plus one metrics registry."""
+    """One trace sink plus one metrics registry.
+
+    ``series`` opts a run into sim-time cadence sampling
+    (:mod:`repro.telemetry.series`); ``None`` — the default — keeps the
+    engine hot loops sampling-free.
+    """
 
     trace: TraceWriter = NULL_TRACE
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    series: SeriesConfig | None = None
 
     @property
     def enabled(self) -> bool:
-        return self.trace.enabled or self.metrics.enabled
+        return self.trace.enabled or self.metrics.enabled or self.series is not None
 
     def event(self, name: str, /, **fields) -> None:
         """Emit a trace event (no-op on a disabled sink)."""

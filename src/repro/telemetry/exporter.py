@@ -1,0 +1,117 @@
+"""Stdlib HTTP exporter: live ``/metrics``, ``/healthz``, and ``/runs``.
+
+A :class:`MetricsExporter` serves the process's
+:class:`~repro.telemetry.metrics.MetricsRegistry` in the OpenMetrics
+text format on ``/metrics``, a trivial liveness probe on ``/healthz``,
+and — when wired to a :class:`~repro.telemetry.stream.CampaignProgress`
+— the campaign's live progress JSON on ``/runs``.  Pure stdlib
+(``http.server`` on a daemon thread): no new dependencies, and closing
+the exporter never blocks the run it observed.
+
+Scrape safety: the registry's exposition takes an atomic snapshot of
+the metric table, so a mid-run scrape sees a consistent point-in-time
+view while workers keep merging.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.stream import CampaignProgress
+
+#: the OpenMetrics content type Prometheus negotiates for
+OPENMETRICS_CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+
+class MetricsExporter:
+    """Serves live telemetry over HTTP from a background daemon thread.
+
+    ``registry`` may be the live object or a zero-argument provider
+    (called per scrape, so a CLI can swap registries between commands).
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    construction.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | Callable[[], MetricsRegistry],
+        *,
+        progress: CampaignProgress | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._registry = registry
+        self.progress = progress
+        exporter = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # silence per-request noise
+                return
+
+            def _send(self, code: int, body: bytes, ctype: str) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/metrics":
+                        text = exporter.registry().to_prometheus()
+                        self._send(
+                            200, text.encode("utf-8"), OPENMETRICS_CONTENT_TYPE
+                        )
+                    elif path == "/healthz":
+                        self._send(200, b"ok\n", "text/plain; charset=utf-8")
+                    elif path == "/runs":
+                        prog = exporter.progress
+                        body = (
+                            json.dumps(prog.snapshot() if prog else None) + "\n"
+                        ).encode("utf-8")
+                        self._send(200, body, "application/json; charset=utf-8")
+                    else:
+                        self._send(
+                            404, b"not found\n", "text/plain; charset=utf-8"
+                        )
+                except BrokenPipeError:
+                    pass
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self.host = host
+        self.port = int(self._server.server_address[1])
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def registry(self) -> MetricsRegistry:
+        reg = self._registry
+        return reg() if callable(reg) else reg
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving (idempotent); never raises."""
+        try:
+            self._server.shutdown()
+            self._server.server_close()
+            self._thread.join(timeout=5.0)
+        except Exception:
+            pass
+
+    def __enter__(self) -> "MetricsExporter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -40,6 +40,18 @@ def _sanitize(name: str) -> str:
     return "".join(out)
 
 
+def _escape_label(value: str) -> str:
+    """Escape a label value per the OpenMetrics text exposition rules."""
+    return (
+        str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text per the OpenMetrics text exposition rules."""
+    return str(text).replace("\\", r"\\").replace("\n", r"\n")
+
+
 @dataclass
 class Counter:
     """Monotonically increasing value."""
@@ -270,26 +282,43 @@ class MetricsRegistry:
         return json.dumps(self.to_dict(), indent=indent, allow_nan=True)
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
+        """OpenMetrics text exposition (also scrapeable as Prometheus 0.0.4).
+
+        Every metric family gets a ``# TYPE`` line (and ``# HELP`` when a
+        help string was registered); counter sample names carry the
+        mandatory ``_total`` suffix while the family name does not; label
+        values are escaped; the exposition ends with ``# EOF``.
+        """
         lines: list[str] = []
-        for name, m in sorted(self._metrics.items()):
+        # snapshot before iterating: an exporter thread may render while
+        # an engine thread registers new instruments (list() of a dict's
+        # items is atomic under the GIL, plain iteration is not)
+        for name, m in sorted(list(self._metrics.items())):
             pname = _sanitize(name)
-            if m.help:
-                lines.append(f"# HELP {pname} {m.help}")
             if isinstance(m, Counter):
-                lines.append(f"# TYPE {pname} counter")
-                lines.append(f"{pname} {m.value:g}")
+                # OpenMetrics: the *family* is named without the _total
+                # suffix; the sample carries it
+                family = pname[: -len("_total")] if pname.endswith("_total") else pname
+                if m.help:
+                    lines.append(f"# HELP {family} {_escape_help(m.help)}")
+                lines.append(f"# TYPE {family} counter")
+                lines.append(f"{family}_total {m.value:g}")
             elif isinstance(m, Gauge):
+                if m.help:
+                    lines.append(f"# HELP {pname} {_escape_help(m.help)}")
                 lines.append(f"# TYPE {pname} gauge")
                 lines.append(f"{pname} {m.value:g}")
             else:
+                if m.help:
+                    lines.append(f"# HELP {pname} {_escape_help(m.help)}")
                 lines.append(f"# TYPE {pname} histogram")
                 for edge, cum in m.cumulative_buckets():
                     le = "+Inf" if math.isinf(edge) else f"{edge:g}"
-                    lines.append(f'{pname}_bucket{{le="{le}"}} {cum}')
+                    lines.append(f'{pname}_bucket{{le="{_escape_label(le)}"}} {cum}')
                 lines.append(f"{pname}_sum {m.sum:g}")
                 lines.append(f"{pname}_count {m.count}")
-        return "\n".join(lines) + ("\n" if lines else "")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
 
 
 class _Span:

@@ -1,0 +1,303 @@
+"""Live event streaming: in-process pub/sub and trace tail-following.
+
+Three pieces make the observability surfaces (``repro-study top``, the
+``/metrics`` exporter, ``report --follow``) work on a *running*
+campaign instead of a finished trace file:
+
+* :class:`EventBus` + :class:`BusTraceWriter` — an in-process pub/sub
+  fanout.  The CLI splices a ``BusTraceWriter`` into the telemetry
+  bundle (via :class:`~repro.telemetry.trace.MultiTraceWriter`), so
+  every event the engines emit also reaches live subscribers — the
+  exporter's progress tracker, primarily — with zero changes to the
+  engines themselves.
+* :class:`TraceTail` — an incremental JSONL reader for following a
+  trace file another process is appending to.  It buffers torn trailing
+  lines (a live writer tears at most one), survives truncation/rotation
+  by reopening, and returns only complete, parsed events.
+* :class:`CampaignProgress` — folds campaign/guard events (bus- or
+  tail-delivered) into a progress snapshot: done/failed/total runs, an
+  ETA from the observed completion rate, per-worker last-seen liveness,
+  guard violations, and the recent stall-to-flit health ratios the
+  ``top`` sparkline renders.
+
+Ordering: worker-tagged events arrive in commit order (the parallel
+executor forwards them with ``run_index`` tags, see ``order_events``);
+``CampaignProgress`` is insensitive to arrival order for counts and
+uses max-merge for timestamps, so live and post-hoc folds agree.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.telemetry.trace import TraceWriter
+
+Subscriber = Callable[[dict], None]
+
+
+class EventBus:
+    """Thread-safe in-process pub/sub for telemetry events.
+
+    Subscribers are called synchronously on the publishing thread; a
+    subscriber that raises is dropped (a broken observer must never
+    break the run it observes).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subs: list[Subscriber] = []
+        self.published = 0
+
+    def subscribe(self, fn: Subscriber) -> Callable[[], None]:
+        """Register ``fn``; returns an unsubscribe callable."""
+        with self._lock:
+            self._subs.append(fn)
+
+        def _unsubscribe() -> None:
+            with self._lock:
+                if fn in self._subs:
+                    self._subs.remove(fn)
+
+        return _unsubscribe
+
+    def publish(self, event: dict) -> None:
+        with self._lock:
+            subs = list(self._subs)
+            self.published += 1
+        dead = []
+        for fn in subs:
+            try:
+                fn(event)
+            except Exception:
+                dead.append(fn)
+        if dead:
+            with self._lock:
+                for fn in dead:
+                    if fn in self._subs:
+                        self._subs.remove(fn)
+
+
+class BusTraceWriter(TraceWriter):
+    """A trace sink that publishes every event onto an :class:`EventBus`."""
+
+    def __init__(self, bus: EventBus) -> None:
+        super().__init__()
+        self.bus = bus
+
+    def write_event(self, record: dict) -> None:
+        self.bus.publish(record)
+
+
+class TraceTail:
+    """Incremental follow-reader for a JSONL trace being written live.
+
+    Each :meth:`poll` returns the complete events appended since the
+    previous poll.  A torn trailing line (the writer mid-append) is
+    buffered until its remainder arrives; truncation or replacement of
+    the file (size shrank, fresh ``open("w")``) resets the reader to the
+    new beginning; a missing file simply yields no events yet.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._pos = 0
+        self._buf = b""
+        #: lines that never became valid JSON (damage, not liveness)
+        self.n_bad = 0
+
+    def poll(self) -> list[dict]:
+        try:
+            with self.path.open("rb") as fh:
+                fh.seek(0, io.SEEK_END)
+                size = fh.tell()
+                if size < self._pos:
+                    # truncated or rotated: start over from the top
+                    self._pos = 0
+                    self._buf = b""
+                if size == self._pos:
+                    return []
+                fh.seek(self._pos)
+                chunk = fh.read(size - self._pos)
+                self._pos = size
+        except FileNotFoundError:
+            return []
+        data = self._buf + chunk
+        events: list[dict] = []
+        lines = data.split(b"\n")
+        self._buf = lines.pop()  # b"" when data ended on a newline
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError:
+                self.n_bad += 1
+                continue
+            if isinstance(ev, dict):
+                events.append(ev)
+            else:
+                self.n_bad += 1
+        return events
+
+
+class CampaignProgress:
+    """Folds telemetry events into a live campaign progress snapshot.
+
+    Feed it events from an :class:`EventBus` subscription or a
+    :class:`TraceTail` poll loop; read :meth:`snapshot` at any time.
+    Thread-safe: the exporter reads while the campaign thread feeds.
+    """
+
+    #: stall-ratio history length kept for the health sparkline
+    HEALTH_WINDOW = 60
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.app = ""
+        self.n_nodes = 0
+        self.modes: list[str] = []
+        self.samples = 0
+        self.jobs = 1
+        self.heartbeat_dir: str | None = None
+        self.started_at: float | None = None
+        self.ended_at: float | None = None
+        self.resumed = 0
+        self.done = 0
+        self.failed = 0
+        self.nonconverged = 0
+        self.attempts = 0
+        self.violations: list[dict] = []
+        self.worker_lost: list[dict] = []
+        self.worker_hung: list[dict] = []
+        self.last_event_ts: float | None = None
+        #: worker id -> wall timestamp of its most recent event
+        self.worker_seen: dict[int, float] = {}
+        #: recent per-run stall-to-flit ratios (health sparkline feed)
+        self.health: list[float] = []
+        #: recent per-run wall-clock costs (drives the ETA)
+        self._run_walls: list[float] = []
+
+    # ------------------------------------------------------------------
+    def feed(self, event: dict) -> None:
+        """Fold one telemetry event into the progress state."""
+        ev = event.get("ev")
+        ts = event.get("ts")
+        with self._lock:
+            if isinstance(ts, (int, float)):
+                self.last_event_ts = max(self.last_event_ts or 0.0, float(ts))
+                wid = event.get("worker")
+                if isinstance(wid, int):
+                    self.worker_seen[wid] = max(
+                        self.worker_seen.get(wid, 0.0), float(ts)
+                    )
+            if ev == "campaign.start":
+                self.app = str(event.get("app", ""))
+                self.n_nodes = int(event.get("n_nodes", 0) or 0)
+                self.modes = [str(m) for m in event.get("modes", [])]
+                self.samples = int(event.get("samples", 0) or 0)
+                self.resumed = int(event.get("resumed_runs", 0) or 0)
+                self.jobs = int(event.get("jobs", 1) or 1)
+                self.done = self.resumed
+                if isinstance(ts, (int, float)):
+                    self.started_at = float(ts)
+            elif ev == "campaign.workers":
+                self.jobs = int(event.get("jobs", self.jobs) or self.jobs)
+                hb = event.get("heartbeat_dir")
+                self.heartbeat_dir = str(hb) if hb else None
+            elif ev == "campaign.sample":
+                self.done += 1
+                self.attempts += int(event.get("attempts", 1) or 1)
+                if event.get("status") != "ok":
+                    self.failed += 1
+                if event.get("solver_converged") is False:
+                    self.nonconverged += 1
+                wall = event.get("wall_ms")
+                if isinstance(wall, (int, float)):
+                    self._run_walls.append(float(wall) / 1e3)
+                    del self._run_walls[: -self.HEALTH_WINDOW]
+            elif ev == "campaign.end":
+                if isinstance(ts, (int, float)):
+                    self.ended_at = float(ts)
+            elif ev == "guard.violation":
+                self.violations.append(dict(event))
+            elif ev == "guard.worker_hung":
+                self.worker_hung.append(dict(event))
+            elif ev == "guard.worker_lost":
+                self.worker_lost.append(dict(event))
+            elif ev in ("packet.run", "fluid.solve", "facility.interval"):
+                ratio = event.get("stall_ratio")
+                if ratio is None:
+                    ratio = event.get("residual_mean")
+                if isinstance(ratio, (int, float)):
+                    self.health.append(float(ratio))
+                    del self.health[: -self.HEALTH_WINDOW]
+
+    def feed_many(self, events) -> int:
+        n = 0
+        for ev in events:
+            self.feed(ev)
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return self.samples * max(len(self.modes), 1)
+
+    @property
+    def running(self) -> bool:
+        return self.started_at is not None and self.ended_at is None
+
+    def eta_seconds(self, now: float | None = None) -> float | None:
+        """Remaining wall time from the observed completion rate.
+
+        ``None`` until at least one fresh run has completed (resumed
+        runs carry no timing signal) or once the campaign has ended.
+        """
+        with self._lock:
+            if self.ended_at is not None or self.started_at is None:
+                return None
+            fresh = self.done - self.resumed
+            remaining = self.total - self.done
+            if fresh <= 0 or remaining <= 0:
+                return None
+            now = self.last_event_ts if now is None else now
+            if now is None:
+                return None
+            elapsed = max(now - self.started_at, 1e-9)
+            return remaining * elapsed / fresh
+
+    def snapshot(self, now: float | None = None) -> dict[str, Any]:
+        """A JSON-ready view of the campaign's live state (``/runs``)."""
+        eta = self.eta_seconds(now)
+        with self._lock:
+            return {
+                "app": self.app,
+                "n_nodes": self.n_nodes,
+                "modes": list(self.modes),
+                "samples": self.samples,
+                "jobs": self.jobs,
+                "total_runs": self.total,
+                "done_runs": self.done,
+                "failed_runs": self.failed,
+                "nonconverged_runs": self.nonconverged,
+                "resumed_runs": self.resumed,
+                "attempts": self.attempts,
+                "running": self.running,
+                "eta_seconds": eta,
+                "started_at": self.started_at,
+                "ended_at": self.ended_at,
+                "last_event_ts": self.last_event_ts,
+                "workers_seen": {str(k): v for k, v in self.worker_seen.items()},
+                "guard_violations": len(self.violations),
+                "workers_hung": len(self.worker_hung),
+                "workers_lost": len(self.worker_lost),
+                "health_ratios": list(self.health),
+                "heartbeat_dir": self.heartbeat_dir,
+            }

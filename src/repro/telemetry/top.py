@@ -1,0 +1,137 @@
+"""Terminal rendering for ``repro-study top``: live campaign progress.
+
+Pure formatting — all state comes from a
+:class:`~repro.telemetry.stream.CampaignProgress` snapshot plus
+(optionally) the parallel executor's per-worker heartbeat files.  The
+renderer is a pure function of (snapshot, heartbeat ages, now), so it
+is trivially testable and never touches the campaign it watches.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+#: eighth-block ramp for the health sparkline
+_SPARK = " ▁▂▃▄▅▆▇█"
+
+#: a worker whose heartbeat file is older than this is rendered stale
+STALE_AFTER = 15.0
+
+
+def sparkline(values: list[float], width: int = 30) -> str:
+    """Scale ``values`` (most recent last) onto the block-char ramp."""
+    if not values:
+        return ""
+    tail = values[-width:]
+    top = max(tail)
+    if top <= 0:
+        return _SPARK[1] * len(tail)
+    out = []
+    for v in tail:
+        idx = 1 + int((len(_SPARK) - 2) * min(max(v, 0.0) / top, 1.0))
+        out.append(_SPARK[idx])
+    return "".join(out)
+
+
+def progress_bar(done: int, total: int, width: int = 30) -> str:
+    if total <= 0:
+        return "[" + "-" * width + "]"
+    frac = min(max(done / total, 0.0), 1.0)
+    filled = int(round(frac * width))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def format_duration(seconds: float | None) -> str:
+    if seconds is None:
+        return "--"
+    seconds = max(float(seconds), 0.0)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{int(seconds // 60)}m{int(seconds % 60):02d}s"
+    return f"{int(seconds // 3600)}h{int(seconds % 3600 // 60):02d}m"
+
+
+def heartbeat_ages(
+    directory: str | None, now: float | None = None
+) -> dict[str, float]:
+    """Per-worker heartbeat staleness (seconds) from ``<pid>.hb`` mtimes."""
+    if not directory or not os.path.isdir(directory):
+        return {}
+    now = time.time() if now is None else now
+    out: dict[str, float] = {}
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".hb"):
+            continue
+        try:
+            age = now - os.path.getmtime(os.path.join(directory, name))
+        except OSError:
+            continue  # worker exited between listdir and stat
+        out[name[: -len(".hb")]] = max(age, 0.0)
+    return out
+
+
+def render_top(
+    snap: dict[str, Any],
+    *,
+    heartbeats: dict[str, float] | None = None,
+    now: float | None = None,
+) -> str:
+    """One ``top`` frame from a progress snapshot (pure function)."""
+    now = time.time() if now is None else now
+    lines: list[str] = []
+    app = snap.get("app") or "?"
+    total = int(snap.get("total_runs") or 0)
+    done = int(snap.get("done_runs") or 0)
+    failed = int(snap.get("failed_runs") or 0)
+    state = "running" if snap.get("running") else (
+        "finished" if snap.get("ended_at") else "waiting"
+    )
+    lines.append(
+        f"campaign {app} x{snap.get('n_nodes', 0)}  "
+        f"modes={','.join(snap.get('modes') or []) or '?'}  "
+        f"jobs={snap.get('jobs', 1)}  [{state}]"
+    )
+    pct = 100.0 * done / total if total else 0.0
+    lines.append(
+        f"  {progress_bar(done, total)} {done}/{total} runs ({pct:.0f}%)  "
+        f"eta {format_duration(snap.get('eta_seconds'))}"
+    )
+    status = f"  ok {done - failed}  failed {failed}"
+    if snap.get("nonconverged_runs"):
+        status += f"  nonconverged {snap['nonconverged_runs']}"
+    if snap.get("resumed_runs"):
+        status += f"  resumed {snap['resumed_runs']}"
+    lines.append(status)
+
+    health = snap.get("health_ratios") or []
+    if health:
+        lines.append(
+            f"  stall/flit health {sparkline(health)}  last {health[-1]:.4f}"
+        )
+
+    heartbeats = heartbeats or {}
+    if heartbeats:
+        parts = []
+        for pid, age in heartbeats.items():
+            mark = "live" if age < STALE_AFTER else f"STALE {age:.0f}s"
+            parts.append(f"{pid}:{mark}")
+        lines.append(f"  workers({len(heartbeats)}) " + "  ".join(parts))
+    elif snap.get("workers_seen"):
+        parts = []
+        for wid, ts in sorted(snap["workers_seen"].items()):
+            age = max(now - float(ts), 0.0)
+            mark = "live" if age < STALE_AFTER else f"quiet {age:.0f}s"
+            parts.append(f"w{wid}:{mark}")
+        lines.append(f"  workers({len(parts)}) " + "  ".join(parts))
+
+    v = int(snap.get("guard_violations") or 0)
+    hung = int(snap.get("workers_hung") or 0)
+    lost = int(snap.get("workers_lost") or 0)
+    if v or hung or lost:
+        lines.append(
+            f"  GUARD violations {v}  workers hung {hung}  lost {lost}"
+        )
+    return "\n".join(lines) + "\n"

@@ -151,6 +151,54 @@ class MultiTraceWriter(TraceWriter):
             w.close()
 
 
+class TraceScan:
+    """Result of :func:`scan_trace`: events plus damage diagnostics."""
+
+    __slots__ = ("path", "events", "n_bad", "truncated_tail")
+
+    def __init__(
+        self, path: str, events: list[dict], n_bad: int, truncated_tail: bool
+    ) -> None:
+        self.path = path
+        self.events = events
+        self.n_bad = n_bad
+        #: the final line is torn — no trailing newline or partial JSON,
+        #: the signature of a live writer mid-append or a crash
+        self.truncated_tail = truncated_tail
+
+
+def scan_trace(path: str | Path) -> TraceScan:
+    """Tolerantly parse a trace, reporting damage instead of hiding it.
+
+    Unlike :func:`read_trace` (which silently skips malformed lines),
+    the scan counts every undecodable line and flags a torn final line
+    separately — a live or crash-interrupted writer tears exactly one
+    trailing line, which is expected damage, not corruption.
+    """
+    raw = Path(path).read_bytes()
+    events: list[dict] = []
+    n_bad = 0
+    truncated_tail = raw != b"" and not raw.endswith(b"\n")
+    lines = raw.decode("utf-8", errors="replace").splitlines()
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                truncated_tail = True
+            else:
+                n_bad += 1
+            continue
+        if isinstance(ev, dict):
+            events.append(ev)
+        else:
+            n_bad += 1
+    return TraceScan(str(path), events, n_bad, truncated_tail)
+
+
 def read_trace(path: str | Path, *, strict: bool = False) -> list[dict]:
     """Parse a JSONL trace file back into event dicts.
 

@@ -63,10 +63,23 @@ class TestLdmsExport:
         path = tmp_path / "series.csv"
         text = ldms_series_to_csv(ldms, path)
         lines = text.strip().splitlines()
-        assert lines[0] == "time_s,flits,stalls,ratio"
+        assert lines[0] == "time_s,flits,stalls,ratio,partial"
         assert len(lines) == 3
         assert "0.500000" in lines[1]  # ratio of the first interval
+        assert all(l.endswith(",0") for l in lines[1:])  # full intervals
         assert path.read_text() == text
+
+    def test_csv_partial_flag(self, toy_top):
+        bank = CounterBank(toy_top)
+        ldms = LdmsCollector(bank, interval=60.0)
+        lid = toy_top.rank3_link(0, 1, 0)
+        bank.add_network_link_counts(np.array([lid]), np.array([8.0]), np.array([4.0]))
+        ldms.sample()
+        bank.add_network_link_counts(np.array([lid]), np.array([2.0]), np.array([1.0]))
+        ldms.finalize(75.0)
+        lines = ldms_series_to_csv(ldms).strip().splitlines()
+        assert lines[1].endswith(",0")
+        assert lines[2].endswith(",1")
 
 
 class TestCounterExport:
@@ -99,7 +112,7 @@ class TestEmptyExports:
     def test_ldms_csv_no_samples(self, toy_top):
         ldms = LdmsCollector(CounterBank(toy_top), interval=60.0)
         text = ldms_series_to_csv(ldms)
-        assert text == "time_s,flits,stalls,ratio\n"
+        assert text == "time_s,flits,stalls,ratio,partial\n"
 
     def test_counters_csv_empty_snapshot(self):
         from repro.network.counters import CounterSnapshot

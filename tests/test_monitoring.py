@@ -119,6 +119,46 @@ class TestLdms:
         with pytest.raises(ValueError):
             LdmsCollector(CounterBank(toy_top), interval=0)
 
+    def test_finalize_emits_partial_window(self, toy_top):
+        """Regression: counters accumulated after the last cadence boundary
+        must surface as a partial=True sample, not vanish."""
+        bank = CounterBank(toy_top)
+        ldms = LdmsCollector(bank, interval=60.0)
+        lid = toy_top.rank1_link(0, 0, 0, 1)
+        bank.add_network_link_counts(np.array([lid]), np.array([10.0]), np.array([1.0]))
+        ldms.sample()
+        # the run ends 15 s into the next interval, counters still moving
+        bank.add_network_link_counts(np.array([lid]), np.array([3.0]), np.array([2.0]))
+        s = ldms.finalize(75.0)
+        assert s is not None and s.partial
+        assert s.time == pytest.approx(75.0)
+        assert s.delta.flits["rank1"].sum() == 3
+        assert not ldms.samples[0].partial
+        # the residual is part of the series and the cumulative totals
+        assert ldms.series()["flits"].sum() == 13
+        assert ldms.cumulative().flits["rank1"].sum() == 13
+
+    def test_finalize_unknown_end_time_is_partial(self, toy_top):
+        bank = CounterBank(toy_top)
+        ldms = LdmsCollector(bank, interval=60.0)
+        lid = toy_top.rank1_link(0, 0, 0, 1)
+        bank.add_network_link_counts(np.array([lid]), np.array([4.0]), np.array([0.0]))
+        s = ldms.finalize()
+        assert s is not None and s.partial
+
+    def test_finalize_empty_residual_records_nothing(self, toy_top):
+        bank = CounterBank(toy_top)
+        ldms = LdmsCollector(bank, interval=60.0)
+        ldms.sample()
+        assert ldms.finalize(60.0) is None
+        assert len(ldms.samples) == 1
+
+    def test_finalize_rejects_time_travel(self, toy_top):
+        ldms = LdmsCollector(CounterBank(toy_top), interval=60.0)
+        ldms.sample()
+        with pytest.raises(ValueError):
+            ldms.finalize(30.0)
+
 
 class TestNicCounters:
     def test_record_and_mean(self, toy_top):

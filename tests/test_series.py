@@ -1,0 +1,269 @@
+"""Tests for repro.telemetry.series: sketches, recorders, engine wiring.
+
+The invariants here are the load-bearing ones from the observability
+layer's contract:
+
+* sampling is keyed to *sim time* and deterministic — the same run
+  yields byte-identical series every time;
+* per-window flit/stall totals always reconcile exactly with the
+  end-of-run aggregates (coalescing merges windows, never drops mass);
+* a run with telemetry off is byte-identical to one never instrumented;
+* records round-trip through the JSONL checkpoint with the series
+  intact, and records without a series keep their pre-PR byte layout.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import app_by_name
+from repro.core.biases import AD0, AD3
+from repro.core.checkpoint import record_from_dict, record_to_dict
+from repro.core.experiment import CampaignConfig, run_campaign
+from repro.network.packet_sim import InjectionSpec, PacketSimulator
+from repro.telemetry import (
+    CadenceRecorder,
+    CounterSeries,
+    QuantileSketch,
+    SeriesConfig,
+    SeriesWindow,
+    Telemetry,
+)
+
+
+class TestQuantileSketch:
+    def test_exact_below_capacity(self):
+        sk = QuantileSketch(capacity=256)
+        sk.observe_many(range(100))
+        assert sk.count == 100
+        assert sk.min == 0 and sk.max == 99
+        assert sk.quantile(0.0) == 0
+        assert sk.quantile(1.0) == 99
+        assert abs(sk.quantile(0.5) - 50) <= 1
+
+    def test_thinned_stream_stays_unbiased(self):
+        # systematic thinning keeps every stride-th arrival, all equal
+        # weight, so quantiles of a long stream stay close to truth
+        sk = QuantileSketch(capacity=256)
+        sk.observe_many(float(v % 97) for v in range(10_000))
+        assert sk.count == 10_000
+        assert abs(sk.quantile(0.5) - 48) <= 3
+        assert abs(sk.quantile(0.95) - 91) <= 3
+        assert sk.max == 96.0
+
+    def test_deterministic(self):
+        a, b = QuantileSketch(capacity=64), QuantileSketch(capacity=64)
+        vals = [float((7 * i) % 101) for i in range(5000)]
+        a.observe_many(vals)
+        b.observe_many(vals)
+        assert a.to_dict() == b.to_dict()
+
+    def test_roundtrip(self):
+        sk = QuantileSketch(capacity=32)
+        sk.observe_many(range(1000))
+        back = QuantileSketch.from_dict(sk.to_dict())
+        assert back.to_dict() == sk.to_dict()
+        assert back.summary() == sk.summary()
+
+    def test_empty_summary(self):
+        sk = QuantileSketch()
+        assert sk.count == 0
+        assert np.isnan(sk.quantile(0.5))
+
+    def test_bounded_memory(self):
+        sk = QuantileSketch(capacity=64)
+        sk.observe_many(range(100_000))
+        assert len(sk.to_dict()["values"]) <= 64
+
+
+class TestCadenceRecorder:
+    def cfg(self, cadence=1.0, capacity=8):
+        return SeriesConfig(cadence=cadence, capacity=capacity)
+
+    def test_windows_tile_sim_time(self):
+        rec = CadenceRecorder(self.cfg())
+        for i in range(1, 6):
+            rec.add(float(i), flit_delta=10.0, stall_delta=1.0)
+        series = rec.finalize(5.0, aggregate_flits=50.0, aggregate_stalls=5.0)
+        assert [w.t_start for w in series.windows] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert all(w.t_end - w.t_start == pytest.approx(1.0) for w in series.windows)
+        assert not any(w.partial for w in series.windows)
+
+    def test_window_totals_reconcile_with_aggregate(self):
+        rec = CadenceRecorder(self.cfg(cadence=0.25))
+        rng = np.random.default_rng(0)
+        t, ftot, stot = 0.0, 0.0, 0.0
+        for _ in range(200):
+            t += float(rng.uniform(0.01, 0.4))
+            f, s = float(rng.uniform(0, 100)), float(rng.uniform(0, 10))
+            ftot += f
+            stot += s
+            rec.add(t, f, s)
+        series = rec.finalize(t, ftot, stot)
+        assert series.total_flits() == pytest.approx(ftot)
+        assert series.total_stalls() == pytest.approx(stot)
+        assert series.aggregate_flits == ftot
+
+    def test_ring_coalesces_but_preserves_mass(self):
+        rec = CadenceRecorder(self.cfg(cadence=1.0, capacity=4))
+        for i in range(1, 33):
+            rec.add(float(i), flit_delta=1.0, stall_delta=0.5)
+        series = rec.finalize(32.0, 32.0, 16.0)
+        assert len(series.windows) <= 4 + 1  # ring + residual partial
+        assert series.cadence > 1.0  # cadence doubled under pressure
+        assert series.n_coalesced > 0
+        assert series.total_flits() == pytest.approx(32.0)
+        assert series.total_stalls() == pytest.approx(16.0)
+
+    def test_time_travel_rejected(self):
+        rec = CadenceRecorder(self.cfg())
+        rec.add(2.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            rec.add(1.0, 1.0, 0.0)
+
+    def test_trailing_residual_is_partial(self):
+        rec = CadenceRecorder(self.cfg(cadence=1.0))
+        rec.add(1.5, 3.0, 1.0)
+        series = rec.finalize(1.5, 3.0, 1.0)
+        assert series.windows[-1].partial
+        assert series.total_flits() == pytest.approx(3.0)
+
+    def test_latency_sketch_attached_only_when_observed(self):
+        rec = CadenceRecorder(self.cfg())
+        rec.add(1.0, 1.0, 0.0)
+        assert rec.finalize(1.0, 1.0, 0.0).latency is None
+        rec2 = CadenceRecorder(self.cfg())
+        rec2.add(1.0, 1.0, 0.0)
+        rec2.observe_latency([1e-6, 2e-6])
+        series = rec2.finalize(1.0, 1.0, 0.0)
+        assert series.latency is not None and series.latency.count == 2
+
+
+class TestSeriesSerialization:
+    def make_series(self):
+        rec = CadenceRecorder(SeriesConfig(cadence=1.0))
+        for i in range(1, 4):
+            rec.add(float(i), 10.0 * i, float(i))
+        rec.observe_latency([1e-6, 5e-6, 9e-6])
+        return rec.finalize(3.0, 60.0, 6.0)
+
+    def test_counter_series_roundtrip(self):
+        series = self.make_series()
+        back = CounterSeries.from_dict(series.to_dict())
+        assert back.to_dict() == series.to_dict()
+        assert back.total_flits() == series.total_flits()
+        assert [w.ratio for w in back.windows] == [w.ratio for w in series.windows]
+
+    def test_window_partial_key_omitted_when_false(self):
+        full = SeriesWindow(0.0, 1.0, 5.0, 1.0)
+        assert "partial" not in full.to_dict()
+        part = SeriesWindow(0.0, 1.0, 5.0, 1.0, partial=True)
+        assert part.to_dict()["partial"] is True
+
+
+class TestPacketSimSeries:
+    def run_sim(self, toy_top, telemetry=None):
+        sim = PacketSimulator(
+            toy_top, rng=np.random.default_rng(3), telemetry=telemetry
+        )
+        for s in range(8):
+            sim.add_message(
+                InjectionSpec(src=s, dst=16 + s, nbytes=4096, mode=AD0)
+            )
+        sim.run()
+        return sim
+
+    def test_sampling_does_not_change_results(self, toy_top):
+        plain = self.run_sim(toy_top)
+        cadence = 100 * plain.config.step_time
+        sampled = self.run_sim(
+            toy_top, Telemetry(series=SeriesConfig(cadence=cadence))
+        )
+        assert plain.step == sampled.step
+        np.testing.assert_array_equal(plain.flits, sampled.flits)
+        np.testing.assert_array_equal(plain.stalls, sampled.stalls)
+
+    def test_series_reconciles_with_counters(self, toy_top):
+        sim = self.run_sim(
+            toy_top, Telemetry(series=SeriesConfig(cadence=1e-6))
+        )
+        series = sim.counter_series()
+        assert series is not None and series.windows
+        assert series.total_flits() == pytest.approx(float(sim.flits.sum()))
+        assert series.total_stalls() == pytest.approx(float(sim.stalls.sum()))
+        # windows are keyed to sim time, so they cannot outrun the clock
+        assert series.windows[-1].t_end <= sim.now + series.cadence
+
+    def test_counter_series_none_when_unconfigured(self, toy_top):
+        assert self.run_sim(toy_top).counter_series() is None
+
+    def test_series_deterministic_across_runs(self, toy_top):
+        cadence = 50 * PacketSimulator(
+            toy_top, rng=np.random.default_rng(3)
+        ).config.step_time
+        a = self.run_sim(toy_top, Telemetry(series=SeriesConfig(cadence=cadence)))
+        b = self.run_sim(toy_top, Telemetry(series=SeriesConfig(cadence=cadence)))
+        assert json.dumps(a.counter_series().to_dict()) == json.dumps(
+            b.counter_series().to_dict()
+        )
+
+
+class TestCampaignSeries:
+    @pytest.fixture(scope="class")
+    def recorded(self, mini_top):
+        cfg = CampaignConfig(
+            app=app_by_name("milc")(),
+            n_nodes=32,
+            modes=(AD0, AD3),
+            samples=2,
+            seed=11,
+        )
+        tel = Telemetry(series=SeriesConfig(cadence=50.0))
+        return run_campaign(mini_top, cfg, telemetry=tel)
+
+    def test_records_carry_series(self, recorded):
+        assert all(r.series is not None for r in recorded)
+        assert all(r.series.windows for r in recorded)
+
+    def test_series_sums_to_run_aggregate(self, recorded):
+        for r in recorded:
+            assert r.series.total_flits() == pytest.approx(
+                r.series.aggregate_flits
+            )
+            assert r.series.total_stalls() == pytest.approx(
+                r.series.aggregate_stalls
+            )
+
+    def test_checkpoint_roundtrip_preserves_series(self, recorded):
+        for r in recorded:
+            d = record_to_dict(r)
+            assert "series" in d
+            back = record_from_dict(json.loads(json.dumps(d)))
+            assert back.series.to_dict() == r.series.to_dict()
+
+    def test_record_dict_unchanged_without_series(self, mini_top):
+        cfg = CampaignConfig(
+            app=app_by_name("milc")(),
+            n_nodes=32,
+            modes=(AD0,),
+            samples=1,
+            seed=11,
+        )
+        (rec,) = run_campaign(mini_top, cfg)
+        assert rec.series is None
+        assert "series" not in record_to_dict(rec)
+
+    def test_parallel_series_byte_identical(self, mini_top, recorded):
+        cfg = CampaignConfig(
+            app=app_by_name("milc")(),
+            n_nodes=32,
+            modes=(AD0, AD3),
+            samples=2,
+            seed=11,
+        )
+        tel = Telemetry(series=SeriesConfig(cadence=50.0))
+        par = run_campaign(mini_top, cfg, telemetry=tel, jobs=2)
+        serial_json = [json.dumps(record_to_dict(r)) for r in recorded]
+        par_json = [json.dumps(record_to_dict(r)) for r in par]
+        assert serial_json == par_json

@@ -32,6 +32,58 @@ from repro.telemetry import (
 )
 
 
+def _scrape_openmetrics(text: str):
+    """Strict mini scrape parser for the OpenMetrics text exposition.
+
+    Returns (families, samples): families maps family name -> type, and
+    samples maps a sample name (or ``(name, labels)`` tuple when labeled)
+    to its value.  Raises ValueError on any spec violation this study's
+    exposition could plausibly commit: missing # EOF, text after # EOF,
+    samples outside a declared family, or counter samples without the
+    _total suffix.
+    """
+    lines = text.split("\n")
+    if lines[-1] != "" or lines[-2] != "# EOF":
+        raise ValueError("exposition must end with a single '# EOF' line")
+    families: dict[str, str] = {}
+    samples: dict = {}
+    for line in lines[:-2]:
+        if line == "# EOF":
+            raise ValueError("'# EOF' before the end of the exposition")
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            _, kind, rest = line.split(" ", 2)
+            name, payload = rest.split(" ", 1)
+            if kind == "TYPE":
+                families[name] = payload
+            continue
+        if not line:
+            raise ValueError("blank line inside the exposition")
+        name_and_labels, value = line.rsplit(" ", 1)
+        if "{" in name_and_labels:
+            name, raw = name_and_labels[:-1].split("{", 1)
+            labels = []
+            for pair in raw.split(","):
+                k, v = pair.split("=", 1)
+                if not (v.startswith('"') and v.endswith('"')):
+                    raise ValueError(f"unquoted label value in {line!r}")
+                labels.append((k, v[1:-1]))
+            key = (name, tuple(labels))
+        else:
+            name, key = name_and_labels, name_and_labels
+        base = name
+        for suffix in ("_total", "_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                break
+        family = base if base in families else name if name in families else None
+        if family is None:
+            raise ValueError(f"sample {name!r} outside any declared family")
+        if families[family] == "counter" and not name.endswith("_total"):
+            raise ValueError(f"counter sample {name!r} lacks the _total suffix")
+        samples[key] = float(value)
+    return families, samples
+
+
 def _incast_flows(top, rng, n=48):
     """Everyone sends to one hot node — reliably congested."""
     dst = 0
@@ -102,18 +154,45 @@ class TestMetricsRegistry:
         reg.gauge("queue.depth").set(2)  # dot must be sanitized
         reg.histogram("t", buckets=(1.0,)).observe(0.5)
         text = reg.to_prometheus()
-        assert "# TYPE solves_total counter" in text
+        # OpenMetrics: counter family without the suffix, sample with it
+        assert "# TYPE solves counter" in text
+        assert "# HELP solves number of solves" in text
         assert "solves_total 3" in text
+        assert "# TYPE queue_depth gauge" in text
         assert "queue_depth 2" in text
         assert 't_bucket{le="1"} 1' in text
         assert 't_bucket{le="+Inf"} 1' in text
         assert "t_count 1" in text
+        assert text.endswith("# EOF\n")
 
     def test_json_exposition(self):
         reg = MetricsRegistry()
         reg.counter("c").inc()
         loaded = json.loads(reg.to_json())
         assert loaded["c"] == {"type": "counter", "value": 1.0}
+
+    def test_openmetrics_scrape_roundtrip(self):
+        """The exposition must survive a strict OpenMetrics scrape parse."""
+        reg = MetricsRegistry()
+        reg.counter("runs_total", help='with "quotes" and \\slashes\\').inc(7)
+        reg.counter("bare").inc(2)  # family without suffix gains _total
+        reg.gauge("depth", help="queue depth").set(3.5)
+        reg.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        families, samples = _scrape_openmetrics(reg.to_prometheus())
+        assert families["runs"] == "counter"
+        assert families["bare"] == "counter"
+        assert families["depth"] == "gauge"
+        assert families["lat_seconds"] == "histogram"
+        assert samples["runs_total"] == 7.0
+        assert samples["bare_total"] == 2.0
+        assert samples["depth"] == 3.5
+        assert samples[('lat_seconds_bucket', (('le', '1'),))] == 1.0
+        assert samples[('lat_seconds_bucket', (('le', '+Inf'),))] == 1.0
+        assert samples["lat_seconds_sum"] == 0.5
+        assert samples["lat_seconds_count"] == 1.0
+
+    def test_openmetrics_empty_registry(self):
+        assert MetricsRegistry().to_prometheus() == "# EOF\n"
 
 
 class TestTraceWriters:
@@ -338,8 +417,9 @@ class TestCliMetricsFlag:
         assert rc == 0
         capsys.readouterr()
         text = mpath.read_text()
-        assert "# TYPE fluid_solves_total counter" in text
+        assert "# TYPE fluid_solves counter" in text
         assert "campaign_samples_total 2" in text  # 2 modes x 1 sample
+        assert text.endswith("# EOF\n")
 
     def test_metrics_json_file(self, tmp_path, capsys):
         mpath = tmp_path / "m.json"
