@@ -154,6 +154,7 @@ def cmd_compare(args) -> int:
         checkpoint_path=args.checkpoint,
         resume=args.resume,
         jobs=args.jobs,
+        queue_dir=getattr(args, "queue", None),
     )
     failed = [r for r in records if not r.ok]
     if failed:
@@ -339,6 +340,7 @@ def cmd_doctor(args) -> int:
         dims=args.dims,
         faults=args.faults,
         checkpoint=args.checkpoint,
+        queue=getattr(args, "queue", None),
         selftest=not args.no_selftest,
         seed=args.seed,
     )
@@ -351,6 +353,68 @@ def cmd_doctor(args) -> int:
         + ("" if rc == 0 else f" -- NOT ready (exit {rc})")
     )
     return rc
+
+
+def cmd_worker(args) -> int:
+    """One distributed-campaign worker: claim, execute, commit, repeat."""
+    from repro.dist import DistWorker, WorkQueue
+    from repro.telemetry import resolve_telemetry
+
+    tel = resolve_telemetry(None)
+    queue = WorkQueue(args.queue)
+    worker = DistWorker(
+        queue,
+        owner=args.owner,
+        max_tasks=args.max_tasks,
+        max_seconds=args.max_seconds,
+        speculate=not args.no_speculate,
+        poll=max(float(args.poll), 0.01),
+        on_event=lambda name, **fields: tel.event(f"dist.{name}", **fields),
+    )
+    print(f"worker {worker.owner} joining queue {queue.root}", flush=True)
+    stats = worker.run()
+    print(
+        "worker done: "
+        + "  ".join(f"{k}={v}" for k, v in stats.to_dict().items()),
+        flush=True,
+    )
+    return 0
+
+
+def cmd_queue_status(args) -> int:
+    """Point-in-time scan of a distributed campaign's queue directory."""
+    from repro.dist import WorkQueue
+
+    queue = WorkQueue(args.queue)
+    manifest = queue.load_manifest()
+    if manifest is None:
+        print(f"queue {queue.root}: no manifest yet (coordinator not started)")
+        return 0
+    st = queue.status(queue.manifest_tasks(manifest))
+    fp = manifest.get("fingerprint", {})
+    print(
+        f"queue {queue.root}: {fp.get('app', '?')} x{fp.get('samples', '?')} "
+        f"on {fp.get('system', '?')} "
+        f"(ttl {manifest.get('ttl')}s, retry budget {manifest.get('retry_budget')})"
+    )
+    print(
+        f"  tasks: {st.total} total  {st.done} done  {st.claimed} claimed  "
+        f"{st.available} available  {st.expired} expired-lease  "
+        f"{len(st.exhausted)} exhausted"
+    )
+    now = time.time()
+    for owner in sorted(st.workers):
+        held = [
+            tid for tid, lease in st.leases.items() if lease.get("owner") == owner
+        ]
+        live = [
+            tid
+            for tid in held
+            if float(st.leases[tid].get("expires_at", 0.0)) > now
+        ]
+        state = "live" if live else "expired"
+        print(f"  worker {owner}: {len(held)} lease(s) [{state}]")
+    return 0
 
 
 def cmd_report(args) -> int:
@@ -599,6 +663,14 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             help="write a diagnostics bundle per guard-terminated run",
         )
+        sp.add_argument(
+            "--queue",
+            default=None,
+            metavar="DIR",
+            help="distribute the runs over a shared-directory work queue; "
+            "start executors with `repro worker --queue DIR` on any host "
+            "(docs/DISTRIBUTED.md)",
+        )
 
     sp = sub.add_parser("describe", help="print a system's structure and the routing modes")
     common(sp)
@@ -804,7 +876,73 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the engine self-test matrix (config checks only)",
     )
+    sp.add_argument(
+        "--queue",
+        default=None,
+        metavar="DIR",
+        help="preflight a shared queue directory for a distributed "
+        "campaign (O_EXCL, atomic rename, space, clock skew, stale leases)",
+    )
     sp.set_defaults(func=cmd_doctor)
+
+    sp = sub.add_parser(
+        "worker",
+        help="execute runs from a shared-directory campaign queue",
+    )
+    sp.add_argument(
+        "--queue",
+        required=True,
+        metavar="DIR",
+        help="queue directory a coordinator created (or will create) "
+        "with --queue on compare/sweep",
+    )
+    sp.add_argument(
+        "--owner",
+        default=None,
+        metavar="NAME",
+        help="worker identity in leases and results (default: host:pid)",
+    )
+    sp.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after executing N runs (default: until the campaign ends)",
+    )
+    sp.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this long even if work remains (batch job budgets)",
+    )
+    sp.add_argument(
+        "--no-speculate",
+        action="store_true",
+        help="never re-execute in-flight stragglers at the campaign tail",
+    )
+    sp.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="idle scan cadence (default: 0.2)",
+    )
+    sp.add_argument("--seed", type=int, default=2021)
+    observability(sp)
+    sp.set_defaults(func=cmd_worker)
+
+    sp = sub.add_parser(
+        "queue-status",
+        help="inspect a distributed campaign's queue directory",
+    )
+    sp.add_argument(
+        "--queue",
+        required=True,
+        metavar="DIR",
+        help="queue directory to scan",
+    )
+    sp.set_defaults(func=cmd_queue_status, passive=True)
 
     return p
 

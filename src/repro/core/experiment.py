@@ -739,6 +739,7 @@ def run_campaign(
     checkpoint_path: str | None = None,
     resume: bool = False,
     jobs: int | None = None,
+    queue_dir: str | None = None,
 ) -> list[RunRecord]:
     """Run the campaign; returns one RunRecord per (mode, sample).
 
@@ -753,7 +754,27 @@ def run_campaign(
     :mod:`repro.parallel`; records, checkpoint bytes, and the resume
     behaviour are identical to serial execution (see docs/PARALLEL.md).
     ``jobs=None`` reads ``$REPRO_JOBS`` (default 1).
+
+    ``queue_dir`` hands the runs to a shared-directory work queue
+    instead: any number of ``repro worker --queue DIR`` processes on any
+    number of hosts execute them, and this process coordinates and
+    merges — falling back to the local pool if no worker ever shows up
+    (see docs/DISTRIBUTED.md).  Results stay byte-identical either way.
     """
+    if queue_dir is not None:
+        from repro.dist.coordinator import run_campaign_distributed
+
+        return run_campaign_distributed(
+            top,
+            cfg,
+            queue_dir=queue_dir,
+            background_model=background_model,
+            scenarios=scenarios,
+            telemetry=telemetry,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            jobs=jobs,
+        )
     n_jobs = _effective_jobs(jobs)
     if n_jobs > 1:
         from repro.parallel.campaign import run_campaign_parallel

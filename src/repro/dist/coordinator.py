@@ -1,0 +1,467 @@
+"""Distributed campaign coordinator: materialize, merge, fall back.
+
+:func:`run_campaign_distributed` is the queue-backed twin of
+:func:`repro.core.experiment.run_campaign` and
+:func:`repro.parallel.campaign.run_campaign_parallel`, with the same
+contract: the returned records, the checkpoint file, and the telemetry
+stream are **byte-identical** to a serial run, no matter how many
+workers participate, on how many hosts, or how many of them crash.
+
+The coordinator never executes runs itself (until fallback).  It:
+
+1. materializes the queue — manifest + one content-addressed task per
+   not-yet-done run, in canonical (sample-major, mode-minor) order;
+2. polls ``results/`` and folds finished payloads back in canonical
+   order: checkpoint append, worker trace events (tagged with a dense
+   worker id and the run index, exactly like the fork-pool merge), and
+   metrics-registry merge keyed by run index;
+3. reclaims nothing itself — expired leases are the *workers'* job —
+   but writes the error record for any task whose retry budget is
+   exhausted with no result, so a poisonous run cannot stall the
+   campaign;
+4. watches liveness: if nothing has progressed and no live lease exists
+   for ``fallback_after`` seconds (no worker ever came, or the whole
+   fleet died), it degrades to the local fork-pool executor and
+   finishes the remaining tasks itself — still committing through the
+   queue, so a worker that comes back mid-fallback just loses the
+   commit race.
+
+Observability: ``dist.worker`` (first sighting of each worker),
+``dist.task_stolen`` (a speculative duplicate won), ``dist.lease_reclaimed``
+(a retry attempt), ``dist.queue`` (periodic depth snapshot),
+``dist.fallback`` — plus ``dist_*`` gauges/counters on ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import checkpoint as ckpt
+from repro.core.experiment import (
+    CampaignConfig,
+    RunRecord,
+    _effective_jobs,
+    _error_record,
+    emit_campaign_end,
+    emit_campaign_start,
+    prepare_checkpoint,
+    resolve_scenarios,
+    sample_draws,
+)
+from repro.dist.manifest import build_tasks, campaign_to_manifest
+from repro.dist.queue import QueueTask, QueueUnavailable, WorkQueue
+from repro.scheduler.background import BackgroundModel, BackgroundScenario
+from repro.scheduler.placement import groups_spanned
+from repro.telemetry import MetricsRegistry, Telemetry, resolve_telemetry
+from repro.topology.dragonfly import DragonflyTopology
+from repro.util.backoff import Backoff, BackoffPolicy
+
+#: queue-outage schedule on the coordinator side
+COORDINATOR_BACKOFF = BackoffPolicy(base=0.2, cap=10.0)
+
+#: seconds of (no progress ∧ no live lease) before local fallback
+DEFAULT_FALLBACK_AFTER = 10.0
+
+
+class _Merger:
+    """Canonical-order fold of result payloads (the fork-pool merge,
+    speaking the queue's wire format)."""
+
+    def __init__(
+        self,
+        tel: Telemetry,
+        tasks: list[QueueTask],
+        slots: list[RunRecord | None],
+        checkpoint_path: str | None,
+    ) -> None:
+        self.tel = tel
+        self.tasks = tasks
+        self.slots = slots
+        self.checkpoint_path = checkpoint_path
+        self.buffered: dict[int, dict] = {}
+        self.flush_pos = 0
+        self.worker_ids: dict[str, int] = {}
+        self.merged_tids: set[str] = set()
+
+    @property
+    def done(self) -> bool:
+        return self.flush_pos >= len(self.tasks)
+
+    def offer(self, tid: str, payload: dict) -> bool:
+        """Buffer one result payload; True if it was new."""
+        if tid in self.merged_tids:
+            return False
+        self.merged_tids.add(tid)
+        self.buffered[int(payload["index"])] = payload
+        return True
+
+    def worker_id(self, owner: str) -> int:
+        return self.worker_ids.setdefault(owner, len(self.worker_ids))
+
+    def flush(self) -> int:
+        """Commit the contiguous completed prefix; returns runs merged."""
+        merged = 0
+        while self.flush_pos < len(self.tasks):
+            payload = self.buffered.pop(self.tasks[self.flush_pos].index, None)
+            if payload is None:
+                return merged
+            rec = ckpt.record_from_dict(payload["record"])
+            self.slots[int(payload["index"])] = rec
+            if self.checkpoint_path is not None:
+                ckpt.append_record(self.checkpoint_path, rec)
+            events = payload.get("events") or []
+            if events:
+                wid = self.worker_id(str(payload.get("worker", "?")))
+                for ev in events:
+                    fields = {k: v for k, v in ev.items() if k != "ev"}
+                    fields["worker"] = wid
+                    fields["run_index"] = int(payload["index"])
+                    self.tel.trace.emit(ev["ev"], **fields)
+            wire = payload.get("metrics")
+            if wire is not None and self.tel.metrics.enabled:
+                self.tel.metrics.merge(
+                    MetricsRegistry.from_wire(wire), tag=int(payload["index"])
+                )
+            self.flush_pos += 1
+            merged += 1
+        return merged
+
+
+def _local_fallback(
+    top: DragonflyTopology,
+    run_top: DragonflyTopology,
+    cfg: CampaignConfig,
+    bm: BackgroundModel | None,
+    scenarios: list[BackgroundScenario] | None,
+    tel: Telemetry,
+    queue: WorkQueue,
+    remaining: list[QueueTask],
+    jobs: int,
+) -> list[tuple[str, dict]]:
+    """Execute ``remaining`` on a local fork pool, committing via the queue.
+
+    Reuses the parallel path's worker context and task runner verbatim,
+    so fallback runs are produced by exactly the machinery the
+    equivalence suite already proves serial-identical.  Results go
+    *through the queue* (first-commit-wins), so a worker fleet that
+    resurrects mid-fallback cannot double-merge anything.
+    """
+    from repro.parallel.campaign import (
+        _CampaignContext,
+        _init_worker,
+        _run_task,
+    )
+    from repro.parallel.executor import run_tasks
+    from repro.parallel.spec import RunTask
+
+    ctx = _CampaignContext(
+        top,
+        run_top,
+        cfg,
+        bm,
+        scenarios,
+        trace_enabled=tel.trace.enabled,
+        metrics_enabled=tel.metrics.enabled,
+        series=tel.series,
+    )
+    by_index = {t.index: t for t in remaining}
+    run_tasks_list = [
+        RunTask(index=t.index, sample=t.sample, mode=t.mode) for t in remaining
+    ]
+    produced: list[tuple[str, dict]] = []
+    for outcome in run_tasks(
+        run_tasks_list,
+        _run_task,
+        jobs=jobs,
+        initializer=_init_worker,
+        initargs=(ctx,),
+    ):
+        task = by_index[outcome.task.index]
+        if outcome.ok:
+            tr = outcome.result
+            payload = {
+                "tid": task.tid,
+                "index": tr.index,
+                "record": ckpt.record_to_dict(tr.record),
+                "events": tr.events,
+                "metrics": tr.metrics.to_wire() if tr.metrics is not None else None,
+                "worker": "coordinator:fallback",
+                "attempt": outcome.attempts,
+                "speculative": False,
+            }
+        else:
+            # the local worker process died repeatedly on this run:
+            # isolate into an error record, as the fork pool does
+            nodes, _, intensity = sample_draws(top, cfg, task.sample, bm, scenarios)
+            mode = {m.name: m for m in cfg.modes}[task.mode]
+            rec = _error_record(
+                cfg,
+                mode,
+                task.sample,
+                groups_spanned(top, nodes),
+                intensity,
+                outcome.error,
+                outcome.attempts,
+            )
+            payload = {
+                "tid": task.tid,
+                "index": task.index,
+                "record": ckpt.record_to_dict(rec),
+                "events": [],
+                "metrics": None,
+                "worker": "coordinator:fallback",
+                "attempt": outcome.attempts,
+                "speculative": False,
+            }
+        produced.append((task.tid, payload))
+        try:
+            queue.commit_result(task.tid, payload)
+        except QueueUnavailable:
+            # the queue died under the coordinator too; the caller
+            # offers ``produced`` to the merger in-memory, so the
+            # campaign still completes
+            pass
+    return produced
+
+
+def run_campaign_distributed(
+    top: DragonflyTopology,
+    cfg: CampaignConfig,
+    *,
+    queue_dir: str,
+    background_model: BackgroundModel | None = None,
+    scenarios: list[BackgroundScenario] | None = None,
+    telemetry: Telemetry | None = None,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
+    jobs: int | None = None,
+    ttl: float | None = None,
+    retry_budget: int | None = None,
+    fallback_after: float = DEFAULT_FALLBACK_AFTER,
+    poll: float = 0.2,
+    status_every: float = 5.0,
+) -> list[RunRecord]:
+    """Run the campaign over a shared-directory work queue.
+
+    ``jobs`` only sizes the local *fallback* pool (used when no worker
+    ever appears or the whole fleet dies); a healthy distributed
+    campaign executes nothing in this process.
+    """
+    tel = resolve_telemetry(telemetry)
+    kw = {}
+    if ttl is not None:
+        kw["ttl"] = ttl
+    if retry_budget is not None:
+        kw["retry_budget"] = retry_budget
+    queue = WorkQueue(queue_dir, **kw)
+
+    run_top = top.with_faults(cfg.faults) if cfg.faults is not None else top
+    done = prepare_checkpoint(checkpoint_path, top, cfg, resume)
+    emit_campaign_start(tel, cfg, done, queue=str(queue.root))
+    bm, scenarios = resolve_scenarios(top, cfg, background_model, scenarios)
+    mode_by_name = {m.name: m for m in cfg.modes}
+
+    # canonical slots: resumed runs pre-filled, the rest queued
+    all_tasks = build_tasks(top, cfg)
+    slots: list[RunRecord | None] = [None] * len(all_tasks)
+    pending: list[QueueTask] = []
+    for t in all_tasks:
+        prior = done.get((t.sample, t.mode))
+        if prior is not None:
+            slots[t.index] = prior
+        else:
+            pending.append(t)
+
+    manifest = campaign_to_manifest(top, cfg, tel)
+    queue.create(manifest, pending)
+
+    merger = _Merger(tel, pending, slots, checkpoint_path)
+    m = tel.metrics
+    if m.enabled:
+        m.gauge("dist_queue_depth", "tasks not yet completed").set(len(pending))
+        m.gauge("dist_leases_live", "live worker leases").set(0)
+
+    backoff = Backoff(COORDINATOR_BACKOFF)
+    outage = 0
+    last_progress = time.monotonic()
+    last_status = 0.0
+    seen_attempts: dict[str, int] = {}
+    #: last owner observed holding each task's lease (steal attribution)
+    last_owner: dict[str, str] = {}
+    fallen_back = False
+
+    def _sight_worker(owner: str) -> None:
+        if owner not in merger.worker_ids:
+            tel.event("dist.worker", owner=owner, worker=merger.worker_id(owner))
+
+    def _note_attempts(t: QueueTask, used: int) -> None:
+        """Record attempt movement; >1 means an expired lease got
+        reclaimed somewhere (a retry)."""
+        prev = seen_attempts.get(t.tid, 0)
+        if used > max(prev, 1):
+            tel.event(
+                "dist.lease_reclaimed",
+                tid=t.tid,
+                run_index=t.index,
+                attempt=used,
+                victim=last_owner.get(t.tid, ""),
+            )
+            if m.enabled:
+                m.counter("dist_retries_total", "expired-lease reclaims").inc(
+                    used - max(prev, 1)
+                )
+        if used > prev:
+            seen_attempts[t.tid] = used
+
+    while not merger.done:
+        progressed = 0
+        try:
+            # 0) lease scan: first-sighting events + steal attribution
+            live = queue.live_leases()
+            for tid, lease in live.items():
+                owner = str(lease.get("owner", "?"))
+                _sight_worker(owner)
+                last_owner[tid] = owner
+
+            # 1) sweep new results into the merger
+            for t in pending:
+                if t.tid in merger.merged_tids:
+                    continue
+                payload = queue.read_result(t.tid)
+                if payload is None:
+                    continue
+                owner = str(payload.get("worker", "?"))
+                _sight_worker(owner)
+                if payload.get("speculative"):
+                    tel.event(
+                        "dist.task_stolen",
+                        tid=t.tid,
+                        run_index=t.index,
+                        owner=owner,
+                        victim=last_owner.get(t.tid, ""),
+                    )
+                    if m.enabled:
+                        m.counter(
+                            "dist_steals_total", "speculative duplicates that won"
+                        ).inc()
+                # the payload's attempt count is authoritative even when
+                # the whole claim→reclaim→commit happened between two of
+                # our sweeps (the attempts scan below never sees it)
+                _note_attempts(t, int(payload.get("attempt", 0) or 0))
+                merger.offer(t.tid, payload)
+                progressed += 1
+
+            # 2) retry bookkeeping: attempt counters that moved past 1
+            #    mean an expired lease got reclaimed somewhere
+            for t in pending:
+                if t.tid in merger.merged_tids:
+                    continue
+                used = queue.attempts_used(t.tid)
+                _note_attempts(t, used)
+                # budget exhausted with no result: the task is dead —
+                # write its error record so the campaign completes
+                if used >= queue.retry_budget and not queue.has_result(t.tid):
+                    if t.tid in live:
+                        continue  # final attempt still running
+                    nodes, _, intensity = sample_draws(
+                        top, cfg, t.sample, bm, scenarios
+                    )
+                    rec = _error_record(
+                        cfg,
+                        mode_by_name[t.mode],
+                        t.sample,
+                        groups_spanned(top, nodes),
+                        intensity,
+                        RuntimeError(
+                            f"retry budget exhausted after {used} attempts"
+                        ),
+                        used,
+                    )
+                    payload = {
+                        "tid": t.tid,
+                        "index": t.index,
+                        "record": ckpt.record_to_dict(rec),
+                        "events": [],
+                        "metrics": None,
+                        "worker": "coordinator",
+                        "attempt": used,
+                        "speculative": False,
+                    }
+                    queue.commit_result(t.tid, payload)
+                    tel.event(
+                        "dist.task_exhausted",
+                        tid=t.tid,
+                        run_index=t.index,
+                        attempts=used,
+                    )
+
+            flushed = merger.flush()
+            progressed += flushed
+            if m.enabled and flushed:
+                m.counter("dist_tasks_done_total", "runs merged").inc(flushed)
+
+            if m.enabled:
+                m.gauge("dist_queue_depth", "tasks not yet completed").set(
+                    len(pending) - len(merger.merged_tids)
+                )
+                m.gauge("dist_leases_live", "live worker leases").set(len(live))
+            now = time.monotonic()
+            if now - last_status >= status_every:
+                last_status = now
+                tel.event(
+                    "dist.queue",
+                    depth=len(pending) - len(merger.merged_tids),
+                    merged=merger.flush_pos,
+                    total=len(pending),
+                    leases=len(live),
+                    workers=len(merger.worker_ids),
+                )
+
+            if progressed or live:
+                last_progress = now
+            elif (
+                not fallen_back
+                and not merger.done
+                and now - last_progress >= fallback_after
+            ):
+                # nobody is working and nobody is coming: degrade to the
+                # local fork pool and finish the campaign ourselves
+                fallen_back = True
+                remaining = [
+                    t for t in pending if t.tid not in merger.merged_tids
+                ]
+                tel.event(
+                    "dist.fallback",
+                    remaining=len(remaining),
+                    waited_s=round(now - last_progress, 3),
+                )
+                produced = _local_fallback(
+                    top,
+                    run_top,
+                    cfg,
+                    bm,
+                    scenarios,
+                    tel,
+                    queue,
+                    remaining,
+                    _effective_jobs(jobs),
+                )
+                # offer in-memory too: the merge must finish even if the
+                # queue directory died outright (records are
+                # deterministic, so any queue-committed duplicate from a
+                # resurrected worker is byte-identical to ours)
+                for tid, payload in produced:
+                    merger.offer(tid, payload)
+                last_progress = time.monotonic()
+                continue  # next sweep flushes the offered results
+            outage = 0
+            if not merger.done and not progressed:
+                time.sleep(poll)
+        except QueueUnavailable:
+            outage += 1
+            tel.event("dist.queue_unavailable", outages=outage)
+            backoff.sleep(min(outage, 8))
+
+    records = [rec for rec in slots if rec is not None]
+    emit_campaign_end(tel, cfg, records)
+    return records

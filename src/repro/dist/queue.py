@@ -1,0 +1,559 @@
+"""Crash-tolerant shared-directory work queue: leases, commits, status.
+
+The queue is a directory on a filesystem every participant can reach
+(NFS, Lustre, or plain local disk for tests).  There is **no server**
+and **no new dependency** — coordination rides entirely on three POSIX
+primitives that are atomic even on shared filesystems:
+
+* ``open(..., O_CREAT | O_EXCL)`` — exactly one claimer wins a lease;
+* ``os.rename`` / ``os.replace`` — readers see either the old complete
+  file or the new complete file, never a torn one;
+* ``os.link`` — exactly one result commit wins (first-commit-wins).
+
+Layout under the queue root::
+
+    manifest.json        what the campaign is (atomic write by the
+                         coordinator; workers wait for it to appear)
+    tasks/<tid>.json     one record per pending run (content-addressed:
+                         the id hashes the config fingerprint + RNG key)
+    leases/<tid>.lease   a live claim: owner, token, attempt, expires_at
+    attempts/<tid>.json  monotone claim counter (drives the retry budget)
+    results/<tid>.json   a committed result — complete or absent, never
+                         partial (written to tmp/, fsynced, then linked)
+    tmp/                 in-flight scratch; corrupt or orphaned files
+                         here are invisible to every reader
+    bundles/             remote diagnostics bundles from guard-killed
+                         runs on any host
+
+State machine per task, derived purely from which files exist:
+*available* (task, no unexpired lease, no result) → *claimed* (live
+lease) → *done* (result).  A worker SIGKILLed at any instant leaves
+either nothing (lease expires, task is reclaimed) or a complete result.
+
+Leases carry wall-clock expiry stamps, so hosts must agree on time to
+roughly a lease-TTL (``repro doctor --queue`` checks for skew).  An
+expired lease is reclaimed by *renaming it away* — only one renamer can
+win — then re-claiming through the same O_EXCL gate as a fresh claim.
+
+Every public method that touches the directory translates ``OSError``
+into :class:`QueueUnavailable` so callers can park-and-retry through
+NFS blips and full disks instead of crashing.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+MANIFEST_NAME = "manifest.json"
+_KIND = "repro-dist-queue"
+_VERSION = 1
+
+#: default seconds a lease lives without renewal
+DEFAULT_TTL = 30.0
+#: default distinct claims allowed per task before it is written off
+DEFAULT_RETRY_BUDGET = 3
+
+
+class QueueUnavailable(RuntimeError):
+    """The shared queue directory cannot be reached right now.
+
+    Wraps the underlying ``OSError`` (NFS blip, ENOSPC, unmounted
+    path).  Transient by contract: workers park with backoff and retry;
+    the coordinator keeps merging whatever it already has.
+    """
+
+    def __init__(self, op: str, exc: OSError) -> None:
+        super().__init__(f"queue {op} failed: {exc}")
+        self.op = op
+        self.errno = exc.errno
+
+
+def task_id(fingerprint: dict, sample: int, mode: str) -> str:
+    """Content-addressed task identity: config fingerprint + RNG key.
+
+    Two campaigns with identical fingerprints produce identical task
+    ids, so a re-created queue directory dedupes against surviving
+    results, and a result can always be traced back to the exact
+    ``(config, sample, mode)`` that produced it.
+    """
+    key = {"config": fingerprint, "rng_key": {"sample": sample, "mode": mode}}
+    return hashlib.sha256(
+        json.dumps(key, sort_keys=True).encode()
+    ).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class QueueTask:
+    """One schedulable run: canonical index plus its identity."""
+
+    tid: str
+    index: int
+    sample: int
+    mode: str
+
+    def to_dict(self) -> dict:
+        return {
+            "tid": self.tid,
+            "index": self.index,
+            "sample": self.sample,
+            "mode": self.mode,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "QueueTask":
+        return cls(
+            tid=str(d["tid"]),
+            index=int(d["index"]),
+            sample=int(d["sample"]),
+            mode=str(d["mode"]),
+        )
+
+
+@dataclass
+class Lease:
+    """A live claim on one task (worker-side view)."""
+
+    tid: str
+    owner: str
+    token: str
+    attempt: int
+    claimed_at: float
+    expires_at: float
+    #: True when this claim reclaimed an expired lease (a retry)
+    reclaimed: bool = False
+    #: set when a renewal discovers the lease was stolen from us
+    lost: bool = field(default=False, compare=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "tid": self.tid,
+            "owner": self.owner,
+            "token": self.token,
+            "attempt": self.attempt,
+            "claimed_at": self.claimed_at,
+            "expires_at": self.expires_at,
+        }
+
+
+@dataclass
+class QueueStatus:
+    """A point-in-time scan of the queue (``repro queue-status``)."""
+
+    total: int = 0
+    done: int = 0
+    claimed: int = 0
+    expired: int = 0
+    available: int = 0
+    #: live + expired lease payloads, by task id
+    leases: dict[str, dict] = field(default_factory=dict)
+    #: owner -> most recent lease activity wall-stamp
+    workers: dict[str, float] = field(default_factory=dict)
+    #: task ids whose attempts hit the retry budget
+    exhausted: list[str] = field(default_factory=list)
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.done
+
+
+def _fsync_dir(path: Path) -> None:
+    """Best-effort directory fsync so renames survive power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class WorkQueue:
+    """One campaign's shared-directory queue (see the module docstring).
+
+    ``now`` is injectable for lease-expiry tests; everything else uses
+    the real filesystem — the protocol *is* the filesystem.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        ttl: float = DEFAULT_TTL,
+        retry_budget: int = DEFAULT_RETRY_BUDGET,
+        now: Callable[[], float] = time.time,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl!r}")
+        if retry_budget < 1:
+            raise ValueError(f"retry_budget must be >= 1, got {retry_budget!r}")
+        self.root = Path(root)
+        self.ttl = float(ttl)
+        self.retry_budget = int(retry_budget)
+        self._now = now
+        self.tasks_dir = self.root / "tasks"
+        self.leases_dir = self.root / "leases"
+        self.attempts_dir = self.root / "attempts"
+        self.results_dir = self.root / "results"
+        self.tmp_dir = self.root / "tmp"
+        self.bundles_dir = self.root / "bundles"
+        self.manifest_path = self.root / MANIFEST_NAME
+
+    # ------------------------------------------------------------------
+    # low-level atomic file helpers
+    # ------------------------------------------------------------------
+    def _write_json_atomic(self, path: Path, payload: dict, *, op: str) -> None:
+        """tmp-write + fsync + rename: readers never see a torn file."""
+        tmp = self.tmp_dir / f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}"
+        try:
+            with open(tmp, "w") as f:
+                f.write(json.dumps(payload) + "\n")
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
+            _fsync_dir(path.parent)
+        except OSError as exc:
+            raise QueueUnavailable(op, exc) from exc
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def _read_json(self, path: Path) -> dict | None:
+        """Parse one JSON file; None when absent or torn mid-write.
+
+        A torn/empty file can only be a reader racing a non-atomic
+        writer on a filesystem without rename atomicity — treat it as
+        not-there-yet rather than corrupt.
+        """
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise QueueUnavailable(f"read {path.name}", exc) from exc
+        try:
+            d = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+        return d if isinstance(d, dict) else None
+
+    # ------------------------------------------------------------------
+    # coordinator side: create / inspect
+    # ------------------------------------------------------------------
+    def create(self, manifest: dict, tasks: list[QueueTask]) -> None:
+        """Materialize the queue: directories, task records, manifest.
+
+        The manifest is written **last** (atomically), so a worker that
+        sees it can trust every task record is already in place.
+        Re-creating an existing queue is idempotent for identical task
+        sets — surviving results keep their first-commit-wins status.
+        """
+        try:
+            for d in (
+                self.root,
+                self.tasks_dir,
+                self.leases_dir,
+                self.attempts_dir,
+                self.results_dir,
+                self.tmp_dir,
+                self.bundles_dir,
+            ):
+                d.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise QueueUnavailable("create", exc) from exc
+        for t in tasks:
+            self._write_json_atomic(
+                self.tasks_dir / f"{t.tid}.json", t.to_dict(), op="write task"
+            )
+        payload = {
+            "kind": _KIND,
+            "version": _VERSION,
+            "ttl": self.ttl,
+            "retry_budget": self.retry_budget,
+            "tasks": [t.to_dict() for t in tasks],
+            **manifest,
+        }
+        self._write_json_atomic(self.manifest_path, payload, op="write manifest")
+
+    def load_manifest(self) -> dict | None:
+        """The manifest payload, or None while the coordinator hasn't run."""
+        d = self._read_json(self.manifest_path)
+        if d is None:
+            return None
+        if d.get("kind") != _KIND or d.get("version") != _VERSION:
+            raise ValueError(
+                f"{self.manifest_path} is not a version-{_VERSION} repro queue"
+            )
+        return d
+
+    def manifest_tasks(self, manifest: dict) -> list[QueueTask]:
+        return [QueueTask.from_dict(d) for d in manifest.get("tasks", [])]
+
+    # ------------------------------------------------------------------
+    # worker side: claim / renew / release
+    # ------------------------------------------------------------------
+    def _lease_path(self, tid: str) -> Path:
+        return self.leases_dir / f"{tid}.lease"
+
+    def _attempt_count(self, tid: str) -> int:
+        d = self._read_json(self.attempts_dir / f"{tid}.json")
+        return int(d["attempt"]) if d and "attempt" in d else 0
+
+    def _record_attempt(self, tid: str, attempt: int) -> None:
+        self._write_json_atomic(
+            self.attempts_dir / f"{tid}.json",
+            {"attempt": attempt},
+            op="record attempt",
+        )
+
+    def attempts_used(self, tid: str) -> int:
+        """Distinct claims this task has consumed so far."""
+        return self._attempt_count(tid)
+
+    def exhausted(self, tid: str) -> bool:
+        """True once the task has burned its whole retry budget."""
+        return self._attempt_count(tid) >= self.retry_budget
+
+    def _create_lease(
+        self, tid: str, owner: str, attempt: int, *, reclaimed: bool
+    ) -> Lease | None:
+        """The O_EXCL gate every claim (fresh or reclaim) goes through."""
+        path = self._lease_path(tid)
+        now = self._now()
+        lease = Lease(
+            tid=tid,
+            owner=owner,
+            token=uuid.uuid4().hex,
+            attempt=attempt,
+            claimed_at=now,
+            expires_at=now + self.ttl,
+            reclaimed=reclaimed,
+        )
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return None
+        except OSError as exc:
+            raise QueueUnavailable("claim", exc) from exc
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(json.dumps(lease.to_dict()) + "\n")
+                f.flush()
+                os.fsync(f.fileno())
+        except OSError as exc:
+            raise QueueUnavailable("claim", exc) from exc
+        self._record_attempt(tid, attempt)
+        return lease
+
+    def try_claim(self, tid: str, owner: str) -> Lease | None:
+        """Claim ``tid`` if it is available; None if raced or leased.
+
+        Handles both the fresh-task path (no lease file) and the
+        reclaim path (expired lease renamed away, attempt incremented).
+        Never claims a task that already has a result or an exhausted
+        retry budget.
+        """
+        if self.has_result(tid):
+            return None
+        lease_path = self._lease_path(tid)
+        cur = self._read_json(lease_path)
+        if cur is None:
+            # fresh claim — but re-check existence: _read_json returns
+            # None for a mid-write torn file too, and stealing a torn
+            # *live* lease would be wrong.  O_EXCL arbitrates anyway.
+            attempt = self._attempt_count(tid) + 1
+            if attempt > self.retry_budget:
+                return None
+            return self._create_lease(tid, owner, attempt, reclaimed=attempt > 1)
+        if float(cur.get("expires_at", 0.0)) > self._now():
+            return None  # live lease
+        # expired: rename it away — exactly one reclaimer wins the rename
+        grave = self.tmp_dir / f".{tid}.expired.{os.getpid()}.{uuid.uuid4().hex[:8]}"
+        try:
+            os.rename(lease_path, grave)
+        except FileNotFoundError:
+            return None  # another reclaimer won (or the owner released)
+        except OSError as exc:
+            raise QueueUnavailable("reclaim", exc) from exc
+        try:
+            os.unlink(grave)
+        except OSError:
+            pass
+        attempt = max(self._attempt_count(tid), int(cur.get("attempt", 1))) + 1
+        if attempt > self.retry_budget:
+            self._record_attempt(tid, attempt)
+            return None
+        return self._create_lease(tid, owner, attempt, reclaimed=True)
+
+    def renew(self, lease: Lease) -> bool:
+        """Extend the TTL; False (and ``lease.lost``) if it was stolen."""
+        cur = self._read_json(self._lease_path(lease.tid))
+        if cur is None or cur.get("token") != lease.token:
+            lease.lost = True
+            return False
+        lease.expires_at = self._now() + self.ttl
+        self._write_json_atomic(
+            self._lease_path(lease.tid), lease.to_dict(), op="renew lease"
+        )
+        return True
+
+    def release(self, lease: Lease) -> None:
+        """Drop a lease we own (after commit, or on graceful abandon)."""
+        cur = self._read_json(self._lease_path(lease.tid))
+        if cur is not None and cur.get("token") == lease.token:
+            try:
+                os.unlink(self._lease_path(lease.tid))
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # results: atomic, first-commit-wins
+    # ------------------------------------------------------------------
+    def _result_path(self, tid: str) -> Path:
+        return self.results_dir / f"{tid}.json"
+
+    def has_result(self, tid: str) -> bool:
+        try:
+            return self._result_path(tid).exists()
+        except OSError as exc:
+            raise QueueUnavailable("stat result", exc) from exc
+
+    def commit_result(self, tid: str, payload: dict) -> bool:
+        """Commit one complete result; True iff this commit won.
+
+        Write-then-link: the payload lands completely in ``tmp/`` (with
+        an fsync) before a hard link publishes it, so a SIGKILL at any
+        instant leaves either nothing visible or a complete record.
+        ``os.link`` fails on an existing target, which is exactly
+        first-commit-wins — a speculative duplicate of a deterministic
+        run loses gracefully.  Filesystems without hard links fall back
+        to ``os.replace`` (last-wins, but duplicates are byte-identical
+        by construction so nothing observable changes).
+        """
+        tmp = self.tmp_dir / f".{tid}.{os.getpid()}.{uuid.uuid4().hex[:8]}.json"
+        final = self._result_path(tid)
+        try:
+            with open(tmp, "w") as f:
+                f.write(json.dumps(payload) + "\n")
+                f.flush()
+                os.fsync(f.fileno())
+        except OSError as exc:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise QueueUnavailable("write result", exc) from exc
+        try:
+            os.link(tmp, final)
+            won = True
+        except FileExistsError:
+            won = False
+        except OSError as exc:
+            if exc.errno not in (errno.EPERM, errno.EOPNOTSUPP, errno.ENOTSUP):
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise QueueUnavailable("commit result", exc) from exc
+            won = not final.exists()
+            try:
+                os.replace(tmp, final)
+            except OSError as exc2:
+                raise QueueUnavailable("commit result", exc2) from exc2
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        _fsync_dir(self.results_dir)
+        return won
+
+    def read_result(self, tid: str) -> dict | None:
+        """A committed result payload (complete by construction), or None."""
+        return self._read_json(self._result_path(tid))
+
+    # ------------------------------------------------------------------
+    # scans
+    # ------------------------------------------------------------------
+    def live_leases(self) -> dict[str, dict]:
+        """tid -> lease payload for every *unexpired* lease."""
+        return {
+            tid: d
+            for tid, d in self._all_leases().items()
+            if float(d.get("expires_at", 0.0)) > self._now()
+        }
+
+    def expired_leases(self) -> dict[str, dict]:
+        """tid -> lease payload for leases past their TTL (crash debris)."""
+        return {
+            tid: d
+            for tid, d in self._all_leases().items()
+            if float(d.get("expires_at", 0.0)) <= self._now()
+        }
+
+    def _all_leases(self) -> dict[str, dict]:
+        out: dict[str, dict] = {}
+        try:
+            names = os.listdir(self.leases_dir)
+        except FileNotFoundError:
+            return out
+        except OSError as exc:
+            raise QueueUnavailable("list leases", exc) from exc
+        for name in sorted(names):
+            if not name.endswith(".lease"):
+                continue
+            d = self._read_json(self.leases_dir / name)
+            if d is not None:
+                out[name[: -len(".lease")]] = d
+        return out
+
+    def status(self, tasks: list[QueueTask] | None = None) -> QueueStatus:
+        """One consistent-enough scan for dashboards and preflights."""
+        if tasks is None:
+            manifest = self.load_manifest()
+            tasks = self.manifest_tasks(manifest) if manifest else []
+        st = QueueStatus(total=len(tasks))
+        leases = self._all_leases()
+        now = self._now()
+        try:
+            done_names = {
+                n[: -len(".json")]
+                for n in os.listdir(self.results_dir)
+                if n.endswith(".json")
+            }
+        except FileNotFoundError:
+            done_names = set()
+        except OSError as exc:
+            raise QueueUnavailable("list results", exc) from exc
+        for t in tasks:
+            lease = leases.get(t.tid)
+            if lease is not None:
+                st.leases[t.tid] = lease
+                owner = str(lease.get("owner", "?"))
+                st.workers[owner] = max(
+                    st.workers.get(owner, 0.0),
+                    float(lease.get("claimed_at", 0.0)),
+                )
+            if t.tid in done_names:
+                st.done += 1
+            elif lease is not None and float(lease.get("expires_at", 0)) > now:
+                st.claimed += 1
+            elif self.exhausted(t.tid):
+                st.exhausted.append(t.tid)
+            elif lease is not None:
+                st.expired += 1
+            else:
+                st.available += 1
+        return st

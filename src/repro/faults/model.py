@@ -321,6 +321,11 @@ class FaultSchedule:
 
     specs: tuple[FaultSpec, ...] = ()
     seed: int = 0
+    #: the mini-language text this schedule was parsed from, when it
+    #: came through :meth:`parse` — lets a remote worker rebuild the
+    #: identical schedule from a campaign manifest.  ``None`` for
+    #: schedules assembled programmatically (not expressible as text).
+    source: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "specs", tuple(self.specs))
@@ -331,9 +336,19 @@ class FaultSchedule:
     def __len__(self) -> int:
         return len(self.specs)
 
+    def __eq__(self, other) -> bool:
+        # the source text is provenance, not identity: a parsed schedule
+        # equals the same schedule assembled by hand
+        if not isinstance(other, FaultSchedule):
+            return NotImplemented
+        return self.specs == other.specs and self.seed == other.seed
+
+    def __hash__(self) -> int:
+        return hash((self.specs, self.seed))
+
     def with_spec(self, spec: FaultSpec) -> "FaultSchedule":
-        """Copy with one more fault appended."""
-        return replace(self, specs=self.specs + (spec,))
+        """Copy with one more fault appended (drops the parse source)."""
+        return replace(self, specs=self.specs + (spec,), source=None)
 
     def capacity_scale(
         self, top: "DragonflyTopology", *, at_time: float = 0.0
@@ -493,7 +508,7 @@ class FaultSchedule:
                     "unknown fault spec (expected rank1|rank2|rank3|router|cable|link)",
                     head,
                 )
-        return cls(specs=tuple(specs), seed=seed)
+        return cls(specs=tuple(specs), seed=seed, source=text)
 
 
 #: the canonical "nothing is broken" schedule

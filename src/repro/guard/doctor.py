@@ -29,7 +29,13 @@ from pathlib import Path
 import numpy as np
 
 #: findings that indicate a *configuration* error (exit 2)
-CONFIG_CHECKS = ("topology", "faults", "checkpoint")
+CONFIG_CHECKS = ("topology", "faults", "checkpoint", "queue")
+
+#: refuse a queue directory with less free space than this
+QUEUE_MIN_FREE_BYTES = 64 * 1024 * 1024
+
+#: mtime-vs-wall-clock disagreement above this is a cross-host skew risk
+QUEUE_CLOCK_SKEW_S = 2.0
 
 
 @dataclass
@@ -212,6 +218,149 @@ def check_checkpoint(path: str | None) -> Finding:
     return Finding("checkpoint", "ok", f"checkpoint destination {parent} is writable")
 
 
+def check_queue(queue_dir: str | None) -> list[Finding]:
+    """Preflight a ``--queue`` directory for distributed campaigns.
+
+    The shared-directory protocol (docs/DISTRIBUTED.md) needs exactly
+    three filesystem guarantees — O_EXCL exclusivity, atomic rename,
+    and durable writes — plus enough free space and roughly-agreeing
+    clocks across hosts.  Each is probed directly against the actual
+    directory, since NFS exports differ in precisely these behaviours.
+    """
+    import json
+    import shutil
+    import time
+    import uuid
+
+    if not queue_dir:
+        return []  # nothing requested: keep non-distributed output unchanged
+    root = Path(queue_dir)
+    findings: list[Finding] = []
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        return [Finding("queue", "fail", f"cannot create queue dir {root}: {exc}")]
+    token = uuid.uuid4().hex[:8]
+
+    # O_EXCL: exactly one creator may win a lease file
+    probe = root / f".doctor-excl-{token}"
+    try:
+        fd = os.open(probe, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        os.close(fd)
+        try:
+            os.open(probe, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            findings.append(
+                Finding(
+                    "queue",
+                    "fail",
+                    "O_EXCL is not exclusive here: a second O_CREAT|O_EXCL open "
+                    "of an existing file succeeded — lease claims would race",
+                )
+            )
+        except FileExistsError:
+            findings.append(Finding("queue", "ok", "O_EXCL lease semantics hold"))
+    except OSError as exc:
+        findings.append(Finding("queue", "fail", f"O_EXCL probe failed: {exc}"))
+    finally:
+        try:
+            os.unlink(probe)
+        except OSError:
+            pass
+
+    # atomic rename: write-then-replace must yield the complete new content
+    src = root / f".doctor-ren-src-{token}"
+    dst = root / f".doctor-ren-dst-{token}"
+    try:
+        dst.write_text("old\n")
+        src.write_text(json.dumps({"probe": token}) + "\n")
+        os.replace(src, dst)
+        if json.loads(dst.read_text())["probe"] != token:
+            raise OSError("rename produced stale content")
+        findings.append(Finding("queue", "ok", "atomic rename (os.replace) works"))
+    except (OSError, ValueError, KeyError) as exc:
+        findings.append(Finding("queue", "fail", f"atomic-rename probe failed: {exc}"))
+    finally:
+        for p in (src, dst):
+            try:
+                os.unlink(p)
+            except OSError:
+                pass
+
+    # free space: results + manifest + bundles need headroom
+    try:
+        free = shutil.disk_usage(root).free
+        if free < QUEUE_MIN_FREE_BYTES:
+            findings.append(
+                Finding(
+                    "queue",
+                    "fail",
+                    f"only {free / 1e6:.0f} MB free on the queue filesystem "
+                    f"(need at least {QUEUE_MIN_FREE_BYTES / 1e6:.0f} MB)",
+                )
+            )
+        else:
+            findings.append(
+                Finding("queue", "ok", f"{free / 1e9:.1f} GB free on the queue filesystem")
+            )
+    except OSError as exc:
+        findings.append(Finding("queue", "fail", f"disk-usage probe failed: {exc}"))
+
+    # clock skew: lease expiry is wall-clock, so the filesystem's idea of
+    # time (mtime, often stamped by an NFS server) must agree with ours
+    stamp = root / f".doctor-clock-{token}"
+    try:
+        before = time.time()
+        stamp.write_text("t\n")
+        skew = abs(os.stat(stamp).st_mtime - before)
+        if skew > QUEUE_CLOCK_SKEW_S:
+            findings.append(
+                Finding(
+                    "queue",
+                    "fail",
+                    f"filesystem mtime disagrees with local wall clock by "
+                    f"{skew:.1f}s — cross-host lease expiry would misfire; "
+                    "sync clocks (NTP) or raise the lease TTL well above the skew",
+                )
+            )
+        else:
+            findings.append(
+                Finding("queue", "ok", f"clock skew vs filesystem {skew:.2f}s")
+            )
+    except OSError as exc:
+        findings.append(Finding("queue", "fail", f"clock-skew probe failed: {exc}"))
+    finally:
+        try:
+            os.unlink(stamp)
+        except OSError:
+            pass
+
+    # stale leases: crash debris from a previous campaign on this directory
+    leases = root / "leases"
+    if leases.is_dir():
+        now = time.time()
+        stale = live = 0
+        for name in os.listdir(leases):
+            if not name.endswith(".lease"):
+                continue
+            try:
+                d = json.loads((leases / name).read_text())
+                if float(d.get("expires_at", 0.0)) <= now:
+                    stale += 1
+                else:
+                    live += 1
+            except (OSError, ValueError):
+                stale += 1
+        findings.append(
+            Finding(
+                "queue",
+                "ok",
+                f"existing queue: {live} live lease(s), {stale} stale "
+                + ("(workers will reclaim them)" if stale else ""),
+            )
+        )
+    return findings
+
+
 def run_selftests() -> list[Finding]:
     """A small engine matrix under strict invariants, plus determinism.
 
@@ -305,6 +454,7 @@ def run_doctor(
     dims: str | None = None,
     faults: str | None = None,
     checkpoint: str | None = None,
+    queue: str | None = None,
     selftest: bool = True,
     seed: int = 0,
 ) -> list[Finding]:
@@ -314,6 +464,7 @@ def run_doctor(
     findings.append(topo_finding)
     findings.extend(check_faults(faults, top, seed=seed))
     findings.append(check_checkpoint(checkpoint))
+    findings.extend(check_queue(queue))
     if selftest:
         findings.extend(run_selftests())
     return findings

@@ -12,9 +12,12 @@ contract with callers:
   themselves, so anything escaping them is a harness bug.)
 * A **dead worker** (``os._exit``, OOM-kill, segfault) breaks the whole
   pool; the dispatcher rebuilds it and resubmits every unfinished task,
-  up to ``max_retries`` extra rounds per task.  Tasks still failing then
-  are yielded as failures rather than raised, so one poisonous run
-  cannot sink a campaign.
+  up to ``max_retries`` extra rounds per task.  Rebuild rounds after the
+  first wait under the shared exponential-backoff-with-full-jitter
+  helper (:mod:`repro.util.backoff` — the same schedule the distributed
+  queue uses), so a persistently crashing environment is probed, not
+  hammered.  Tasks still failing then are yielded as failures rather
+  than raised, so one poisonous run cannot sink a campaign.
 * ``KeyboardInterrupt`` / ``SystemExit`` (e.g. a SIGTERM handler) tear
   the pool down, SIGKILL any still-running workers so the parent leaves
   no orphans behind, and propagate — leaving whatever the caller already
@@ -39,9 +42,16 @@ from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro.util.backoff import Backoff, BackoffPolicy
+
 #: start method for worker pools; ``fork`` lets workers inherit the
 #: campaign context (topology, apps, scenario pool) without pickling
 DEFAULT_MP_CONTEXT = "fork"
+
+#: pool-rebuild backoff after a worker death: short base (a crashed
+#: fork pool rebuilds cheaply) with a tight cap so the bounded-retry
+#: rounds stay inside CI timeouts
+POOL_RETRY_BACKOFF = BackoffPolicy(base=0.05, cap=1.0)
 
 
 @dataclass
@@ -112,20 +122,31 @@ def run_tasks(
     scramble_seed: int | None = None,
     mp_context: str = DEFAULT_MP_CONTEXT,
     watchdog: Any | None = None,
+    retry_backoff: Backoff | None = None,
 ) -> Iterator[TaskOutcome]:
     """Fan ``tasks`` over ``jobs`` worker processes; yield outcomes.
 
-    See the module docstring for the full contract.
+    See the module docstring for the full contract.  ``retry_backoff``
+    overrides the jittered wait before each pool-rebuild round (tests
+    inject a no-sleep recorder); the default draws from
+    :data:`POOL_RETRY_BACKOFF`.
     """
     ctx = mp.get_context(mp_context)
     scramble = (
         np.random.default_rng(scramble_seed) if scramble_seed is not None else None
     )
+    backoff = retry_backoff if retry_backoff is not None else Backoff(POOL_RETRY_BACKOFF)
     pending: list[tuple[int, Any]] = list(enumerate(tasks))
     attempts = {pos: 0 for pos, _ in pending}
     round_ready: list[TaskOutcome] = []
+    round_no = 0
 
     while pending:
+        round_no += 1
+        if round_no > 1:
+            # a pool just died; give the host a jittered breather before
+            # rebuilding instead of re-forking in a tight crash loop
+            backoff.sleep(round_no - 1)
         for pos, _ in pending:
             attempts[pos] += 1
         pool = ProcessPoolExecutor(

@@ -44,6 +44,7 @@ from repro.telemetry.series import (
 )
 from repro.telemetry.report import (
     ConvergenceSummary,
+    DistSummary,
     TraceSummary,
     format_summary,
     order_events,
@@ -77,6 +78,7 @@ __all__ = [
     "CadenceRecorder",
     "CampaignProgress",
     "ConvergenceSummary",
+    "DistSummary",
     "Counter",
     "CounterSeries",
     "EventBus",

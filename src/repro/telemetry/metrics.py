@@ -257,6 +257,57 @@ class MetricsRegistry:
                 if room > 0:
                     mine._values.extend(m._values[:room])
 
+    # ---- wire format --------------------------------------------------
+    def to_wire(self) -> dict:
+        """Lossless JSON-ready state, for shipping between processes.
+
+        Unlike :meth:`to_dict` (a display snapshot), the wire form keeps
+        everything :meth:`merge` needs — bucket layouts, raw bucket
+        counts, and the percentile reservoir — so a registry rebuilt
+        with :meth:`from_wire` merges identically to the original
+        object.  This is how distributed-queue workers return their
+        telemetry to the coordinator (see :mod:`repro.dist`).
+        """
+        out: dict[str, dict] = {}
+        for name, m in sorted(self._metrics.items()):
+            if isinstance(m, Counter):
+                out[name] = {"type": "counter", "help": m.help, "value": m.value}
+            elif isinstance(m, Gauge):
+                out[name] = {"type": "gauge", "help": m.help, "value": m.value}
+            else:
+                out[name] = {
+                    "type": "histogram",
+                    "help": m.help,
+                    "buckets": list(m.buckets),
+                    "bucket_counts": list(m.bucket_counts),
+                    "count": m.count,
+                    "sum": m.sum,
+                    "values": list(m._values),
+                }
+        return out
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_wire` output."""
+        reg = cls(enabled=True)
+        for name, d in wire.items():
+            kind = d.get("type")
+            if kind == "counter":
+                reg.counter(name, d.get("help", "")).inc(float(d["value"]))
+            elif kind == "gauge":
+                reg.gauge(name, d.get("help", "")).set(float(d["value"]))
+            elif kind == "histogram":
+                h = reg.histogram(
+                    name, d.get("help", ""), buckets=tuple(d["buckets"])
+                )
+                h.bucket_counts = [int(c) for c in d["bucket_counts"]]
+                h.count = int(d["count"])
+                h.sum = float(d["sum"])
+                h._values = [float(v) for v in d["values"]][:_RESERVOIR_CAP]
+            else:
+                raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+        return reg
+
     # ---- exposition ---------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-ready snapshot of every instrument."""

@@ -35,6 +35,29 @@ class ConvergenceSummary:
 
 
 @dataclass
+class DistSummary:
+    """Distributed-queue digest of one trace (``--queue`` campaigns)."""
+
+    workers: list[str] = field(default_factory=list)
+    retries_by_run: dict[int, int] = field(default_factory=dict)
+    steals_by_run: dict[int, int] = field(default_factory=dict)
+    exhausted: int = 0
+    outages: int = 0
+    fallback: bool = False
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.workers
+            or self.retries_by_run
+            or self.steals_by_run
+            or self.exhausted
+            or self.outages
+            or self.fallback
+        )
+
+
+@dataclass
 class TraceSummary:
     """Everything :func:`format_summary` needs, precomputed."""
 
@@ -44,6 +67,7 @@ class TraceSummary:
     convergence: ConvergenceSummary
     slowest: list[dict]  # events carrying wall_ms, slowest first
     sample_runtimes: dict[str, list[float]]  # campaign runtimes by mode
+    dist: DistSummary = field(default_factory=DistSummary)
 
 
 def _percentile(values: list[float], q: float) -> float:
@@ -137,12 +161,36 @@ def summarize_trace(
     by_type = TallyCounter(e.get("ev", "?") for e in events)
 
     conv = ConvergenceSummary()
+    dist = DistSummary()
     sample_runtimes: dict[str, list[float]] = {}
     timed: list[dict] = []
+
+    def _run_of(e: dict) -> int:
+        try:
+            return int(e.get("run_index", -1))
+        except (TypeError, ValueError):
+            return -1
+
     for e in events:
         if "wall_ms" in e:
             timed.append(e)
         ev = e.get("ev")
+        if ev == "dist.worker":
+            owner = str(e.get("owner", "?"))
+            if owner not in dist.workers:
+                dist.workers.append(owner)
+        elif ev == "dist.lease_reclaimed":
+            r = _run_of(e)
+            dist.retries_by_run[r] = dist.retries_by_run.get(r, 0) + 1
+        elif ev == "dist.task_stolen":
+            r = _run_of(e)
+            dist.steals_by_run[r] = dist.steals_by_run.get(r, 0) + 1
+        elif ev == "dist.task_exhausted":
+            dist.exhausted += 1
+        elif ev == "dist.queue_unavailable":
+            dist.outages += 1
+        elif ev == "dist.fallback":
+            dist.fallback = True
         if ev == "fluid.solve":
             conv.n_solves += 1
             if e.get("converged", True):
@@ -169,6 +217,7 @@ def summarize_trace(
         convergence=conv,
         slowest=timed[:top],
         sample_runtimes=sample_runtimes,
+        dist=dist,
     )
 
 
@@ -234,6 +283,29 @@ def format_summary(s: TraceSummary) -> str:
             lines.append(
                 f"  {float(e['wall_ms']):9.2f} ms  {e['ev']:<18s} {_event_label(e)}"
             )
+
+    d = s.dist
+    if d.active:
+        lines.append("")
+        lines.append(
+            f"distributed queue: {len(d.workers)} worker(s)  "
+            f"retries {sum(d.retries_by_run.values())}  "
+            f"steals {sum(d.steals_by_run.values())}"
+            + (f"  exhausted {d.exhausted}" if d.exhausted else "")
+            + (f"  outages {d.outages}" if d.outages else "")
+            + ("  LOCAL FALLBACK" if d.fallback else "")
+        )
+        for owner in d.workers:
+            lines.append(f"  worker {owner}")
+        touched = sorted(set(d.retries_by_run) | set(d.steals_by_run))
+        for r in touched:
+            label = f"run {r}" if r >= 0 else "run ?"
+            parts = []
+            if d.retries_by_run.get(r):
+                parts.append(f"retried x{d.retries_by_run[r]}")
+            if d.steals_by_run.get(r):
+                parts.append(f"stolen x{d.steals_by_run[r]}")
+            lines.append(f"  {label}: " + ", ".join(parts))
 
     if s.sample_runtimes:
         lines.append("")

@@ -31,7 +31,6 @@ from __future__ import annotations
 import io
 import json
 import threading
-import time
 from pathlib import Path
 from typing import Any, Callable
 
@@ -178,6 +177,18 @@ class CampaignProgress:
         self.last_event_ts: float | None = None
         #: worker id -> wall timestamp of its most recent event
         self.worker_seen: dict[int, float] = {}
+        #: shared queue directory (``--queue`` campaigns), else None
+        self.queue: str | None = None
+        #: owner ("host:pid") -> {"worker": id, "ts": last seen,
+        #: "state": "live" | "lost lease" | "stolen", "done": merged runs}
+        self.dist_workers: dict[str, dict] = {}
+        self.dist_retries = 0
+        self.dist_steals = 0
+        self.dist_exhausted = 0
+        self.dist_outages = 0
+        self.dist_fallback = False
+        self.queue_depth: int | None = None
+        self.queue_leases = 0
         #: recent per-run stall-to-flit ratios (health sparkline feed)
         self.health: list[float] = []
         #: recent per-run wall-clock costs (drives the ETA)
@@ -204,6 +215,8 @@ class CampaignProgress:
                 self.resumed = int(event.get("resumed_runs", 0) or 0)
                 self.jobs = int(event.get("jobs", 1) or 1)
                 self.done = self.resumed
+                q = event.get("queue")
+                self.queue = str(q) if q else None
                 if isinstance(ts, (int, float)):
                     self.started_at = float(ts)
             elif ev == "campaign.workers":
@@ -221,9 +234,47 @@ class CampaignProgress:
                 if isinstance(wall, (int, float)):
                     self._run_walls.append(float(wall) / 1e3)
                     del self._run_walls[: -self.HEALTH_WINDOW]
+                wid = event.get("worker")
+                if isinstance(wid, int) and self.dist_workers:
+                    for d in self.dist_workers.values():
+                        if d.get("worker") == wid:
+                            d["done"] += 1
+                            if isinstance(ts, (int, float)):
+                                d["ts"] = max(d["ts"], float(ts))
+                            break
             elif ev == "campaign.end":
                 if isinstance(ts, (int, float)):
                     self.ended_at = float(ts)
+            elif ev == "dist.worker":
+                owner = str(event.get("owner", "?"))
+                self.dist_workers.setdefault(
+                    owner,
+                    {
+                        "worker": event.get("worker"),
+                        "ts": float(ts) if isinstance(ts, (int, float)) else 0.0,
+                        "state": "live",
+                        "done": 0,
+                    },
+                )
+            elif ev == "dist.lease_reclaimed":
+                self.dist_retries += 1
+                victim = str(event.get("victim", "") or "")
+                if victim in self.dist_workers:
+                    self.dist_workers[victim]["state"] = "lost lease"
+            elif ev == "dist.task_stolen":
+                self.dist_steals += 1
+                victim = str(event.get("victim", "") or "")
+                if victim in self.dist_workers:
+                    self.dist_workers[victim]["state"] = "stolen"
+            elif ev == "dist.task_exhausted":
+                self.dist_exhausted += 1
+            elif ev == "dist.queue_unavailable":
+                self.dist_outages += 1
+            elif ev == "dist.fallback":
+                self.dist_fallback = True
+            elif ev == "dist.queue":
+                self.queue_depth = int(event.get("depth", 0) or 0)
+                self.queue_leases = int(event.get("leases", 0) or 0)
             elif ev == "guard.violation":
                 self.violations.append(dict(event))
             elif ev == "guard.worker_hung":
@@ -300,4 +351,13 @@ class CampaignProgress:
                 "workers_lost": len(self.worker_lost),
                 "health_ratios": list(self.health),
                 "heartbeat_dir": self.heartbeat_dir,
+                "queue": self.queue,
+                "queue_depth": self.queue_depth,
+                "queue_leases": self.queue_leases,
+                "dist_workers": {k: dict(v) for k, v in self.dist_workers.items()},
+                "dist_retries": self.dist_retries,
+                "dist_steals": self.dist_steals,
+                "dist_exhausted": self.dist_exhausted,
+                "dist_outages": self.dist_outages,
+                "dist_fallback": self.dist_fallback,
             }

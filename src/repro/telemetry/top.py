@@ -112,6 +112,40 @@ def render_top(
             f"  stall/flit health {sparkline(health)}  last {health[-1]:.4f}"
         )
 
+    if snap.get("queue"):
+        qline = f"  queue {snap['queue']}"
+        depth = snap.get("queue_depth")
+        if depth is not None:
+            qline += f"  depth {depth}  leases {snap.get('queue_leases', 0)}"
+        extras = []
+        if snap.get("dist_retries"):
+            extras.append(f"retries {snap['dist_retries']}")
+        if snap.get("dist_steals"):
+            extras.append(f"steals {snap['dist_steals']}")
+        if snap.get("dist_exhausted"):
+            extras.append(f"exhausted {snap['dist_exhausted']}")
+        if snap.get("dist_outages"):
+            extras.append(f"outages {snap['dist_outages']}")
+        if snap.get("dist_fallback"):
+            extras.append("LOCAL FALLBACK")
+        if extras:
+            qline += "  " + "  ".join(extras)
+        lines.append(qline)
+        dist_workers = snap.get("dist_workers") or {}
+        for owner, d in sorted(dist_workers.items()):
+            state = d.get("state", "live")
+            ts = d.get("ts") or 0.0
+            age = max(now - float(ts), 0.0) if ts else None
+            if state == "live":
+                mark = (
+                    "live" if age is None or age < STALE_AFTER else f"quiet {age:.0f}s"
+                )
+            else:
+                mark = state.upper()
+            lines.append(
+                f"    {owner:<24s} done {int(d.get('done', 0)):>4d}  [{mark}]"
+            )
+
     heartbeats = heartbeats or {}
     if heartbeats:
         parts = []

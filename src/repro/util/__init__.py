@@ -16,6 +16,7 @@ from repro.util.units import (
     fmt_bytes,
     fmt_time,
 )
+from repro.util.backoff import NO_BACKOFF, Backoff, BackoffPolicy
 from repro.util.rng import (
     derive_rng,
     derive_seeds,
@@ -31,6 +32,9 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "Backoff",
+    "BackoffPolicy",
+    "NO_BACKOFF",
     "KiB",
     "MiB",
     "GiB",

@@ -1,0 +1,100 @@
+"""Exponential backoff with full jitter, shared by every retry path.
+
+One policy object serves both the local fork-pool dispatcher
+(:mod:`repro.parallel.executor` re-dispatching tasks whose worker died)
+and the distributed queue (:mod:`repro.dist` reclaiming expired leases
+and parking through shared-directory outages).  Full jitter — a uniform
+draw over ``[0, min(cap, base * multiplier**(attempt-1))]`` — is the
+AWS-style variant that decorrelates a thundering herd of workers all
+retrying the same resource.
+
+Determinism hooks: the jitter RNG and the sleep function are both
+injectable, so tests drive retry schedules without wall-clock sleeps
+and campaigns stay reproducible (the *results* never depend on backoff
+draws — only the waiting does — so an OS-entropy default is safe).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Shape of a retry schedule: ``base * multiplier**k``, capped.
+
+    ``delay(attempt)`` is the *ceiling* for attempt ``attempt`` (1-based);
+    :class:`Backoff` draws the jittered value below it.
+    """
+
+    base: float = 0.1
+    cap: float = 30.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError(f"base must be >= 0, got {self.base!r}")
+        if self.cap < 0:
+            raise ValueError(f"cap must be >= 0, got {self.cap!r}")
+        if self.multiplier < 1:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier!r}")
+
+    def ceiling(self, attempt: int) -> float:
+        """Un-jittered delay ceiling for 1-based ``attempt``."""
+        if attempt <= 1:
+            exp = self.base
+        else:
+            exp = self.base * self.multiplier ** (attempt - 1)
+        return float(min(self.cap, exp))
+
+
+#: no waiting at all — the historical immediate-retry behaviour
+NO_BACKOFF = BackoffPolicy(base=0.0, cap=0.0)
+
+
+class Backoff:
+    """A jittered sleeper bound to one policy.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`BackoffPolicy` delay ceilings.
+    rng:
+        Jitter source; defaults to an OS-seeded generator.  Inject a
+        seeded generator for deterministic schedules in tests.
+    sleeper:
+        Called with the drawn delay; defaults to :func:`time.sleep`.
+        Inject a recorder to assert on schedules without sleeping.
+    """
+
+    def __init__(
+        self,
+        policy: BackoffPolicy | None = None,
+        *,
+        rng: np.random.Generator | None = None,
+        sleeper: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.policy = policy if policy is not None else BackoffPolicy()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.sleeper = sleeper
+        #: delays actually drawn/slept, oldest first (diagnostics)
+        self.history: list[float] = []
+
+    def delay(self, attempt: int) -> float:
+        """Draw the full-jitter delay for 1-based ``attempt`` (no sleep)."""
+        ceiling = self.policy.ceiling(attempt)
+        if ceiling <= 0:
+            return 0.0
+        return float(self.rng.uniform(0.0, ceiling))
+
+    def sleep(self, attempt: int) -> float:
+        """Draw and sleep the delay for ``attempt``; returns the delay."""
+        d = self.delay(attempt)
+        self.history.append(d)
+        if d > 0:
+            self.sleeper(d)
+        return d

@@ -1,0 +1,106 @@
+"""The shared jittered-backoff schedule (``repro.util.backoff``).
+
+Every retry path in the codebase — local pool rebuilds, distributed
+lease reclaims, queue-outage parking — draws its waits from one
+``BackoffPolicy``/``Backoff`` pair, so these tests pin the schedule's
+shape (exponential ceilings, cap, full jitter) and its determinism
+hooks (injectable rng and sleeper: no real sleeps anywhere below).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.util.backoff import NO_BACKOFF, Backoff, BackoffPolicy
+
+
+class TestBackoffPolicy:
+    def test_ceiling_doubles_until_cap(self):
+        p = BackoffPolicy(base=0.5, cap=4.0, multiplier=2.0)
+        assert [p.ceiling(a) for a in (1, 2, 3, 4, 5, 50)] == [
+            0.5, 1.0, 2.0, 4.0, 4.0, 4.0,
+        ]
+
+    def test_attempt_floor(self):
+        p = BackoffPolicy(base=0.25, cap=10.0)
+        # 0 and negative attempts behave like the first one
+        assert p.ceiling(0) == p.ceiling(1) == 0.25
+        assert p.ceiling(-3) == 0.25
+
+    @pytest.mark.parametrize(
+        "kw", [{"base": -0.1}, {"cap": -1.0}, {"multiplier": 0.5}]
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            BackoffPolicy(**kw)
+
+    def test_no_backoff_is_all_zero(self):
+        assert NO_BACKOFF.ceiling(1) == 0.0
+        assert NO_BACKOFF.ceiling(100) == 0.0
+
+
+class TestBackoff:
+    def test_full_jitter_bounds(self):
+        p = BackoffPolicy(base=1.0, cap=8.0)
+        b = Backoff(p, rng=np.random.default_rng(0), sleeper=lambda d: None)
+        for attempt in range(1, 10):
+            draws = [b.delay(attempt) for _ in range(200)]
+            assert all(0.0 <= d <= p.ceiling(attempt) for d in draws)
+            # full jitter spans the whole interval, not a fixed fraction
+            assert max(draws) > 0.5 * p.ceiling(attempt)
+            assert min(draws) < 0.5 * p.ceiling(attempt)
+
+    def test_injected_rng_is_deterministic(self):
+        p = BackoffPolicy(base=0.3, cap=5.0)
+        a = Backoff(p, rng=np.random.default_rng(7), sleeper=lambda d: None)
+        b = Backoff(p, rng=np.random.default_rng(7), sleeper=lambda d: None)
+        assert [a.delay(i) for i in range(1, 8)] == [b.delay(i) for i in range(1, 8)]
+
+    def test_sleep_records_history_and_calls_sleeper(self):
+        slept = []
+        b = Backoff(
+            BackoffPolicy(base=1.0, cap=4.0),
+            rng=np.random.default_rng(1),
+            sleeper=slept.append,
+        )
+        d1 = b.sleep(1)
+        d2 = b.sleep(3)
+        assert b.history == [d1, d2]
+        assert slept == [d1, d2]
+
+    def test_no_backoff_never_sleeps(self):
+        slept = []
+        b = Backoff(NO_BACKOFF, sleeper=slept.append)
+        assert b.sleep(1) == 0.0
+        assert b.sleep(9) == 0.0
+        assert slept == []
+        assert b.history == [0.0, 0.0]
+
+
+def _die(task):
+    os._exit(17)  # simulate a hard worker crash (SIGKILL-like)
+
+
+class TestExecutorRetryBackoff:
+    def test_pool_rebuild_waits_are_injectable(self):
+        """Pool-death retry rounds draw their waits from the injected
+        Backoff — the death of a worker costs zero wall-clock here."""
+        from repro.parallel.executor import run_tasks
+
+        slept = []
+        backoff = Backoff(
+            BackoffPolicy(base=0.5, cap=2.0),
+            rng=np.random.default_rng(3),
+            sleeper=slept.append,
+        )
+        outcomes = list(
+            run_tasks(
+                [0], _die, jobs=1, max_retries=2, retry_backoff=backoff
+            )
+        )
+        assert len(outcomes) == 1
+        assert not outcomes[0].ok
+        # one wait per rebuild round after the first
+        assert len(backoff.history) >= 1
+        assert slept == [d for d in backoff.history if d > 0]

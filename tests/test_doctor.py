@@ -153,3 +153,76 @@ def test_probe_rng_is_deterministic():
     a = check_faults("rank3:0.3", toy(), seed=5)
     b = check_faults("rank3:0.3", toy(), seed=5)
     assert [f.detail for f in a] == [f.detail for f in b]
+
+
+class TestQueuePreflight:
+    """``repro doctor --queue DIR``: the distributed-campaign preflight."""
+
+    def test_unset_queue_adds_nothing(self):
+        from repro.guard.doctor import check_queue
+
+        assert check_queue(None) == []
+        assert check_queue("") == []
+
+    def test_fresh_directory_passes_all_probes(self, tmp_path):
+        from repro.guard.doctor import check_queue
+
+        findings = check_queue(str(tmp_path / "q"))
+        assert findings and all(f.ok for f in findings)
+        assert all(f.check == "queue" for f in findings)
+        details = " ".join(f.detail for f in findings)
+        assert "O_EXCL" in details
+        assert "atomic rename" in details
+        assert "free" in details
+        assert "clock skew" in details
+        # probes clean up after themselves
+        assert list((tmp_path / "q").iterdir()) == []
+
+    def test_stale_leases_from_a_dead_campaign_are_reported(self, tmp_path):
+        import json
+
+        from repro.guard.doctor import check_queue
+
+        leases = tmp_path / "q" / "leases"
+        leases.mkdir(parents=True)
+        (leases / "aaaa.lease").write_text(
+            json.dumps({"owner": "dead:1", "expires_at": 1.0}) + "\n"
+        )
+        (leases / "bbbb.lease").write_text(
+            json.dumps({"owner": "live:2", "expires_at": 4e12}) + "\n"
+        )
+        findings = check_queue(str(tmp_path / "q"))
+        lease_findings = [f for f in findings if "lease" in f.detail and "O_EXCL" not in f.detail]
+        assert lease_findings
+        assert "1 live lease(s), 1 stale" in lease_findings[0].detail
+        assert "workers will reclaim" in lease_findings[0].detail
+
+    def test_queue_is_a_config_check(self, tmp_path):
+        from repro.guard.doctor import CONFIG_CHECKS, exit_code
+
+        assert "queue" in CONFIG_CHECKS
+        bad = [Finding("queue", "fail", "no space")]
+        assert exit_code(bad) == 2
+
+    def test_run_doctor_includes_queue_findings(self, tmp_path):
+        findings = run_doctor(
+            system="toy", selftest=False, queue=str(tmp_path / "q")
+        )
+        assert any(f.check == "queue" for f in findings)
+
+    def test_cli_queue_flag(self, tmp_path, capsys):
+        rc = cli.main(
+            ["doctor", "--system", "toy", "--no-selftest",
+             "--queue", str(tmp_path / "q")]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[ok ] queue" in out
+
+    def test_uncreatable_queue_dir_fails(self, capsys):
+        rc = cli.main(
+            ["doctor", "--system", "toy", "--no-selftest",
+             "--queue", "/proc/definitely/not/writable"]
+        )
+        assert rc == 2
+        assert "[FAIL] queue" in capsys.readouterr().out
