@@ -139,23 +139,43 @@ def cmd_compare(args) -> int:
     print(f"{app.describe()} on {top.params.name}, {args.samples} samples per mode ...")
     if faults:
         print(f"  degraded network: {faults.describe()}")
-    records = run_campaign(
-        top,
-        CampaignConfig(
-            app=app,
-            n_nodes=args.nodes,
-            modes=modes,
-            samples=args.samples,
-            seed=args.seed,
-            faults=faults,
-            max_attempts=args.max_attempts,
-            guard=_guard_from_args(args),
-        ),
-        checkpoint_path=args.checkpoint,
-        resume=args.resume,
-        jobs=args.jobs,
-        queue_dir=getattr(args, "queue", None),
+    cfg = CampaignConfig(
+        app=app,
+        n_nodes=args.nodes,
+        modes=modes,
+        samples=args.samples,
+        seed=args.seed,
+        faults=faults,
+        max_attempts=args.max_attempts,
+        guard=_guard_from_args(args),
     )
+    cache_dir = getattr(args, "cache", None)
+    if cache_dir is not None:
+        from repro.service import RunRecordStore, run_campaign_cached
+
+        outcome = run_campaign_cached(
+            top,
+            cfg,
+            store=RunRecordStore(cache_dir),
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            jobs=args.jobs,
+            queue_dir=getattr(args, "queue", None),
+        )
+        records = outcome.records
+        print(
+            f"  cache: {outcome.hits} hit(s)  {outcome.misses} miss(es)"
+            + (f"  {outcome.resumed} resumed" if outcome.resumed else "")
+        )
+    else:
+        records = run_campaign(
+            top,
+            cfg,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            jobs=args.jobs,
+            queue_dir=getattr(args, "queue", None),
+        )
     failed = [r for r in records if not r.ok]
     if failed:
         print(f"  {len(failed)}/{len(records)} runs failed (first: {failed[0].error})")
@@ -403,7 +423,8 @@ def cmd_queue_status(args) -> int:
         f"{len(st.exhausted)} exhausted"
     )
     now = time.time()
-    for owner in sorted(st.workers):
+    beats = heartbeat_ages(str(queue.heartbeats_dir), now=now)
+    for owner in sorted(set(st.workers) | set(beats)):
         held = [
             tid for tid, lease in st.leases.items() if lease.get("owner") == owner
         ]
@@ -413,7 +434,128 @@ def cmd_queue_status(args) -> int:
             if float(st.leases[tid].get("expires_at", 0.0)) > now
         ]
         state = "live" if live else "expired"
-        print(f"  worker {owner}: {len(held)} lease(s) [{state}]")
+        hb = beats.get(owner)
+        # a worker with a guard heartbeat but no lease is between tasks
+        # (or speculating); one with a lease but a stale heartbeat is
+        # the watchdog's "hung" signature
+        hb_note = f"  heartbeat {hb:.1f}s ago" if hb is not None else "  no heartbeat"
+        if not held and hb is not None:
+            state = "busy (no lease)"
+        print(f"  worker {owner}: {len(held)} lease(s) [{state}]{hb_note}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Long-running campaign service over a shared result cache."""
+    from repro.service import CampaignService, RunRecordStore
+
+    store = RunRecordStore(
+        args.cache, max_bytes=args.max_bytes, max_entries=args.max_entries
+    )
+    service = CampaignService(
+        store,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        queue_dir=getattr(args, "queue", None),
+    ).start()
+    st = store.stats()
+    print(
+        f"campaign service on {service.url}  "
+        f"(cache {store.root}: {st.entries} entries, {st.bytes} bytes)",
+        flush=True,
+    )
+    deadline = (
+        time.monotonic() + args.max_seconds if args.max_seconds is not None else None
+    )
+    try:
+        while deadline is None or time.monotonic() < deadline:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit a campaign to a running service (`repro serve`)."""
+    from repro.dist.manifest import campaign_to_manifest
+    from repro.service import client
+    from repro.telemetry import resolve_telemetry
+
+    top = _system(args.system)
+    app = app_by_name(args.app)()
+    modes = tuple(mode_by_name(m) for m in args.modes.split(","))
+    cfg = CampaignConfig(
+        app=app,
+        n_nodes=args.nodes,
+        modes=modes,
+        samples=args.samples,
+        seed=args.seed,
+        faults=_faults_from_args(args),
+        max_attempts=args.max_attempts,
+    )
+    manifest = campaign_to_manifest(top, cfg, resolve_telemetry(None))
+    try:
+        resp = client.submit(args.url, manifest, jobs=args.jobs)
+    except client.ServiceError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    verb = "coalesced into in-flight campaign" if resp.get("deduped") else "submitted as"
+    print(f"{verb} {resp['id']} [{resp['state']}] on {args.url}")
+    if not args.wait:
+        return 0
+    try:
+        doc = client.wait(args.url, resp["id"], timeout=args.timeout)
+    except client.ServiceError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    cache = doc.get("cache", {})
+    print(
+        f"  cache: {cache.get('hits', 0)} hit(s)  "
+        f"{cache.get('misses', 0)} miss(es)"
+    )
+    from repro.core.checkpoint import record_from_dict
+
+    records = [record_from_dict(d) for d in doc.get("records", [])]
+    for mode, st in sorted(
+        stats_by_mode(records).items(),
+        key=lambda kv: kv[1].mean if np.isfinite(kv[1].mean) else float("inf"),
+    ):
+        flag = "" if st.reliable else "  [unreliable: too few samples]"
+        print(
+            f"  {mode:6s} mean {st.mean:8.1f} s  std {st.std:7.1f}  "
+            f"p95 {st.p95:8.1f}  (n={st.n}){flag}"
+        )
+    return 0
+
+
+def cmd_cache_status(args) -> int:
+    """Inspect a result cache: local directory scan or a live service."""
+    if args.url is not None:
+        from repro.service import client
+
+        try:
+            stats = client.cache_stats(args.url)
+        except client.ServiceError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        print(f"cache at {args.url}:")
+        for k, v in stats.items():
+            print(f"  {k}: {v}")
+        return 0
+    if args.cache is None:
+        print("error: need --cache DIR or --url URL", file=sys.stderr)
+        return 2
+    from repro.service import RunRecordStore
+
+    store = RunRecordStore(args.cache)
+    st = store.stats()
+    print(
+        f"cache {store.root}: {st.entries} entries  {st.bytes} bytes  "
+        f"{st.quarantined_files} quarantined"
+    )
     return 0
 
 
@@ -670,6 +812,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="distribute the runs over a shared-directory work queue; "
             "start executors with `repro worker --queue DIR` on any host "
             "(docs/DISTRIBUTED.md)",
+        )
+        sp.add_argument(
+            "--cache",
+            default=None,
+            metavar="DIR",
+            help="memoize runs in a content-addressed result cache; hits "
+            "are served from DIR without executing (docs/SERVICE.md)",
         )
 
     sp = sub.add_parser("describe", help="print a system's structure and the routing modes")
@@ -943,6 +1092,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="queue directory to scan",
     )
     sp.set_defaults(func=cmd_queue_status, passive=True)
+
+    sp = sub.add_parser(
+        "serve",
+        help="run the campaign service: HTTP submissions over a shared "
+        "content-addressed result cache (docs/SERVICE.md)",
+    )
+    sp.add_argument(
+        "--cache", required=True, metavar="DIR", help="result-cache directory"
+    )
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=0, help="0 picks an ephemeral port")
+    sp.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="LRU-evict cache entries beyond this total size",
+    )
+    sp.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        help="LRU-evict cache entries beyond this count",
+    )
+    sp.add_argument(
+        "--queue",
+        default=None,
+        metavar="DIR",
+        help="fan cache misses out over a shared-directory work queue "
+        "instead of the local fork pool",
+    )
+    sp.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="serve for this long, then exit (default: until SIGINT)",
+    )
+    jobs_flag(sp)
+    observability(sp)
+    sp.set_defaults(func=cmd_serve, passive=True)
+
+    sp = sub.add_parser(
+        "submit", help="submit a campaign to a running `repro serve`"
+    )
+    common(sp)
+    sp.add_argument("--url", required=True, help="service base URL (http://host:port)")
+    sp.add_argument("--app", default="milc")
+    sp.add_argument("--nodes", type=int, default=256)
+    sp.add_argument("--samples", type=int, default=8)
+    sp.add_argument("--modes", default="AD0,AD3", help="comma-separated, e.g. AD0,AD3")
+    sp.add_argument(
+        "--max-attempts",
+        type=int,
+        default=1,
+        help="retries per run on transient solver non-convergence",
+    )
+    sp.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help='degraded-network spec, e.g. "rank3:0.05; router:3"',
+    )
+    sp.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the campaign finishes and print its mode stats",
+    )
+    sp.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="--wait gives up after this many seconds",
+    )
+    jobs_flag(sp)
+    sp.set_defaults(func=cmd_submit)
+
+    sp = sub.add_parser(
+        "cache-status", help="inspect a result cache (local dir or live service)"
+    )
+    sp.add_argument("--cache", default=None, metavar="DIR", help="cache directory")
+    sp.add_argument(
+        "--url", default=None, help="running service to query for /cache/stats"
+    )
+    sp.set_defaults(func=cmd_cache_status, passive=True)
 
     return p
 

@@ -7,24 +7,21 @@ contract: the returned records, the checkpoint file, and the telemetry
 stream are **byte-identical** to a serial run, no matter how many
 workers participate, on how many hosts, or how many of them crash.
 
-The coordinator never executes runs itself (until fallback).  It:
+The machinery is split in two so other executors (the memoizing
+service layer, :mod:`repro.service.executor`) can fan an arbitrary
+subset of a campaign's runs through the queue:
 
-1. materializes the queue — manifest + one content-addressed task per
-   not-yet-done run, in canonical (sample-major, mode-minor) order;
-2. polls ``results/`` and folds finished payloads back in canonical
-   order: checkpoint append, worker trace events (tagged with a dense
-   worker id and the run index, exactly like the fork-pool merge), and
-   metrics-registry merge keyed by run index;
-3. reclaims nothing itself — expired leases are the *workers'* job —
-   but writes the error record for any task whose retry budget is
-   exhausted with no result, so a poisonous run cannot stall the
-   campaign;
-4. watches liveness: if nothing has progressed and no live lease exists
-   for ``fallback_after`` seconds (no worker ever came, or the whole
-   fleet died), it degrades to the local fork-pool executor and
-   finishes the remaining tasks itself — still committing through the
-   queue, so a worker that comes back mid-fallback just loses the
-   commit race.
+* :class:`DistDispatcher` owns the queue protocol: it materializes the
+  queue (manifest + one content-addressed task per run), sweeps
+  ``results/`` for committed payloads, writes error records for tasks
+  whose retry budget is exhausted, watches fleet liveness, and degrades
+  to the local fork pool when nobody is working and nobody is coming.
+  It executes nothing itself (until fallback) and yields each task's
+  payload exactly once, in discovery order.
+* :class:`_Merger` folds yielded payloads back in canonical order:
+  checkpoint append, worker trace events (tagged with a dense worker id
+  and the run index, exactly like the fork-pool merge), and
+  metrics-registry merge keyed by run index.
 
 Observability: ``dist.worker`` (first sighting of each worker),
 ``dist.task_stolen`` (a speculative duplicate won), ``dist.lease_reclaimed``
@@ -35,6 +32,7 @@ Observability: ``dist.worker`` (first sighting of each worker),
 from __future__ import annotations
 
 import time
+from typing import Iterator
 
 from repro.core import checkpoint as ckpt
 from repro.core.experiment import (
@@ -73,6 +71,7 @@ class _Merger:
         tasks: list[QueueTask],
         slots: list[RunRecord | None],
         checkpoint_path: str | None,
+        worker_ids: dict[str, int] | None = None,
     ) -> None:
         self.tel = tel
         self.tasks = tasks
@@ -80,7 +79,7 @@ class _Merger:
         self.checkpoint_path = checkpoint_path
         self.buffered: dict[int, dict] = {}
         self.flush_pos = 0
-        self.worker_ids: dict[str, int] = {}
+        self.worker_ids = worker_ids if worker_ids is not None else {}
         self.merged_tids: set[str] = set()
 
     @property
@@ -218,10 +217,252 @@ def _local_fallback(
             queue.commit_result(task.tid, payload)
         except QueueUnavailable:
             # the queue died under the coordinator too; the caller
-            # offers ``produced`` to the merger in-memory, so the
-            # campaign still completes
+            # receives ``produced`` in-memory, so the campaign still
+            # completes
             pass
     return produced
+
+
+class DistDispatcher:
+    """The queue protocol side of a distributed campaign (no merging).
+
+    :meth:`run` materializes the queue for ``tasks`` and yields each
+    task's committed result payload exactly once, in discovery order;
+    the caller owns canonical ordering, checkpointing, and telemetry
+    merging.  ``worker_ids`` may be shared with the caller's merger so
+    ``dist.worker`` sightings and trace tags agree on dense ids.
+    """
+
+    def __init__(
+        self,
+        top: DragonflyTopology,
+        run_top: DragonflyTopology,
+        cfg: CampaignConfig,
+        bm: BackgroundModel | None,
+        scenarios: list[BackgroundScenario] | None,
+        tel: Telemetry,
+        queue: WorkQueue,
+        tasks: list[QueueTask],
+        *,
+        jobs: int | None = None,
+        fallback_after: float = DEFAULT_FALLBACK_AFTER,
+        poll: float = 0.2,
+        status_every: float = 5.0,
+        worker_ids: dict[str, int] | None = None,
+    ) -> None:
+        self.top = top
+        self.run_top = run_top
+        self.cfg = cfg
+        self.bm = bm
+        self.scenarios = scenarios
+        self.tel = tel
+        self.queue = queue
+        self.tasks = tasks
+        self.jobs = jobs
+        self.fallback_after = fallback_after
+        self.poll = poll
+        self.status_every = status_every
+        self.worker_ids = worker_ids if worker_ids is not None else {}
+
+    def worker_id(self, owner: str) -> int:
+        return self.worker_ids.setdefault(owner, len(self.worker_ids))
+
+    def run(self) -> Iterator[tuple[QueueTask, dict]]:
+        tel = self.tel
+        queue = self.queue
+        cfg = self.cfg
+        mode_by_name = {m.name: m for m in cfg.modes}
+
+        manifest = campaign_to_manifest(self.top, cfg, tel)
+        queue.create(manifest, self.tasks)
+
+        m = tel.metrics
+        if m.enabled:
+            m.gauge("dist_queue_depth", "tasks not yet completed").set(
+                len(self.tasks)
+            )
+            m.gauge("dist_leases_live", "live worker leases").set(0)
+
+        backoff = Backoff(COORDINATOR_BACKOFF)
+        outage = 0
+        last_progress = time.monotonic()
+        last_status = 0.0
+        seen_attempts: dict[str, int] = {}
+        #: last owner observed holding each task's lease (steal attribution)
+        last_owner: dict[str, str] = {}
+        yielded: set[str] = set()
+        fallen_back = False
+
+        def _sight_worker(owner: str) -> None:
+            if owner not in self.worker_ids:
+                tel.event("dist.worker", owner=owner, worker=self.worker_id(owner))
+
+        def _note_attempts(t: QueueTask, used: int) -> None:
+            """Record attempt movement; >1 means an expired lease got
+            reclaimed somewhere (a retry)."""
+            prev = seen_attempts.get(t.tid, 0)
+            if used > max(prev, 1):
+                tel.event(
+                    "dist.lease_reclaimed",
+                    tid=t.tid,
+                    run_index=t.index,
+                    attempt=used,
+                    victim=last_owner.get(t.tid, ""),
+                )
+                if m.enabled:
+                    m.counter("dist_retries_total", "expired-lease reclaims").inc(
+                        used - max(prev, 1)
+                    )
+            if used > prev:
+                seen_attempts[t.tid] = used
+
+        while len(yielded) < len(self.tasks):
+            progressed = 0
+            try:
+                # 0) lease scan: first-sighting events + steal attribution
+                live = queue.live_leases()
+                for tid, lease in live.items():
+                    owner = str(lease.get("owner", "?"))
+                    _sight_worker(owner)
+                    last_owner[tid] = owner
+
+                # 1) sweep newly committed results
+                for t in self.tasks:
+                    if t.tid in yielded:
+                        continue
+                    payload = queue.read_result(t.tid)
+                    if payload is None:
+                        continue
+                    owner = str(payload.get("worker", "?"))
+                    _sight_worker(owner)
+                    if payload.get("speculative"):
+                        tel.event(
+                            "dist.task_stolen",
+                            tid=t.tid,
+                            run_index=t.index,
+                            owner=owner,
+                            victim=last_owner.get(t.tid, ""),
+                        )
+                        if m.enabled:
+                            m.counter(
+                                "dist_steals_total",
+                                "speculative duplicates that won",
+                            ).inc()
+                    # the payload's attempt count is authoritative even when
+                    # the whole claim→reclaim→commit happened between two of
+                    # our sweeps (the attempts scan below never sees it)
+                    _note_attempts(t, int(payload.get("attempt", 0) or 0))
+                    yielded.add(t.tid)
+                    progressed += 1
+                    yield t, payload
+
+                # 2) retry bookkeeping: attempt counters that moved past 1
+                #    mean an expired lease got reclaimed somewhere
+                for t in self.tasks:
+                    if t.tid in yielded:
+                        continue
+                    used = queue.attempts_used(t.tid)
+                    _note_attempts(t, used)
+                    # budget exhausted with no result: the task is dead —
+                    # write its error record so the campaign completes
+                    if used >= queue.retry_budget and not queue.has_result(t.tid):
+                        if t.tid in live:
+                            continue  # final attempt still running
+                        nodes, _, intensity = sample_draws(
+                            self.top, cfg, t.sample, self.bm, self.scenarios
+                        )
+                        rec = _error_record(
+                            cfg,
+                            mode_by_name[t.mode],
+                            t.sample,
+                            groups_spanned(self.top, nodes),
+                            intensity,
+                            RuntimeError(
+                                f"retry budget exhausted after {used} attempts"
+                            ),
+                            used,
+                        )
+                        payload = {
+                            "tid": t.tid,
+                            "index": t.index,
+                            "record": ckpt.record_to_dict(rec),
+                            "events": [],
+                            "metrics": None,
+                            "worker": "coordinator",
+                            "attempt": used,
+                            "speculative": False,
+                        }
+                        queue.commit_result(t.tid, payload)
+                        tel.event(
+                            "dist.task_exhausted",
+                            tid=t.tid,
+                            run_index=t.index,
+                            attempts=used,
+                        )
+
+                if m.enabled:
+                    m.gauge("dist_queue_depth", "tasks not yet completed").set(
+                        len(self.tasks) - len(yielded)
+                    )
+                    m.gauge("dist_leases_live", "live worker leases").set(len(live))
+                now = time.monotonic()
+                if now - last_status >= self.status_every:
+                    last_status = now
+                    tel.event(
+                        "dist.queue",
+                        depth=len(self.tasks) - len(yielded),
+                        merged=len(yielded),
+                        total=len(self.tasks),
+                        leases=len(live),
+                        workers=len(self.worker_ids),
+                    )
+
+                if progressed or live:
+                    last_progress = now
+                elif (
+                    not fallen_back
+                    and len(yielded) < len(self.tasks)
+                    and now - last_progress >= self.fallback_after
+                ):
+                    # nobody is working and nobody is coming: degrade to
+                    # the local fork pool and finish the campaign ourselves
+                    fallen_back = True
+                    remaining = [t for t in self.tasks if t.tid not in yielded]
+                    tel.event(
+                        "dist.fallback",
+                        remaining=len(remaining),
+                        waited_s=round(now - last_progress, 3),
+                    )
+                    produced = _local_fallback(
+                        self.top,
+                        self.run_top,
+                        cfg,
+                        self.bm,
+                        self.scenarios,
+                        tel,
+                        queue,
+                        remaining,
+                        _effective_jobs(self.jobs),
+                    )
+                    # yield in-memory too: the campaign must finish even
+                    # if the queue directory died outright (records are
+                    # deterministic, so any queue-committed duplicate from
+                    # a resurrected worker is byte-identical to ours)
+                    by_tid = {t.tid: t for t in remaining}
+                    for tid, payload in produced:
+                        if tid in yielded:
+                            continue
+                        yielded.add(tid)
+                        yield by_tid[tid], payload
+                    last_progress = time.monotonic()
+                    continue  # next sweep skips everything yielded
+                outage = 0
+                if len(yielded) < len(self.tasks) and not progressed:
+                    time.sleep(self.poll)
+            except QueueUnavailable:
+                outage += 1
+                tel.event("dist.queue_unavailable", outages=outage)
+                backoff.sleep(min(outage, 8))
 
 
 def run_campaign_distributed(
@@ -259,7 +500,6 @@ def run_campaign_distributed(
     done = prepare_checkpoint(checkpoint_path, top, cfg, resume)
     emit_campaign_start(tel, cfg, done, queue=str(queue.root))
     bm, scenarios = resolve_scenarios(top, cfg, background_model, scenarios)
-    mode_by_name = {m.name: m for m in cfg.modes}
 
     # canonical slots: resumed runs pre-filled, the rest queued
     all_tasks = build_tasks(top, cfg)
@@ -272,195 +512,28 @@ def run_campaign_distributed(
         else:
             pending.append(t)
 
-    manifest = campaign_to_manifest(top, cfg, tel)
-    queue.create(manifest, pending)
-
     merger = _Merger(tel, pending, slots, checkpoint_path)
+    dispatcher = DistDispatcher(
+        top,
+        run_top,
+        cfg,
+        bm,
+        scenarios,
+        tel,
+        queue,
+        pending,
+        jobs=jobs,
+        fallback_after=fallback_after,
+        poll=poll,
+        status_every=status_every,
+        worker_ids=merger.worker_ids,
+    )
     m = tel.metrics
-    if m.enabled:
-        m.gauge("dist_queue_depth", "tasks not yet completed").set(len(pending))
-        m.gauge("dist_leases_live", "live worker leases").set(0)
-
-    backoff = Backoff(COORDINATOR_BACKOFF)
-    outage = 0
-    last_progress = time.monotonic()
-    last_status = 0.0
-    seen_attempts: dict[str, int] = {}
-    #: last owner observed holding each task's lease (steal attribution)
-    last_owner: dict[str, str] = {}
-    fallen_back = False
-
-    def _sight_worker(owner: str) -> None:
-        if owner not in merger.worker_ids:
-            tel.event("dist.worker", owner=owner, worker=merger.worker_id(owner))
-
-    def _note_attempts(t: QueueTask, used: int) -> None:
-        """Record attempt movement; >1 means an expired lease got
-        reclaimed somewhere (a retry)."""
-        prev = seen_attempts.get(t.tid, 0)
-        if used > max(prev, 1):
-            tel.event(
-                "dist.lease_reclaimed",
-                tid=t.tid,
-                run_index=t.index,
-                attempt=used,
-                victim=last_owner.get(t.tid, ""),
-            )
-            if m.enabled:
-                m.counter("dist_retries_total", "expired-lease reclaims").inc(
-                    used - max(prev, 1)
-                )
-        if used > prev:
-            seen_attempts[t.tid] = used
-
-    while not merger.done:
-        progressed = 0
-        try:
-            # 0) lease scan: first-sighting events + steal attribution
-            live = queue.live_leases()
-            for tid, lease in live.items():
-                owner = str(lease.get("owner", "?"))
-                _sight_worker(owner)
-                last_owner[tid] = owner
-
-            # 1) sweep new results into the merger
-            for t in pending:
-                if t.tid in merger.merged_tids:
-                    continue
-                payload = queue.read_result(t.tid)
-                if payload is None:
-                    continue
-                owner = str(payload.get("worker", "?"))
-                _sight_worker(owner)
-                if payload.get("speculative"):
-                    tel.event(
-                        "dist.task_stolen",
-                        tid=t.tid,
-                        run_index=t.index,
-                        owner=owner,
-                        victim=last_owner.get(t.tid, ""),
-                    )
-                    if m.enabled:
-                        m.counter(
-                            "dist_steals_total", "speculative duplicates that won"
-                        ).inc()
-                # the payload's attempt count is authoritative even when
-                # the whole claim→reclaim→commit happened between two of
-                # our sweeps (the attempts scan below never sees it)
-                _note_attempts(t, int(payload.get("attempt", 0) or 0))
-                merger.offer(t.tid, payload)
-                progressed += 1
-
-            # 2) retry bookkeeping: attempt counters that moved past 1
-            #    mean an expired lease got reclaimed somewhere
-            for t in pending:
-                if t.tid in merger.merged_tids:
-                    continue
-                used = queue.attempts_used(t.tid)
-                _note_attempts(t, used)
-                # budget exhausted with no result: the task is dead —
-                # write its error record so the campaign completes
-                if used >= queue.retry_budget and not queue.has_result(t.tid):
-                    if t.tid in live:
-                        continue  # final attempt still running
-                    nodes, _, intensity = sample_draws(
-                        top, cfg, t.sample, bm, scenarios
-                    )
-                    rec = _error_record(
-                        cfg,
-                        mode_by_name[t.mode],
-                        t.sample,
-                        groups_spanned(top, nodes),
-                        intensity,
-                        RuntimeError(
-                            f"retry budget exhausted after {used} attempts"
-                        ),
-                        used,
-                    )
-                    payload = {
-                        "tid": t.tid,
-                        "index": t.index,
-                        "record": ckpt.record_to_dict(rec),
-                        "events": [],
-                        "metrics": None,
-                        "worker": "coordinator",
-                        "attempt": used,
-                        "speculative": False,
-                    }
-                    queue.commit_result(t.tid, payload)
-                    tel.event(
-                        "dist.task_exhausted",
-                        tid=t.tid,
-                        run_index=t.index,
-                        attempts=used,
-                    )
-
-            flushed = merger.flush()
-            progressed += flushed
-            if m.enabled and flushed:
-                m.counter("dist_tasks_done_total", "runs merged").inc(flushed)
-
-            if m.enabled:
-                m.gauge("dist_queue_depth", "tasks not yet completed").set(
-                    len(pending) - len(merger.merged_tids)
-                )
-                m.gauge("dist_leases_live", "live worker leases").set(len(live))
-            now = time.monotonic()
-            if now - last_status >= status_every:
-                last_status = now
-                tel.event(
-                    "dist.queue",
-                    depth=len(pending) - len(merger.merged_tids),
-                    merged=merger.flush_pos,
-                    total=len(pending),
-                    leases=len(live),
-                    workers=len(merger.worker_ids),
-                )
-
-            if progressed or live:
-                last_progress = now
-            elif (
-                not fallen_back
-                and not merger.done
-                and now - last_progress >= fallback_after
-            ):
-                # nobody is working and nobody is coming: degrade to the
-                # local fork pool and finish the campaign ourselves
-                fallen_back = True
-                remaining = [
-                    t for t in pending if t.tid not in merger.merged_tids
-                ]
-                tel.event(
-                    "dist.fallback",
-                    remaining=len(remaining),
-                    waited_s=round(now - last_progress, 3),
-                )
-                produced = _local_fallback(
-                    top,
-                    run_top,
-                    cfg,
-                    bm,
-                    scenarios,
-                    tel,
-                    queue,
-                    remaining,
-                    _effective_jobs(jobs),
-                )
-                # offer in-memory too: the merge must finish even if the
-                # queue directory died outright (records are
-                # deterministic, so any queue-committed duplicate from a
-                # resurrected worker is byte-identical to ours)
-                for tid, payload in produced:
-                    merger.offer(tid, payload)
-                last_progress = time.monotonic()
-                continue  # next sweep flushes the offered results
-            outage = 0
-            if not merger.done and not progressed:
-                time.sleep(poll)
-        except QueueUnavailable:
-            outage += 1
-            tel.event("dist.queue_unavailable", outages=outage)
-            backoff.sleep(min(outage, 8))
+    for task, payload in dispatcher.run():
+        merger.offer(task.tid, payload)
+        flushed = merger.flush()
+        if m.enabled and flushed:
+            m.counter("dist_tasks_done_total", "runs merged").inc(flushed)
 
     records = [rec for rec in slots if rec is not None]
     emit_campaign_end(tel, cfg, records)

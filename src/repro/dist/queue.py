@@ -24,6 +24,9 @@ Layout under the queue root::
                          here are invisible to every reader
     bundles/             remote diagnostics bundles from guard-killed
                          runs on any host
+    heartbeats/          one ``<owner>.hb`` liveness file per busy
+                         worker (mtime refreshed by guard ticks;
+                         surfaced by ``repro queue-status``)
 
 State machine per task, derived purely from which files exist:
 *available* (task, no unexpired lease, no result) → *claimed* (live
@@ -207,6 +210,7 @@ class WorkQueue:
         self.results_dir = self.root / "results"
         self.tmp_dir = self.root / "tmp"
         self.bundles_dir = self.root / "bundles"
+        self.heartbeats_dir = self.root / "heartbeats"
         self.manifest_path = self.root / MANIFEST_NAME
 
     # ------------------------------------------------------------------
@@ -269,6 +273,7 @@ class WorkQueue:
                 self.results_dir,
                 self.tmp_dir,
                 self.bundles_dir,
+                self.heartbeats_dir,
             ):
                 d.mkdir(parents=True, exist_ok=True)
         except OSError as exc:

@@ -40,6 +40,7 @@ from repro.core import checkpoint as ckpt
 from repro.core.experiment import execute_run, resolve_scenarios, sample_draws
 from repro.dist.manifest import manifest_series, manifest_to_campaign
 from repro.dist.queue import Lease, QueueTask, QueueUnavailable, WorkQueue
+from repro.guard import WorkerHeartbeat, set_worker_heartbeat
 from repro.telemetry import (
     MemoryTraceWriter,
     MetricsRegistry,
@@ -152,6 +153,7 @@ class DistWorker:
         self._tasks: list[QueueTask] = []
         self._sample_cache: dict[int, tuple] = {}
         self._speculated: set[str] = set()
+        self._hb: WorkerHeartbeat | None = None
 
     # ------------------------------------------------------------------
     def _expired(self) -> bool:
@@ -187,6 +189,16 @@ class DistWorker:
         self.queue.retry_budget = int(
             manifest.get("retry_budget", self.queue.retry_budget)
         )
+        # owner-named liveness file in the queue's shared heartbeats/:
+        # guard ticks inside the engines refresh its mtime, so
+        # ``repro queue-status`` on any host can see who is alive and
+        # who went silent mid-run (old queues may predate the dir)
+        try:
+            self.queue.heartbeats_dir.mkdir(parents=True, exist_ok=True)
+            self._hb = WorkerHeartbeat(self.queue.heartbeats_dir, name=self.owner)
+            set_worker_heartbeat(self._hb)
+        except OSError:
+            self._hb = None
         self._ready = True
         return True
 
@@ -207,17 +219,23 @@ class DistWorker:
             metrics=MetricsRegistry(enabled=self._metrics_enabled),
             series=self._series,
         )
-        rec = execute_run(
-            self._top,
-            self._run_top,
-            self._cfg,
-            task.sample,
-            self._modes[task.mode],
-            nodes,
-            bg,
-            intensity,
-            tel,
-        )
+        if self._hb is not None:
+            self._hb.start_task()
+        try:
+            rec = execute_run(
+                self._top,
+                self._run_top,
+                self._cfg,
+                task.sample,
+                self._modes[task.mode],
+                nodes,
+                bg,
+                intensity,
+                tel,
+            )
+        finally:
+            if self._hb is not None:
+                self._hb.end_task()
         self.stats.executed += 1
         return {
             "tid": task.tid,

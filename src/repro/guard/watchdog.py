@@ -37,8 +37,17 @@ class WorkerHeartbeat:
     #: would turn the watchdog into an I/O hotspot
     min_interval = 0.05
 
-    def __init__(self, directory: str | Path, pid: int | None = None) -> None:
-        self.path = Path(directory) / f"{pid if pid is not None else os.getpid()}.hb"
+    def __init__(
+        self,
+        directory: str | Path,
+        pid: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        # pool workers name the file by pid (the watchdog kills by pid);
+        # distributed workers name it by owner id, which queue-status
+        # reports but no watchdog ever kills
+        stem = name if name is not None else str(pid if pid is not None else os.getpid())
+        self.path = Path(directory) / f"{stem}.hb"
         self._last = 0.0
 
     def start_task(self) -> None:

@@ -1,0 +1,30 @@
+"""Campaign-as-a-service: content-addressed memoization + HTTP front-end.
+
+Three layers, each usable on its own (see ``docs/SERVICE.md``):
+
+* :mod:`repro.service.store` — a durable, content-addressed
+  :class:`RunRecordStore` keyed by ``(campaign fingerprint, RNG key)``,
+  with crash-atomic commits, per-entry integrity hashes, corrupted-entry
+  quarantine, and LRU size-bounded eviction.
+* :mod:`repro.service.executor` — :func:`run_campaign_cached`, the
+  memoizing twin of :func:`repro.core.experiment.run_campaign`: cache
+  hits are served from the store, misses fan out through the existing
+  fork pool or shared-directory queue, and everything commits back in
+  canonical order so cached and fresh campaigns are byte-identical.
+* :mod:`repro.service.http` — an asyncio HTTP/JSON service (stdlib
+  only) accepting campaign submissions, deduping identical concurrent
+  requests into one execution, and streaming live progress events.
+"""
+
+from repro.service.executor import CacheOutcome, run_campaign_cached
+from repro.service.http import CampaignService
+from repro.service.store import CacheStats, RunRecordStore, entry_key
+
+__all__ = [
+    "CacheOutcome",
+    "CacheStats",
+    "CampaignService",
+    "RunRecordStore",
+    "entry_key",
+    "run_campaign_cached",
+]

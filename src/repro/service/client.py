@@ -1,0 +1,78 @@
+"""Thin stdlib client for the campaign service (used by ``repro submit``).
+
+Every helper takes the service base URL (``http://host:port``) and
+speaks the JSON schema documented in ``docs/SERVICE.md``.  Errors from
+the service surface as :class:`ServiceError` with the server's message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error status (message included)."""
+
+
+def _call(url: str, *, data: dict | None = None, timeout: float = 30.0) -> dict:
+    body = None
+    headers = {"Accept": "application/json"}
+    if data is not None:
+        body = json.dumps(data).encode()
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(url, data=body, headers=headers)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read().decode()).get("error", "")
+        except Exception:
+            detail = ""
+        raise ServiceError(f"HTTP {exc.code}: {detail or exc.reason}") from exc
+    except urllib.error.URLError as exc:
+        raise ServiceError(f"service unreachable at {url}: {exc.reason}") from exc
+
+
+def submit(base_url: str, manifest: dict, *, jobs: int | None = None) -> dict:
+    """POST the campaign; returns ``{"id", "deduped", "state"}``."""
+    payload: dict = {"manifest": manifest}
+    if jobs is not None:
+        payload["jobs"] = jobs
+    return _call(f"{base_url.rstrip('/')}/campaigns", data=payload)
+
+
+def status(base_url: str, job_id: str) -> dict:
+    """The job's status document (records included once done)."""
+    return _call(f"{base_url.rstrip('/')}/campaigns/{job_id}")
+
+
+def cache_stats(base_url: str) -> dict:
+    """The store counters (``cache_hits_total`` et al.)."""
+    return _call(f"{base_url.rstrip('/')}/cache/stats")
+
+
+def wait(
+    base_url: str,
+    job_id: str,
+    *,
+    timeout: float = 600.0,
+    poll: float = 0.25,
+) -> dict:
+    """Poll until the job leaves the running states; returns its status.
+
+    Raises :class:`ServiceError` on timeout or if the job errored.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        doc = status(base_url, job_id)
+        if doc.get("state") == "done":
+            return doc
+        if doc.get("state") == "error":
+            raise ServiceError(f"campaign {job_id} failed: {doc.get('error')}")
+        if time.monotonic() >= deadline:
+            raise ServiceError(f"campaign {job_id} still {doc.get('state')} after {timeout}s")
+        time.sleep(poll)

@@ -1,0 +1,386 @@
+"""Asyncio HTTP/JSON front-end for the memoizing campaign executor.
+
+Stdlib only.  The service accepts campaign submissions in the dist
+manifest wire form (:func:`repro.dist.manifest.campaign_to_manifest` —
+the same schema the shared-directory queue round-trips), executes each
+through :func:`repro.service.executor.run_campaign_cached` on a worker
+thread, and exposes:
+
+* ``POST /campaigns``                 — submit ``{"manifest": ..., "jobs": ...}``;
+  returns ``{"id", "deduped", "state"}``.  Concurrent submissions of an
+  identical campaign (same fingerprint) coalesce **single-flight** into
+  one execution — every caller gets the same id and, through the cache,
+  byte-identical results.
+* ``GET  /campaigns``                 — all known jobs, newest last.
+* ``GET  /campaigns/<id>``            — state + live progress snapshot +
+  cache accounting; completed jobs include the full record dicts.
+* ``GET  /campaigns/<id>/events``     — NDJSON progress stream (replay
+  of everything so far, then live follow until the job ends), fed by
+  the PR 7 :class:`~repro.telemetry.stream.EventBus`.
+* ``GET  /cache/stats``               — the store's counters
+  (``cache_hits_total`` et al.) — the hit-rate contract surface.
+* ``GET  /healthz``                   — liveness.
+
+The HTTP layer is deliberately minimal (request line + headers +
+Content-Length body, ``Connection: close``), matching the PR 7
+exporter's scope: an operator surface, not a general web server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import threading
+import time
+from typing import Any
+
+from repro.core import checkpoint as ckpt
+from repro.core.experiment import campaign_fingerprint
+from repro.dist.manifest import NotDistributable, manifest_series, manifest_to_campaign
+from repro.service.executor import CacheOutcome, run_campaign_cached
+from repro.service.store import RunRecordStore
+from repro.telemetry import MetricsRegistry, Telemetry
+from repro.telemetry.stream import BusTraceWriter, CampaignProgress, EventBus
+
+_MAX_BODY = 8 * 1024 * 1024
+
+
+def _job_key(fingerprint: dict) -> str:
+    """Single-flight identity of a submission: its campaign fingerprint."""
+    body = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode()).hexdigest()[:24]
+
+
+class _Job:
+    """One submitted campaign: identity, live telemetry, final outcome."""
+
+    def __init__(self, jid: str, key: str, manifest: dict, jobs: int | None) -> None:
+        self.id = jid
+        self.key = key
+        self.manifest = manifest
+        self.jobs = jobs
+        self.state = "pending"  # pending → running → done | error
+        self.error: str | None = None
+        self.outcome: CacheOutcome | None = None
+        self.submitted_at = time.time()
+        self.finished_at: float | None = None
+        #: extra submitters coalesced into this execution
+        self.coalesced = 0
+        self.done_evt = threading.Event()
+        self.progress = CampaignProgress()
+        self.bus = EventBus()
+        self._events: list[dict] = []
+        self._lock = threading.Lock()
+        self.bus.subscribe(self._on_event)
+
+    def _on_event(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+        self.progress.feed(event)
+
+    def events_since(self, pos: int) -> list[dict]:
+        with self._lock:
+            return self._events[pos:]
+
+    def event_count(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def status(self, *, include_records: bool = False) -> dict:
+        out: dict[str, Any] = {
+            "id": self.id,
+            "key": self.key,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+            "coalesced": self.coalesced,
+            "progress": self.progress.snapshot(),
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.outcome is not None:
+            out["cache"] = {
+                "hits": self.outcome.hits,
+                "misses": self.outcome.misses,
+                "resumed": self.outcome.resumed,
+                "total": self.outcome.total,
+            }
+            if include_records and self.state == "done":
+                out["records"] = [
+                    ckpt.record_to_dict(r) for r in self.outcome.records
+                ]
+        return out
+
+
+class CampaignService:
+    """The campaign-as-a-service front door (see module docstring).
+
+    ``start()`` runs the asyncio server on a background thread and
+    returns once the port is bound (``.url`` is then valid) — the shape
+    tests and the CLI use.  Embedders already inside an event loop can
+    ``await serve()`` directly.
+    """
+
+    def __init__(
+        self,
+        store: RunRecordStore,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: int | None = None,
+        queue_dir: str | None = None,
+        poll: float = 0.2,
+    ) -> None:
+        self.store = store
+        self.host = host
+        self.port = port
+        self.jobs = jobs
+        self.queue_dir = queue_dir
+        self.poll = poll
+        self.started_at = time.time()
+        self._jobs: dict[str, _Job] = {}
+        #: single-flight table: campaign key → the in-flight job
+        self._inflight: dict[str, _Job] = {}
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self.url: str | None = None
+
+    # ------------------------------------------------------------------
+    # submission / single-flight
+    # ------------------------------------------------------------------
+    def submit(self, manifest: dict, jobs: int | None = None) -> tuple[_Job, bool]:
+        """Register a campaign; returns ``(job, deduped)``.
+
+        Identical concurrent submissions — same campaign fingerprint,
+        judged on the *rebuilt* campaign so a hand-edited manifest
+        cannot spoof its way into another job's results — share one
+        execution.  Raises ``NotDistributable``/``ValueError``/
+        ``KeyError`` on a malformed manifest (mapped to 400 above).
+        """
+        top, cfg = manifest_to_campaign(manifest)
+        key = _job_key(campaign_fingerprint(top, cfg))
+        with self._lock:
+            live = self._inflight.get(key)
+            if live is not None and not live.done_evt.is_set():
+                live.coalesced += 1
+                return live, True
+            self._seq += 1
+            job = _Job(f"{key[:12]}-{self._seq}", key, manifest, jobs)
+            self._jobs[job.id] = job
+            self._inflight[key] = job
+        t = threading.Thread(
+            target=self._run_job, args=(job, top, cfg), daemon=True,
+            name=f"campaign-{job.id}",
+        )
+        t.start()
+        return job, False
+
+    def _run_job(self, job: _Job, top, cfg) -> None:
+        job.state = "running"
+        tel = Telemetry(
+            trace=BusTraceWriter(job.bus),
+            metrics=MetricsRegistry(enabled=True),
+            series=manifest_series(job.manifest),
+        )
+        try:
+            job.outcome = run_campaign_cached(
+                top,
+                cfg,
+                store=self.store,
+                telemetry=tel,
+                jobs=job.jobs if job.jobs is not None else self.jobs,
+                queue_dir=self.queue_dir,
+            )
+            job.state = "done"
+        except Exception as exc:  # a broken campaign must not kill the service
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = "error"
+        finally:
+            job.finished_at = time.time()
+            with self._lock:
+                if self._inflight.get(job.key) is job:
+                    del self._inflight[job.key]
+            job.done_evt.set()
+
+    def get_job(self, jid: str) -> _Job | None:
+        with self._lock:
+            return self._jobs.get(jid)
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                line = await asyncio.wait_for(reader.readline(), timeout=30)
+                parts = line.decode("latin-1").split()
+                if len(parts) < 2:
+                    return
+                method, path = parts[0].upper(), parts[1]
+                headers = {}
+                while True:
+                    h = await asyncio.wait_for(reader.readline(), timeout=30)
+                    if h in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = h.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                body = b""
+                n = int(headers.get("content-length", "0") or "0")
+                if n > _MAX_BODY:
+                    await self._json(writer, 413, {"error": "body too large"})
+                    return
+                if n:
+                    body = await asyncio.wait_for(reader.readexactly(n), timeout=30)
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError, ValueError):
+                return
+            await self._route(writer, method, path.split("?", 1)[0], body)
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, writer, method: str, path: str, body: bytes) -> None:
+        if method == "GET" and path == "/healthz":
+            await self._json(writer, 200, {"ok": True, "uptime_s": round(time.time() - self.started_at, 3)})
+        elif method == "GET" and path == "/cache/stats":
+            await self._json(writer, 200, self.store.stats().to_dict())
+        elif method == "POST" and path == "/campaigns":
+            await self._post_campaign(writer, body)
+        elif method == "GET" and path == "/campaigns":
+            with self._lock:
+                jobs = list(self._jobs.values())
+            await self._json(
+                writer,
+                200,
+                {"campaigns": [j.status() for j in jobs]},
+            )
+        elif method == "GET" and path.startswith("/campaigns/"):
+            rest = path[len("/campaigns/"):]
+            if rest.endswith("/events"):
+                job = self.get_job(rest[: -len("/events")].rstrip("/"))
+                if job is None:
+                    await self._json(writer, 404, {"error": "no such campaign"})
+                else:
+                    await self._stream_events(writer, job)
+            else:
+                job = self.get_job(rest.rstrip("/"))
+                if job is None:
+                    await self._json(writer, 404, {"error": "no such campaign"})
+                else:
+                    await self._json(writer, 200, job.status(include_records=True))
+        else:
+            await self._json(writer, 404, {"error": f"no route for {method} {path}"})
+
+    async def _post_campaign(self, writer, body: bytes) -> None:
+        try:
+            req = json.loads(body.decode())
+            manifest = req["manifest"]
+            jobs = req.get("jobs")
+            if jobs is not None:
+                jobs = int(jobs)
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError, ValueError) as exc:
+            await self._json(writer, 400, {"error": f"bad request: {type(exc).__name__}: {exc}"})
+            return
+        try:
+            job, deduped = self.submit(manifest, jobs)
+        except (NotDistributable, KeyError, TypeError, ValueError) as exc:
+            await self._json(writer, 400, {"error": f"bad manifest: {type(exc).__name__}: {exc}"})
+            return
+        await self._json(
+            writer, 202 if not deduped else 200,
+            {"id": job.id, "deduped": deduped, "state": job.state},
+        )
+
+    async def _stream_events(self, writer, job: _Job) -> None:
+        """NDJSON replay + live follow of one job's telemetry events."""
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Cache-Control: no-store\r\nConnection: close\r\n\r\n"
+        )
+        pos = 0
+        try:
+            while True:
+                events = job.events_since(pos)
+                pos += len(events)
+                for ev in events:
+                    writer.write(json.dumps(ev).encode() + b"\n")
+                if events:
+                    await writer.drain()
+                if job.done_evt.is_set() and pos >= job.event_count():
+                    writer.write(
+                        json.dumps({"ev": "service.end", "id": job.id, "state": job.state}).encode()
+                        + b"\n"
+                    )
+                    await writer.drain()
+                    return
+                await asyncio.sleep(self.poll)
+        except (ConnectionError, OSError):
+            return  # client went away mid-stream
+
+    async def _json(self, writer, status: int, obj: dict) -> None:
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 413: "Payload Too Large"}.get(status, "OK")
+        payload = json.dumps(obj).encode()
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + payload
+        )
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def serve(self) -> None:
+        """Bind and serve until cancelled (for embedders with a loop)."""
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.url = f"http://{self.host}:{self.port}"
+        self._ready.set()
+        async with self._server:
+            await self._server.serve_forever()
+
+    def start(self) -> "CampaignService":
+        """Serve on a background thread; returns once the port is bound."""
+
+        def _main() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.serve())
+            except asyncio.CancelledError:
+                pass
+            finally:
+                try:
+                    loop.run_until_complete(loop.shutdown_asyncgens())
+                finally:
+                    loop.close()
+
+        self._thread = threading.Thread(target=_main, daemon=True, name="repro-serve")
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("campaign service failed to bind")
+        return self
+
+    def close(self) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            def _stop() -> None:
+                if self._server is not None:
+                    self._server.close()
+                for task in asyncio.all_tasks():
+                    task.cancel()
+
+            loop.call_soon_threadsafe(_stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)

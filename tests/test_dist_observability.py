@@ -182,3 +182,87 @@ class TestQueueStatusCli:
 
         assert main(["queue-status", "--queue", str(tmp_path / "empty")]) == 0
         assert "no manifest yet" in capsys.readouterr().out
+
+
+class TestQueueStatusHeartbeats:
+    """Worker guard heartbeats surfaced into ``repro queue-status``."""
+
+    @pytest.fixture
+    def queue(self, tmp_path):
+        from repro.dist.queue import QueueTask, WorkQueue, task_id
+
+        q = WorkQueue(tmp_path / "q", ttl=300.0)
+        fp = {"app": "milc", "system": "mini", "samples": 1, "seed": 11}
+        tasks = [QueueTask(tid=task_id(fp, 0, "AD0"), index=0, sample=0, mode="AD0")]
+        q.create({"fingerprint": fp}, tasks)
+        return q
+
+    def test_create_makes_heartbeat_dir(self, queue):
+        assert queue.heartbeats_dir.is_dir()
+
+    def test_leased_worker_shows_heartbeat_age(self, queue, capsys):
+        from repro.cli import main
+        from repro.guard import WorkerHeartbeat
+
+        tid = next(iter(queue.manifest_tasks(queue.load_manifest()))).tid
+        queue.try_claim(tid, "hostA:1")
+        hb = WorkerHeartbeat(queue.heartbeats_dir, name="hostA:1")
+        hb.start_task()
+        assert main(["queue-status", "--queue", str(queue.root)]) == 0
+        out = capsys.readouterr().out
+        assert "worker hostA:1: 1 lease(s) [live]  heartbeat" in out
+        assert "no heartbeat" not in out
+
+    def test_worker_without_lease_is_listed_from_heartbeat_alone(
+        self, queue, capsys
+    ):
+        """A speculating (or between-tasks) worker holds no lease but is
+        alive — the heartbeat file is the only trace of it."""
+        from repro.cli import main
+        from repro.guard import WorkerHeartbeat
+
+        WorkerHeartbeat(queue.heartbeats_dir, name="hostB:2").start_task()
+        assert main(["queue-status", "--queue", str(queue.root)]) == 0
+        out = capsys.readouterr().out
+        assert "worker hostB:2: 0 lease(s) [busy (no lease)]  heartbeat" in out
+
+    def test_leased_worker_without_heartbeat_flagged(self, queue, capsys):
+        from repro.cli import main
+
+        tid = next(iter(queue.manifest_tasks(queue.load_manifest()))).tid
+        queue.try_claim(tid, "hostC:3")
+        assert main(["queue-status", "--queue", str(queue.root)]) == 0
+        assert "worker hostC:3: 1 lease(s) [live]  no heartbeat" in (
+            capsys.readouterr().out
+        )
+
+    def test_dist_worker_writes_owner_named_heartbeat(self, tmp_path):
+        """The real worker loop leaves an ``<owner>.hb`` file while a
+        run executes (and removes it when the task ends)."""
+        from repro.apps import MILC
+        from repro.core.biases import AD0
+        from repro.core.experiment import CampaignConfig
+        from repro.dist import DistWorker, WorkQueue
+        from repro.dist.manifest import build_tasks, campaign_to_manifest
+        from repro.telemetry import NULL_TELEMETRY
+        from repro.topology.systems import mini
+
+        top = mini()
+        cfg = CampaignConfig(
+            app=MILC(), n_nodes=32, modes=(AD0,), samples=1, seed=11,
+            scenario_pool=2,
+        )
+        q = WorkQueue(tmp_path / "q", ttl=300.0)
+        q.create(
+            campaign_to_manifest(top, cfg, NULL_TELEMETRY), build_tasks(top, cfg)
+        )
+        worker = DistWorker(q, owner="testhost:99", max_tasks=1, poll=0.01)
+        stats = worker.run()
+        assert stats.executed == 1
+        # the worker registered an owner-named heartbeat in the queue's
+        # shared directory and removed the file when the task ended
+        assert worker._hb is not None
+        assert worker._hb.path == q.heartbeats_dir / "testhost:99.hb"
+        assert not list(q.heartbeats_dir.glob("*.hb"))
+        worker._hb.start_task()
+        assert (q.heartbeats_dir / "testhost:99.hb").exists()
