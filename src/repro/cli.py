@@ -446,18 +446,30 @@ def cmd_queue_status(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Long-running campaign service over a shared result cache."""
+    """Long-running campaign service over a shared result cache.
+
+    SIGTERM/SIGINT trigger a graceful drain: submissions are refused
+    with 503, in-flight campaigns get ``--drain-grace`` seconds to
+    finish (unfinished ones stay journalled for the next start's
+    recovery), the cache flushes, and the process exits 0.
+    """
+    import threading
+
     from repro.service import CampaignService, RunRecordStore
 
     store = RunRecordStore(
         args.cache, max_bytes=args.max_bytes, max_entries=args.max_entries
     )
+    journal_dir = None
+    if not args.no_journal:
+        journal_dir = args.journal if args.journal else str(Path(args.cache) / "journal")
     service = CampaignService(
         store,
         host=args.host,
         port=args.port,
         jobs=args.jobs,
         queue_dir=getattr(args, "queue", None),
+        journal_dir=journal_dir,
     ).start()
     st = store.stats()
     print(
@@ -465,17 +477,94 @@ def cmd_serve(args) -> int:
         f"(cache {store.root}: {st.entries} entries, {st.bytes} bytes)",
         flush=True,
     )
+    if service.recovered:
+        print(
+            f"recovered {len(service.recovered)} journalled campaign(s): "
+            + ", ".join(service.recovered),
+            flush=True,
+        )
+    stop = threading.Event()
+    try:
+        # take over main()'s exit-143 SIGTERM handler: the service owns
+        # its shutdown now, and it must drain rather than unwind
+        signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+        signal.signal(signal.SIGINT, lambda signum, frame: stop.set())
+    except ValueError:
+        pass  # not the main thread (embedded use)
     deadline = (
         time.monotonic() + args.max_seconds if args.max_seconds is not None else None
     )
     try:
         while deadline is None or time.monotonic() < deadline:
-            time.sleep(0.2)
+            if stop.wait(timeout=0.2):
+                break
     except KeyboardInterrupt:
         pass
-    finally:
-        service.close()
+    leftover = service.drain(timeout=args.drain_grace)
+    if leftover:
+        print(
+            f"drain: {len(leftover)} campaign(s) still running after "
+            f"{args.drain_grace}s grace — journalled for recovery on restart: "
+            + ", ".join(leftover),
+            flush=True,
+        )
+    else:
+        print("drain: all campaigns finished", flush=True)
+    service.close()
     return 0
+
+
+def cmd_chaos(args) -> int:
+    """Soak a campaign under a deterministic failure schedule."""
+    import tempfile
+
+    from repro.chaos.runner import run_soak, verify_replay
+    from repro.chaos.schedule import ChaosSpecError
+
+    top = _system(args.system)
+    app = app_by_name(args.app)()
+    modes = tuple(mode_by_name(m) for m in args.modes.split(","))
+    cfg = CampaignConfig(
+        app=app,
+        n_nodes=args.nodes,
+        modes=modes,
+        samples=args.samples,
+        seed=args.seed,
+        faults=_faults_from_args(args),
+    )
+    workdir = args.workdir
+    tmp = None
+    if workdir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        workdir = tmp.name
+    try:
+        try:
+            if args.replay:
+                first, second, same = verify_replay(
+                    top, cfg, spec=args.schedule, seed=args.chaos_seed,
+                    workdir=workdir, queue=args.queue,
+                    max_restarts=args.max_restarts,
+                )
+                print(first.format())
+                print(
+                    f"replay: {'identical' if same else 'DIVERGED'} "
+                    f"({len(first.fired)} vs {len(second.fired)} fires, "
+                    f"{first.attempts} vs {second.attempts} attempts)"
+                )
+                return 0 if (first.ok and second.ok and same) else 1
+            report = run_soak(
+                top, cfg, spec=args.schedule, seed=args.chaos_seed,
+                workdir=workdir, queue=args.queue,
+                max_restarts=args.max_restarts,
+            )
+        except ChaosSpecError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        print(report.format())
+        return 0 if report.ok else 1
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
 
 
 def cmd_submit(args) -> int:
@@ -1128,9 +1217,85 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="serve for this long, then exit (default: until SIGINT)",
     )
+    sp.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="durable job journal for restart recovery "
+        "(default: <cache>/journal)",
+    )
+    sp.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the job journal (a restart forgets in-flight campaigns)",
+    )
+    sp.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT, wait this long for in-flight campaigns "
+        "before exiting (unfinished ones recover on restart; default: 30)",
+    )
     jobs_flag(sp)
     observability(sp)
     sp.set_defaults(func=cmd_serve, passive=True)
+
+    sp = sub.add_parser(
+        "chaos",
+        help="soak a campaign under a deterministic failure schedule "
+        "(docs/CHAOS.md)",
+    )
+    common(sp)
+    sp.add_argument(
+        "--schedule",
+        required=True,
+        metavar="SPEC",
+        help='failpoint rules, e.g. "checkpoint.append:crash:at=3; '
+        'store.commit.pre_rename:enospc:p=0.3"',
+    )
+    sp.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=2021,
+        help="seed for the schedule's probability draws (replay key)",
+    )
+    sp.add_argument(
+        "--workdir",
+        default=None,
+        metavar="DIR",
+        help="keep the soak's reference/survivor/fired files here "
+        "(default: a temp dir, removed afterwards)",
+    )
+    sp.add_argument("--app", default="milc")
+    sp.add_argument("--nodes", type=int, default=32)
+    sp.add_argument("--samples", type=int, default=3)
+    sp.add_argument("--modes", default="AD0,AD3", help="comma-separated, e.g. AD0,AD3")
+    sp.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help='degraded-network spec, e.g. "rank3:0.05; router:3"',
+    )
+    sp.add_argument(
+        "--queue",
+        action="store_true",
+        help="dispatch the soak through the shared-directory queue protocol",
+    )
+    sp.add_argument(
+        "--max-restarts",
+        type=int,
+        default=25,
+        metavar="N",
+        help="give up after N child restarts (default: 25)",
+    )
+    sp.add_argument(
+        "--replay",
+        action="store_true",
+        help="run the soak twice and verify the failure run replays "
+        "identically (fires, attempts, surviving bytes)",
+    )
+    sp.set_defaults(func=cmd_chaos)
 
     sp = sub.add_parser(
         "submit", help="submit a campaign to a running `repro serve`"
@@ -1225,6 +1390,15 @@ def main(argv: list[str] | None = None) -> int:
         signal.signal(signal.SIGTERM, lambda signum, frame: sys.exit(143))
     except ValueError:
         pass  # not the main thread (embedded use); keep default handling
+    try:
+        # honour $REPRO_CHAOS so subprocess workers and services run
+        # under the same failure schedule as the soak that spawned them
+        from repro.chaos import activate_from_env
+
+        activate_from_env()
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     args = build_parser().parse_args(argv)
     tel = _telemetry_from_args(args)
     exporter = None

@@ -20,17 +20,38 @@ whose fingerprint disagrees with the resuming campaign's config.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 from typing import Any
 
 import numpy as np
 
+from repro.chaos import fs as chaos_fs
 from repro.monitoring.autoperf import AutoPerfReport, MpiOpRecord
 from repro.network.counters import TILE_CLASSES, CounterSnapshot
 
 _KIND = "campaign-checkpoint"
 _VERSION = 1
+
+
+class StoreUnavailableError(OSError):
+    """Durable storage failed (ENOSPC/EIO) during a commit.
+
+    The typed wrapper callers catch instead of bare ``OSError``: it
+    names the operation that failed and guarantees the failed commit
+    left no half-written scratch behind (tmp files are cleaned on the
+    error path before this is raised).  Raised by checkpoint writes and
+    :class:`repro.service.store.RunRecordStore` commits.
+    """
+
+    def __init__(self, op: str, exc: OSError) -> None:
+        super().__init__(
+            exc.errno if exc.errno is not None else errno.EIO,
+            f"{op}: {exc.strerror or exc}",
+            getattr(exc, "filename", None),
+        )
+        self.op = op
 
 
 def _counters_to_dict(snap: CounterSnapshot) -> dict[str, Any]:
@@ -146,19 +167,28 @@ def record_from_dict(d: dict[str, Any]) -> Any:
 
 def write_header(path: str | os.PathLike, fingerprint: dict[str, Any]) -> None:
     """Start a fresh checkpoint file (truncates any existing one)."""
-    with open(path, "w") as f:
-        f.write(
-            json.dumps({"kind": _KIND, "version": _VERSION, "config": fingerprint})
-            + "\n"
-        )
+    try:
+        with open(path, "w") as f:
+            f.write(
+                json.dumps({"kind": _KIND, "version": _VERSION, "config": fingerprint})
+                + "\n"
+            )
+    except OSError as exc:
+        raise StoreUnavailableError("checkpoint header", exc) from exc
 
 
 def append_record(path: str | os.PathLike, rec: Any) -> None:
-    """Append one finished run, flushed so a crash loses at most one line."""
-    with open(path, "a") as f:
-        f.write(json.dumps(record_to_dict(rec)) + "\n")
-        f.flush()
-        os.fsync(f.fileno())
+    """Append one finished run, flushed so a crash loses at most one line.
+
+    Raises :class:`StoreUnavailableError` when the filesystem fails the
+    append (ENOSPC/EIO); a torn partial line may remain, which the next
+    ``--resume`` removes via :func:`repair_tail`.
+    """
+    line = json.dumps(record_to_dict(rec)) + "\n"
+    try:
+        chaos_fs.append_line(path, line, site="checkpoint.append")
+    except OSError as exc:
+        raise StoreUnavailableError("checkpoint append", exc) from exc
 
 
 def repair_tail(path: str | os.PathLike) -> bool:
@@ -219,6 +249,8 @@ def rewrite(
             f.flush()
             os.fsync(f.fileno())
         os.replace(tmp, path)
+    except OSError as exc:
+        raise StoreUnavailableError("checkpoint rewrite", exc) from exc
     finally:
         if os.path.exists(tmp):
             os.unlink(tmp)

@@ -302,12 +302,15 @@ class DistDispatcher:
             reclaimed somewhere (a retry)."""
             prev = seen_attempts.get(t.tid, 0)
             if used > max(prev, 1):
+                # the queue records the displaced owner at reclaim time;
+                # the lease-scan guess is only a fallback (our scan may
+                # already have seen the reclaimer's fresh lease)
                 tel.event(
                     "dist.lease_reclaimed",
                     tid=t.tid,
                     run_index=t.index,
                     attempt=used,
-                    victim=last_owner.get(t.tid, ""),
+                    victim=queue.last_victim(t.tid) or last_owner.get(t.tid, ""),
                 )
                 if m.enabled:
                     m.counter("dist_retries_total", "expired-lease reclaims").inc(

@@ -55,6 +55,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from repro.chaos.failpoints import failpoint
+
 MANIFEST_NAME = "manifest.json"
 _KIND = "repro-dist-queue"
 _VERSION = 1
@@ -312,14 +314,28 @@ class WorkQueue:
     def _lease_path(self, tid: str) -> Path:
         return self.leases_dir / f"{tid}.lease"
 
-    def _attempt_count(self, tid: str) -> int:
+    def _attempt_info(self, tid: str) -> dict:
         d = self._read_json(self.attempts_dir / f"{tid}.json")
-        return int(d["attempt"]) if d and "attempt" in d else 0
+        return d if isinstance(d, dict) else {}
 
-    def _record_attempt(self, tid: str, attempt: int) -> None:
+    def _attempt_count(self, tid: str) -> int:
+        d = self._attempt_info(tid)
+        return int(d["attempt"]) if "attempt" in d else 0
+
+    def _record_attempt(
+        self, tid: str, attempt: int, victim: str | None = None
+    ) -> None:
+        # a reclaim records the owner it displaced; other writes (fresh
+        # claims, budget bookkeeping) preserve the last recorded one so
+        # the coordinator can attribute the retry deterministically
+        if victim is None:
+            victim = self._attempt_info(tid).get("victim") or None
+        payload: dict = {"attempt": attempt}
+        if victim:
+            payload["victim"] = victim
         self._write_json_atomic(
             self.attempts_dir / f"{tid}.json",
-            {"attempt": attempt},
+            payload,
             op="record attempt",
         )
 
@@ -327,12 +343,22 @@ class WorkQueue:
         """Distinct claims this task has consumed so far."""
         return self._attempt_count(tid)
 
+    def last_victim(self, tid: str) -> str:
+        """Owner displaced by the task's most recent reclaim ("" if none)."""
+        return str(self._attempt_info(tid).get("victim", "") or "")
+
     def exhausted(self, tid: str) -> bool:
         """True once the task has burned its whole retry budget."""
         return self._attempt_count(tid) >= self.retry_budget
 
     def _create_lease(
-        self, tid: str, owner: str, attempt: int, *, reclaimed: bool
+        self,
+        tid: str,
+        owner: str,
+        attempt: int,
+        *,
+        reclaimed: bool,
+        victim: str | None = None,
     ) -> Lease | None:
         """The O_EXCL gate every claim (fresh or reclaim) goes through."""
         path = self._lease_path(tid)
@@ -347,6 +373,7 @@ class WorkQueue:
             reclaimed=reclaimed,
         )
         try:
+            failpoint("queue.lease.claim", path=path)
             fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
             return None
@@ -359,7 +386,7 @@ class WorkQueue:
                 os.fsync(f.fileno())
         except OSError as exc:
             raise QueueUnavailable("claim", exc) from exc
-        self._record_attempt(tid, attempt)
+        self._record_attempt(tid, attempt, victim=victim)
         return lease
 
     def try_claim(self, tid: str, owner: str) -> Lease | None:
@@ -396,14 +423,19 @@ class WorkQueue:
             os.unlink(grave)
         except OSError:
             pass
+        victim = str(cur.get("owner", "") or "") or None
         attempt = max(self._attempt_count(tid), int(cur.get("attempt", 1))) + 1
         if attempt > self.retry_budget:
-            self._record_attempt(tid, attempt)
+            self._record_attempt(tid, attempt, victim=victim)
             return None
-        return self._create_lease(tid, owner, attempt, reclaimed=True)
+        return self._create_lease(tid, owner, attempt, reclaimed=True, victim=victim)
 
     def renew(self, lease: Lease) -> bool:
         """Extend the TTL; False (and ``lease.lost``) if it was stolen."""
+        try:
+            failpoint("queue.lease.renew", path=self._lease_path(lease.tid))
+        except OSError as exc:
+            raise QueueUnavailable("renew lease", exc) from exc
         cur = self._read_json(self._lease_path(lease.tid))
         if cur is None or cur.get("token") != lease.token:
             lease.lost = True
@@ -449,10 +481,12 @@ class WorkQueue:
         """
         tmp = self.tmp_dir / f".{tid}.{os.getpid()}.{uuid.uuid4().hex[:8]}.json"
         final = self._result_path(tid)
+        text = json.dumps(payload) + "\n"
         try:
             with open(tmp, "w") as f:
-                f.write(json.dumps(payload) + "\n")
+                f.write(text)
                 f.flush()
+                failpoint("queue.commit.post_tmp", path=tmp, data=text)
                 os.fsync(f.fileno())
         except OSError as exc:
             try:
@@ -461,6 +495,7 @@ class WorkQueue:
                 pass
             raise QueueUnavailable("write result", exc) from exc
         try:
+            failpoint("queue.commit.link", path=final, data=text)
             os.link(tmp, final)
             won = True
         except FileExistsError:

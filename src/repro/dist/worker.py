@@ -36,6 +36,7 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro.chaos.failpoints import failpoint
 from repro.core import checkpoint as ckpt
 from repro.core.experiment import execute_run, resolve_scenarios, sample_draws
 from repro.dist.manifest import manifest_series, manifest_to_campaign
@@ -219,6 +220,13 @@ class DistWorker:
             metrics=MetricsRegistry(enabled=self._metrics_enabled),
             series=self._series,
         )
+        try:
+            failpoint(
+                "worker.heartbeat",
+                path=None if self._hb is None else self._hb.path,
+            )
+        except OSError:
+            pass  # a heartbeat is advisory; losing it never fails the run
         if self._hb is not None:
             self._hb.start_task()
         try:

@@ -29,7 +29,7 @@ from pathlib import Path
 import numpy as np
 
 #: findings that indicate a *configuration* error (exit 2)
-CONFIG_CHECKS = ("topology", "faults", "checkpoint", "queue")
+CONFIG_CHECKS = ("topology", "faults", "checkpoint", "queue", "chaos")
 
 #: refuse a queue directory with less free space than this
 QUEUE_MIN_FREE_BYTES = 64 * 1024 * 1024
@@ -448,6 +448,38 @@ def run_selftests() -> list[Finding]:
     return findings
 
 
+def check_chaos() -> list[Finding]:
+    """Refuse to bless a campaign while a failure schedule is active.
+
+    ``$REPRO_CHAOS`` is meant for soak children and chaos tests; a
+    production campaign launched with it still set would be silently
+    perturbed (injected ENOSPC, crashes, latency) — that is a
+    configuration error, not a warning.  A malformed spec is reported
+    too, so a typo fails here instead of at campaign startup.
+    """
+    from repro.chaos import ChaosSchedule, SITES
+    from repro.chaos.failpoints import ENV_SPEC
+
+    spec = os.environ.get(ENV_SPEC, "").strip()
+    if not spec:
+        return []
+    try:
+        schedule = ChaosSchedule.parse(spec)
+        for rule in schedule.rules:
+            rule.check_registered(SITES)
+    except ValueError as exc:
+        return [Finding("chaos", "fail", f"${ENV_SPEC} is malformed: {exc}")]
+    return [
+        Finding(
+            "chaos",
+            "fail",
+            f"${ENV_SPEC} is set ({schedule.describe()}) — a failure "
+            "schedule would perturb this campaign; unset it for "
+            "production runs",
+        )
+    ]
+
+
 def run_doctor(
     *,
     system: str | None = None,
@@ -465,6 +497,7 @@ def run_doctor(
     findings.extend(check_faults(faults, top, seed=seed))
     findings.append(check_checkpoint(checkpoint))
     findings.extend(check_queue(queue))
+    findings.extend(check_chaos())
     if selftest:
         findings.extend(run_selftests())
     return findings

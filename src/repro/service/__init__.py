@@ -14,17 +14,25 @@ Three layers, each usable on its own (see ``docs/SERVICE.md``):
 * :mod:`repro.service.http` — an asyncio HTTP/JSON service (stdlib
   only) accepting campaign submissions, deduping identical concurrent
   requests into one execution, and streaming live progress events.
+  With a journal directory (:mod:`repro.service.journal`) it re-adopts
+  in-flight campaigns after a crash or restart, and drains gracefully
+  on SIGTERM (see ``docs/CHAOS.md``).
 """
 
+from repro.core.checkpoint import StoreUnavailableError
 from repro.service.executor import CacheOutcome, run_campaign_cached
-from repro.service.http import CampaignService
+from repro.service.http import CampaignService, ServiceDraining
+from repro.service.journal import JobJournal
 from repro.service.store import CacheStats, RunRecordStore, entry_key
 
 __all__ = [
     "CacheOutcome",
     "CacheStats",
     "CampaignService",
+    "JobJournal",
     "RunRecordStore",
+    "ServiceDraining",
+    "StoreUnavailableError",
     "entry_key",
     "run_campaign_cached",
 ]

@@ -3,6 +3,13 @@
 Every helper takes the service base URL (``http://host:port``) and
 speaks the JSON schema documented in ``docs/SERVICE.md``.  Errors from
 the service surface as :class:`ServiceError` with the server's message.
+
+Transient failures — connection refused/reset, timeouts, and every 5xx
+(a restarting or draining server answers 503) — are retried under the
+shared full-jitter backoff policy.  Retrying a ``submit`` is safe by
+construction: the server coalesces identical submissions single-flight
+on the campaign fingerprint, so a resubmission lands on the same job.
+4xx responses are the caller's fault and surface immediately.
 """
 
 from __future__ import annotations
@@ -12,29 +19,52 @@ import time
 import urllib.error
 import urllib.request
 
+from repro.util.backoff import Backoff, BackoffPolicy
+
+#: full-jitter schedule between transient-failure retries
+RETRY_POLICY = BackoffPolicy(base=0.2, cap=3.0)
+#: transient failures retried after the first attempt
+DEFAULT_RETRIES = 4
+
 
 class ServiceError(RuntimeError):
     """The service answered with an error status (message included)."""
 
 
-def _call(url: str, *, data: dict | None = None, timeout: float = 30.0) -> dict:
+def _call(
+    url: str,
+    *,
+    data: dict | None = None,
+    timeout: float = 30.0,
+    retries: int = DEFAULT_RETRIES,
+    backoff: Backoff | None = None,
+) -> dict:
     body = None
     headers = {"Accept": "application/json"}
     if data is not None:
         body = json.dumps(data).encode()
         headers["Content-Type"] = "application/json"
-    req = urllib.request.Request(url, data=body, headers=headers)
-    try:
-        with urllib.request.urlopen(req, timeout=timeout) as resp:
-            return json.loads(resp.read().decode())
-    except urllib.error.HTTPError as exc:
+    bo = backoff if backoff is not None else Backoff(RETRY_POLICY)
+    for attempt in range(1, retries + 2):
+        req = urllib.request.Request(url, data=body, headers=headers)
         try:
-            detail = json.loads(exc.read().decode()).get("error", "")
-        except Exception:
-            detail = ""
-        raise ServiceError(f"HTTP {exc.code}: {detail or exc.reason}") from exc
-    except urllib.error.URLError as exc:
-        raise ServiceError(f"service unreachable at {url}: {exc.reason}") from exc
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return json.loads(resp.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode()).get("error", "")
+            except Exception:
+                detail = ""
+            err = ServiceError(f"HTTP {exc.code}: {detail or exc.reason}")
+            if exc.code < 500 or attempt > retries:
+                raise err from exc
+        except urllib.error.URLError as exc:
+            if attempt > retries:
+                raise ServiceError(
+                    f"service unreachable at {url}: {exc.reason}"
+                ) from exc
+        bo.sleep(attempt)
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def submit(base_url: str, manifest: dict, *, jobs: int | None = None) -> dict:

@@ -184,7 +184,15 @@ def run_campaign_cached(
         def _commit(idx: int, sample: int, mode: str, item: dict) -> None:
             rec = item["record"]
             if rec.ok:
-                store.put(fp, sample, mode, ckpt.record_to_dict(rec))
+                try:
+                    store.put(fp, sample, mode, ckpt.record_to_dict(rec))
+                except ckpt.StoreUnavailableError as exc:
+                    # a full/broken cache disk degrades the store to a
+                    # no-op: the run is already computed, the campaign
+                    # (and its checkpoint) must not lose it
+                    tel.event(
+                        "cache.put_failed", sample=sample, mode=mode, error=str(exc)
+                    )
             buffered[idx] = item
             _flush()
 

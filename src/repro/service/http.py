@@ -35,15 +35,21 @@ import threading
 import time
 from typing import Any
 
+from repro.chaos.failpoints import failpoint
 from repro.core import checkpoint as ckpt
 from repro.core.experiment import campaign_fingerprint
 from repro.dist.manifest import NotDistributable, manifest_series, manifest_to_campaign
 from repro.service.executor import CacheOutcome, run_campaign_cached
+from repro.service.journal import JobJournal
 from repro.service.store import RunRecordStore
 from repro.telemetry import MetricsRegistry, Telemetry
 from repro.telemetry.stream import BusTraceWriter, CampaignProgress, EventBus
 
 _MAX_BODY = 8 * 1024 * 1024
+
+
+class ServiceDraining(RuntimeError):
+    """Submission rejected: the server is shutting down (HTTP 503)."""
 
 
 def _job_key(fingerprint: dict) -> str:
@@ -131,6 +137,7 @@ class CampaignService:
         jobs: int | None = None,
         queue_dir: str | None = None,
         poll: float = 0.2,
+        journal_dir: str | None = None,
     ) -> None:
         self.store = store
         self.host = host
@@ -139,6 +146,13 @@ class CampaignService:
         self.queue_dir = queue_dir
         self.poll = poll
         self.started_at = time.time()
+        #: durable recovery journal, or None (journalling off)
+        self.journal = JobJournal(journal_dir) if journal_dir is not None else None
+        #: journal writes that failed (journal loss is survivable, but counted)
+        self.journal_errors = 0
+        #: job ids re-adopted from the journal by the last recover()
+        self.recovered: list[str] = []
+        self._draining = False
         self._jobs: dict[str, _Job] = {}
         #: single-flight table: campaign key → the in-flight job
         self._inflight: dict[str, _Job] = {}
@@ -162,6 +176,8 @@ class CampaignService:
         execution.  Raises ``NotDistributable``/``ValueError``/
         ``KeyError`` on a malformed manifest (mapped to 400 above).
         """
+        if self._draining:
+            raise ServiceDraining("service is draining, not accepting campaigns")
         top, cfg = manifest_to_campaign(manifest)
         key = _job_key(campaign_fingerprint(top, cfg))
         with self._lock:
@@ -173,12 +189,31 @@ class CampaignService:
             job = _Job(f"{key[:12]}-{self._seq}", key, manifest, jobs)
             self._jobs[job.id] = job
             self._inflight[key] = job
+        self._journal_write(job)
         t = threading.Thread(
             target=self._run_job, args=(job, top, cfg), daemon=True,
             name=f"campaign-{job.id}",
         )
         t.start()
         return job, False
+
+    def _journal_write(self, job: _Job) -> None:
+        """Snapshot one job's state to the journal; loss is counted, not fatal."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.record(
+                job.id,
+                key=job.key,
+                manifest=job.manifest,
+                jobs=job.jobs,
+                state=job.state,
+                error=job.error,
+                submitted_at=job.submitted_at,
+                finished_at=job.finished_at,
+            )
+        except OSError:
+            self.journal_errors += 1
 
     def _run_job(self, job: _Job, top, cfg) -> None:
         job.state = "running"
@@ -188,6 +223,7 @@ class CampaignService:
             series=manifest_series(job.manifest),
         )
         try:
+            failpoint("service.job.dispatch")
             job.outcome = run_campaign_cached(
                 top,
                 cfg,
@@ -205,11 +241,72 @@ class CampaignService:
             with self._lock:
                 if self._inflight.get(job.key) is job:
                     del self._inflight[job.key]
+            self._journal_write(job)
             job.done_evt.set()
 
     def get_job(self, jid: str) -> _Job | None:
         with self._lock:
             return self._jobs.get(jid)
+
+    # ------------------------------------------------------------------
+    # restart recovery / graceful drain
+    # ------------------------------------------------------------------
+    def recover(self) -> list[str]:
+        """Re-adopt every non-terminal journal entry (crash recovery).
+
+        Each recovered campaign keeps its original job id and runs
+        through the cache, so work the dead server already committed is
+        served as hits and the records match an uninterrupted run.
+        Returns the recovered job ids (also kept in ``self.recovered``).
+        """
+        self.recovered = []
+        if self.journal is None:
+            return self.recovered
+        for entry in self.journal.pending():
+            jid = entry["id"]
+            try:
+                top, cfg = manifest_to_campaign(entry["manifest"])
+            except Exception:
+                # a journal entry the current code cannot rebuild:
+                # leave it on disk for inspection, adopt the rest
+                self.journal_errors += 1
+                continue
+            with self._lock:
+                if jid in self._jobs:
+                    continue
+                job = _Job(jid, entry.get("key", ""), entry["manifest"], entry.get("jobs"))
+                job.submitted_at = entry.get("submitted_at") or job.submitted_at
+                self._jobs[jid] = job
+                self._inflight[job.key] = job
+                try:
+                    self._seq = max(self._seq, int(jid.rsplit("-", 1)[1]))
+                except (IndexError, ValueError):
+                    pass
+            self._journal_write(job)
+            threading.Thread(
+                target=self._run_job, args=(job, top, cfg), daemon=True,
+                name=f"campaign-{jid}",
+            ).start()
+            self.recovered.append(jid)
+        return self.recovered
+
+    def drain(self, timeout: float = 30.0) -> list[str]:
+        """Stop accepting submissions, wait for in-flight jobs.
+
+        Jobs still running when ``timeout`` expires stay journalled in a
+        non-terminal state — the next start's :meth:`recover` finishes
+        them.  Returns the ids of the jobs that did not finish.
+        """
+        self._draining = True
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            live = [j for j in self._jobs.values() if not j.done_evt.is_set()]
+        leftover = []
+        for job in live:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not job.done_evt.wait(timeout=remaining):
+                leftover.append(job.id)
+        return leftover
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -249,7 +346,15 @@ class CampaignService:
 
     async def _route(self, writer, method: str, path: str, body: bytes) -> None:
         if method == "GET" and path == "/healthz":
-            await self._json(writer, 200, {"ok": True, "uptime_s": round(time.time() - self.started_at, 3)})
+            await self._json(
+                writer,
+                200,
+                {
+                    "ok": True,
+                    "uptime_s": round(time.time() - self.started_at, 3),
+                    "draining": self._draining,
+                },
+            )
         elif method == "GET" and path == "/cache/stats":
             await self._json(writer, 200, self.store.stats().to_dict())
         elif method == "POST" and path == "/campaigns":
@@ -291,6 +396,9 @@ class CampaignService:
             return
         try:
             job, deduped = self.submit(manifest, jobs)
+        except ServiceDraining as exc:
+            await self._json(writer, 503, {"error": str(exc)})
+            return
         except (NotDistributable, KeyError, TypeError, ValueError) as exc:
             await self._json(writer, 400, {"error": f"bad manifest: {type(exc).__name__}: {exc}"})
             return
@@ -328,7 +436,8 @@ class CampaignService:
 
     async def _json(self, writer, status: int, obj: dict) -> None:
         reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
-                  404: "Not Found", 413: "Payload Too Large"}.get(status, "OK")
+                  404: "Not Found", 413: "Payload Too Large",
+                  503: "Service Unavailable"}.get(status, "OK")
         payload = json.dumps(obj).encode()
         writer.write(
             f"HTTP/1.1 {status} {reason}\r\n"
@@ -343,6 +452,7 @@ class CampaignService:
     # ------------------------------------------------------------------
     async def serve(self) -> None:
         """Bind and serve until cancelled (for embedders with a loop)."""
+        self.recover()  # re-adopt journalled campaigns before taking traffic
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
         self.url = f"http://{self.host}:{self.port}"

@@ -40,6 +40,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro.chaos import fs as chaos_fs
+from repro.chaos.failpoints import failpoint
+from repro.core.checkpoint import StoreUnavailableError
+
+__all__ = ["CacheStats", "RunRecordStore", "StoreUnavailableError", "entry_key"]
+
 _KIND = "repro-run-cache"
 _VERSION = 1
 
@@ -173,6 +179,7 @@ class RunRecordStore:
         path = self._path(key)
         with self._lock:
             try:
+                failpoint("store.get.read", path=path)
                 raw = path.read_bytes()
             except FileNotFoundError:
                 self.misses += 1
@@ -219,6 +226,10 @@ class RunRecordStore:
         Existing entries are kept (first-commit-wins is free: a
         deterministic duplicate is byte-identical, and skipping the
         write preserves the original's LRU age).
+
+        Raises :class:`~repro.core.checkpoint.StoreUnavailableError`
+        when the filesystem fails the commit (ENOSPC/EIO); the scratch
+        file is removed first, so a failed put leaves nothing behind.
         """
         key = entry_key(fingerprint, sample, mode)
         path = self._path(key)
@@ -238,11 +249,15 @@ class RunRecordStore:
                 return False
             tmp = self.tmp_dir / f".{key}.{os.getpid()}.{uuid.uuid4().hex[:8]}"
             try:
-                with open(tmp, "w") as f:
-                    f.write(json.dumps(entry) + "\n")
-                    f.flush()
-                    os.fsync(f.fileno())
-                os.replace(tmp, path)
+                chaos_fs.write_text_atomic(
+                    path,
+                    json.dumps(entry) + "\n",
+                    tmp,
+                    post_tmp="store.commit.post_tmp",
+                    pre_rename="store.commit.pre_rename",
+                )
+            except OSError as exc:
+                raise StoreUnavailableError("cache entry commit", exc) from exc
             finally:
                 try:
                     os.unlink(tmp)
@@ -321,6 +336,47 @@ class RunRecordStore:
             evicted += 1
         self.evictions += evicted
         return evicted
+
+    # ------------------------------------------------------------------
+    def verify(self) -> tuple[int, list[str]]:
+        """Integrity-scan every committed entry: ``(ok_count, bad_keys)``.
+
+        An entry is *bad* when it fails to parse, carries the wrong
+        kind/version, or its SHA-256 disagrees with its own content —
+        precisely the damage a torn or interrupted write would leave if
+        the commit protocol ever let one become visible.  Bad entries
+        are quarantined exactly as :meth:`get` would.  The chaos soak
+        asserts ``bad_keys == []`` after every failure schedule.
+        """
+        ok = 0
+        bad: list[str] = []
+        with self._lock:
+            for _, key, _ in self._scan():
+                path = self._path(key)
+                try:
+                    entry = json.loads(path.read_bytes())
+                except (OSError, ValueError):
+                    bad.append(key)
+                    self._quarantine(path)
+                    continue
+                if (
+                    not isinstance(entry, dict)
+                    or entry.get("kind") != _KIND
+                    or entry.get("version") != _VERSION
+                    or not isinstance(entry.get("rng_key"), dict)
+                    or not isinstance(entry.get("record"), dict)
+                    or entry.get("sha256")
+                    != _entry_digest(
+                        entry.get("fingerprint"),
+                        entry["rng_key"],
+                        entry["record"],
+                    )
+                ):
+                    bad.append(key)
+                    self._quarantine(path)
+                    continue
+                ok += 1
+        return ok, bad
 
     # ------------------------------------------------------------------
     def __contains__(self, key: str) -> bool:

@@ -53,9 +53,11 @@ def serial(top, tmp_path_factory):
     return records, path.read_bytes()
 
 
-def _spawn_worker(qdir, owner, *extra):
+def _spawn_worker(qdir, owner, *extra, env_extra=None):
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if env_extra:
+        env.update(env_extra)
     return subprocess.Popen(
         [
             sys.executable, "-m", "repro", "worker",
@@ -175,6 +177,70 @@ class TestKillStorm:
             assert retries or steals
         # the ghost's task was completed without its owner ever committing
         assert q.read_result(tasks[-1].tid)["worker"] != "ghost:1"
+
+    def test_failpoint_crash_mid_commit_merges_identically(
+        self, top, serial, tmp_path
+    ):
+        """The deterministic twin of the SIGKILL storm: a worker dies at
+        a *named* point — mid-way through committing its second result,
+        after the scratch write but before the fsync — via a
+        ``repro.chaos`` schedule in its environment.  The fleet must
+        absorb it exactly like a random kill: no torn result visible,
+        merged bytes identical to serial."""
+        import json
+
+        from repro.chaos import CRASH_EXIT_CODE
+
+        serial_records, serial_bytes = serial
+        qdir = tmp_path / "queue"
+        ckpt = tmp_path / "chaoskill.jsonl"
+        fired_log = tmp_path / "fired.jsonl"
+        tel = Telemetry(trace=MemoryTraceWriter(), metrics=MetricsRegistry())
+        coord = _Coordinator(
+            top=top,
+            cfg=_cfg(),
+            queue_dir=str(qdir),
+            telemetry=tel,
+            checkpoint_path=str(ckpt),
+            ttl=2.0,
+            poll=0.05,
+            fallback_after=600.0,
+        )
+        coord.start()
+        q = WorkQueue(qdir)
+        _wait_until(lambda: q.load_manifest() is not None, what="manifest")
+        tasks = q.manifest_tasks(q.load_manifest())
+
+        victim = _spawn_worker(
+            qdir,
+            "victim:1",
+            env_extra={
+                "REPRO_CHAOS": "queue.commit.post_tmp:crash:at=2",
+                "REPRO_CHAOS_SEED": "2021",
+                "REPRO_CHAOS_LOG": str(fired_log),
+            },
+        )
+        victim.wait(timeout=120)
+        assert victim.returncode == CRASH_EXIT_CODE
+        # the failpoint log proves it died where the schedule said
+        fired = [json.loads(line) for line in fired_log.read_text().splitlines()]
+        assert [(e["site"], e["action"]) for e in fired] == [
+            ("queue.commit.post_tmp", "crash")
+        ]
+        # exactly one result committed before the crash, none torn
+        committed = [t.tid for t in tasks if q.has_result(t.tid)]
+        assert len(committed) == 1
+
+        survivor = _spawn_worker(qdir, "survivor:1")
+        records = coord.finish()
+        _finish(survivor)
+
+        assert ckpt.read_bytes() == serial_bytes
+        assert [record_to_dict(r) for r in records] == [
+            record_to_dict(r) for r in serial_records
+        ]
+        # the survivor finished the victim's abandoned task
+        assert all(q.read_result(t.tid) is not None for t in tasks)
 
     def test_expired_lease_is_reclaimed_not_stolen(self, top, serial, tmp_path):
         """With speculation off, the only path past a dead owner's lease

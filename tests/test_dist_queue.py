@@ -131,6 +131,25 @@ class TestClaiming:
         assert q.renew(first) is False
         assert first.lost
 
+    def test_reclaim_records_the_displaced_owner(self, tmp_path):
+        """The attempts file remembers who lost each reclaim, so retry
+        attribution never depends on a racy lease scan."""
+        q, tasks, clock = make_queue(tmp_path)
+        tid = tasks[0].tid
+        assert q.last_victim(tid) == ""
+        q.try_claim(tid, "w1")
+        assert q.last_victim(tid) == ""  # a fresh claim displaces nobody
+        clock.advance(31.0)
+        q.try_claim(tid, "w2")
+        assert q.last_victim(tid) == "w1"
+        clock.advance(31.0)
+        q.try_claim(tid, "w3")
+        assert q.last_victim(tid) == "w2"
+        # budget bookkeeping after exhaustion keeps the last victim
+        clock.advance(31.0)
+        assert q.try_claim(tid, "w4") is None
+        assert q.last_victim(tid) == "w3"
+
     def test_renew_extends_expiry(self, tmp_path):
         q, tasks, clock = make_queue(tmp_path)
         lease = q.try_claim(tasks[0].tid, "w1")

@@ -1,0 +1,320 @@
+"""Service restart recovery, graceful drain, and client retry.
+
+The contract under test (docs/CHAOS.md): a SIGKILLed `repro serve` is
+a delay, not a loss — the journal re-adopts in-flight campaigns on
+restart and the result cache turns completed work into hits, so the
+records served after recovery are identical to an uninterrupted run.
+"""
+
+import io
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.apps import MILC
+from repro.core.biases import AD0, AD3
+from repro.core.experiment import CampaignConfig
+from repro.dist.manifest import campaign_to_manifest
+from repro.service import (
+    CampaignService,
+    JobJournal,
+    RunRecordStore,
+    ServiceDraining,
+)
+from repro.service import client
+from repro.service.journal import TERMINAL_STATES
+from repro.telemetry import NULL_TELEMETRY
+from repro.topology.systems import mini
+from repro.util.backoff import NO_BACKOFF, Backoff
+
+def _FAST():
+    """A retry backoff that never sleeps — keeps the retry tests fast."""
+    return Backoff(NO_BACKOFF, sleeper=lambda s: None)
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.network.fluid.NonConvergenceWarning"
+)
+
+SRC = str(Path(repro.__file__).resolve().parents[1])
+
+
+@pytest.fixture(scope="module")
+def top():
+    return mini()
+
+
+def _cfg(**kw):
+    kw.setdefault("samples", 2)
+    kw.setdefault("seed", 11)
+    return CampaignConfig(
+        app=MILC(), n_nodes=32, modes=(AD0, AD3), scenario_pool=4, **kw
+    )
+
+
+def _manifest(top, cfg):
+    return campaign_to_manifest(top, cfg, NULL_TELEMETRY)
+
+
+# ----------------------------------------------------------------------
+# the journal itself
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_round_trip_and_pending(self, top, tmp_path):
+        j = JobJournal(tmp_path)
+        man = _manifest(top, _cfg())
+        j.record("k1-1", key="k1", manifest=man, jobs=None, state="submitted",
+                 submitted_at=1.0)
+        j.record("k2-2", key="k2", manifest=man, jobs=2, state="done",
+                 submitted_at=2.0, finished_at=3.0)
+        entries = j.load()
+        assert [e["id"] for e in entries] == ["k1-1", "k2-2"]
+        assert entries[0]["manifest"] == man
+        assert [e["id"] for e in j.pending()] == ["k1-1"]
+
+    def test_rewrite_is_a_state_transition_not_a_duplicate(self, top, tmp_path):
+        j = JobJournal(tmp_path)
+        man = _manifest(top, _cfg())
+        j.record("k1-1", key="k1", manifest=man, jobs=None, state="submitted")
+        j.record("k1-1", key="k1", manifest=man, jobs=None, state="done")
+        assert len(j.load()) == 1
+        assert j.pending() == []
+
+    def test_prune_terminal_keeps_only_recoverable_entries(self, top, tmp_path):
+        j = JobJournal(tmp_path)
+        man = _manifest(top, _cfg())
+        for i, state in enumerate(("submitted", "running", *TERMINAL_STATES)):
+            j.record(f"k-{i}", key="k", manifest=man, jobs=None, state=state)
+        assert j.prune_terminal() == 2
+        assert {e["state"] for e in j.load()} == {"submitted", "running"}
+
+    def test_torn_and_foreign_files_are_skipped(self, top, tmp_path):
+        j = JobJournal(tmp_path)
+        man = _manifest(top, _cfg())
+        j.record("k1-1", key="k1", manifest=man, jobs=None, state="running")
+        (tmp_path / "torn.json").write_text('{"kind": "repro-job-jour')
+        (tmp_path / "foreign.json").write_text('{"kind": "something-else"}\n')
+        assert [e["id"] for e in j.load()] == ["k1-1"]
+
+
+# ----------------------------------------------------------------------
+# in-process recovery + drain
+# ----------------------------------------------------------------------
+class TestRecovery:
+    def test_recover_re_adopts_pending_jobs_with_original_ids(self, top, tmp_path):
+        """A journal entry left by a dead server becomes a live job —
+        same id — on the next server over the same directories."""
+        man = _manifest(top, _cfg(samples=1))
+        JobJournal(tmp_path / "journal").record(
+            "abcdef123456-7", key="abcdef123456", manifest=man, jobs=None,
+            state="running", submitted_at=5.0,
+        )
+        service = CampaignService(
+            RunRecordStore(tmp_path / "cache"), journal_dir=str(tmp_path / "journal")
+        )
+        adopted = service.recover()
+        assert adopted == ["abcdef123456-7"]
+        job = service._jobs["abcdef123456-7"]
+        assert job.done_evt.wait(300)
+        assert job.state == "done"
+        assert len(job.outcome.records) == 2  # 1 sample x 2 modes
+        # the journal now remembers it as terminal: a second restart
+        # would not re-run it
+        assert service.journal.pending() == []
+        # and the sequence counter moved past the adopted id, so new
+        # jobs can never collide with recovered ones
+        new_job, _ = service.submit(_manifest(top, _cfg(samples=1, seed=99)))
+        assert int(new_job.id.rsplit("-", 1)[1]) > 7
+        assert new_job.done_evt.wait(300)
+
+    def test_unparseable_manifest_is_counted_not_fatal(self, top, tmp_path):
+        JobJournal(tmp_path / "journal").record(
+            "deadbeef0000-1", key="deadbeef0000",
+            manifest={"kind": "not-a-campaign"}, jobs=None, state="running",
+        )
+        service = CampaignService(
+            RunRecordStore(tmp_path / "cache"), journal_dir=str(tmp_path / "journal")
+        )
+        assert service.recover() == []
+        assert service.journal_errors == 1
+
+    def test_drain_refuses_new_work_and_reports_it(self, top, tmp_path):
+        service = CampaignService(RunRecordStore(tmp_path / "cache")).start()
+        try:
+            man = _manifest(top, _cfg(samples=1))
+            first = client.submit(service.url, man)
+            client.wait(service.url, first["id"], timeout=300)
+            assert service.drain(timeout=30.0) == []  # nothing in flight
+            # in-process and over HTTP, new submissions are refused
+            with pytest.raises(ServiceDraining):
+                service.submit(man)
+            with pytest.raises(client.ServiceError, match="HTTP 503"):
+                client._call(
+                    f"{service.url}/campaigns", data={"manifest": man}, retries=0
+                )
+            health = client._call(f"{service.url}/healthz")
+            assert health["draining"] is True
+            # finished jobs are still readable while draining
+            done = client.status(service.url, first["id"])
+            assert done["state"] == "done"
+        finally:
+            service.close()
+
+
+# ----------------------------------------------------------------------
+# client retry
+# ----------------------------------------------------------------------
+class _FakeResponse(io.BytesIO):
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+class TestClientRetry:
+    def test_connection_failures_retry_until_success(self, monkeypatch):
+        calls = []
+
+        def fake_urlopen(req, timeout=None):
+            calls.append(req.full_url)
+            if len(calls) < 3:
+                raise urllib.error.URLError(ConnectionRefusedError(111))
+            return _FakeResponse(b'{"ok": true}')
+
+        monkeypatch.setattr(client.urllib.request, "urlopen", fake_urlopen)
+        doc = client._call("http://127.0.0.1:1/x", backoff=_FAST())
+        assert doc == {"ok": True}
+        assert len(calls) == 3
+
+    def test_5xx_retries_then_surfaces_the_server_message(self, monkeypatch):
+        calls = []
+
+        def fake_urlopen(req, timeout=None):
+            calls.append(1)
+            raise urllib.error.HTTPError(
+                req.full_url, 503, "Service Unavailable", {},
+                io.BytesIO(b'{"error": "service is draining"}'),
+            )
+
+        monkeypatch.setattr(client.urllib.request, "urlopen", fake_urlopen)
+        with pytest.raises(client.ServiceError, match="draining"):
+            client._call("http://127.0.0.1:1/x", retries=2, backoff=_FAST())
+        assert len(calls) == 3  # first attempt + 2 retries
+
+    def test_4xx_is_the_callers_fault_and_never_retried(self, monkeypatch):
+        calls = []
+
+        def fake_urlopen(req, timeout=None):
+            calls.append(1)
+            raise urllib.error.HTTPError(
+                req.full_url, 400, "Bad Request", {},
+                io.BytesIO(b'{"error": "manifest is not a campaign"}'),
+            )
+
+        monkeypatch.setattr(client.urllib.request, "urlopen", fake_urlopen)
+        with pytest.raises(client.ServiceError, match="HTTP 400"):
+            client._call("http://127.0.0.1:1/x", backoff=_FAST())
+        assert len(calls) == 1
+
+    def test_exhausted_retries_surface_unreachable(self, monkeypatch):
+        def fake_urlopen(req, timeout=None):
+            raise urllib.error.URLError(ConnectionRefusedError(111))
+
+        monkeypatch.setattr(client.urllib.request, "urlopen", fake_urlopen)
+        with pytest.raises(client.ServiceError, match="unreachable"):
+            client._call("http://127.0.0.1:1/x", retries=1, backoff=_FAST())
+
+
+# ----------------------------------------------------------------------
+# the acceptance scenario: kill -9 a real `repro serve` mid-campaign
+# ----------------------------------------------------------------------
+def _spawn_serve(cache_dir) -> tuple[subprocess.Popen, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--cache", str(cache_dir),
+         "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    line = proc.stdout.readline()
+    m = re.search(r"http://[\d.]+:\d+", line)
+    assert m, f"no service URL in serve banner: {line!r}"
+    return proc, m.group(0)
+
+
+class TestKillServe:
+    def test_sigkilled_serve_recovers_and_serves_identical_records(
+        self, top, tmp_path
+    ):
+        cache_dir = tmp_path / "cache"
+        man = _manifest(top, _cfg(samples=4))
+
+        proc, url = _spawn_serve(cache_dir)
+        try:
+            submitted = client.submit(url, man)
+            jid = submitted["id"]
+            # kill -9 the moment the first result lands in the cache —
+            # mid-campaign, with 7 of 8 runs still to go
+            entries_dir = cache_dir / "entries"
+            deadline = time.monotonic() + 300
+            while time.monotonic() < deadline:
+                if entries_dir.is_dir() and list(entries_dir.glob("*.json")):
+                    break
+                time.sleep(0.005)
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+            assert proc.returncode == -signal.SIGKILL
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        # restart over the same cache: the journal re-adopts the job
+        proc2, url2 = _spawn_serve(cache_dir)
+        try:
+            banner = proc2.stdout.readline()
+            assert jid in banner, f"expected {jid} recovered, got: {banner!r}"
+            doc = client.wait(url2, jid, timeout=600)
+            assert doc["state"] == "done"
+            assert len(doc["records"]) == 8  # 4 samples x 2 modes
+            # completed pre-kill work was served from the cache, not redone
+            assert doc["cache"]["hits"] >= 1
+
+            # resubmitting the same campaign is now all hits, and the
+            # records are identical to the recovered run's
+            again = client.submit(url2, man)
+            doc2 = client.wait(url2, again["id"], timeout=300)
+            assert doc2["cache"]["hits"] == 8
+            assert doc2["cache"]["misses"] == 0
+            assert doc2["records"] == doc["records"]
+        finally:
+            proc2.send_signal(signal.SIGTERM)
+            try:
+                proc2.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc2.kill()
+                raise
+        # the drain path exits 0 on SIGTERM
+        assert proc2.returncode == 0
+
+    def test_sigterm_drains_and_exits_zero(self, top, tmp_path):
+        proc, url = _spawn_serve(tmp_path / "cache")
+        try:
+            man = _manifest(top, _cfg(samples=1))
+            sub = client.submit(url, man)
+            client.wait(url, sub["id"], timeout=300)
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                raise
+        assert proc.returncode == 0
